@@ -1,0 +1,139 @@
+// Package falcon is a faithful, fully simulated reproduction of
+// "Parallelizing Packet Processing in Container Overlay Networks"
+// (EuroSys 2021): the Falcon system — softirq pipelining, softirq
+// splitting, and dynamic two-choice balancing for VXLAN container
+// overlay networks — together with every substrate it runs on: a
+// deterministic discrete-event multi-core kernel datapath (NAPI, RSS,
+// RPS, GRO, per-CPU backlogs), byte-accurate VXLAN encapsulation, a
+// Reno-style TCP, container/bridge/veth topologies, and the paper's
+// workloads (sockperf, memcached, CloudSuite web serving).
+//
+// This package is the public facade: it re-exports the types needed to
+// build testbeds, enable Falcon, drive traffic and measure results. The
+// implementation lives under internal/; cmd/falconsim regenerates every
+// figure in the paper, and EXPERIMENTS.md records the comparison.
+package falcon
+
+import (
+	falconcore "falcon/internal/core"
+	"falcon/internal/devices"
+	"falcon/internal/experiments"
+	"falcon/internal/overlay"
+	"falcon/internal/sim"
+	"falcon/internal/socket"
+	"falcon/internal/stats"
+	"falcon/internal/transport"
+	"falcon/internal/workload"
+)
+
+// Core simulation handles.
+type (
+	// Engine is the deterministic discrete-event engine driving a
+	// simulation.
+	Engine = sim.Engine
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+)
+
+// Re-exported duration units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Gbps expresses link rates in NewTestbed configs.
+const Gbps = devices.Gbps
+
+// Topology and workload types.
+type (
+	// Testbed is the standard two-server (client/server) deployment the
+	// paper's evaluation uses.
+	Testbed = workload.Testbed
+	// TestbedConfig sizes a Testbed.
+	TestbedConfig = workload.TestbedConfig
+	// Network is a custom overlay topology (hosts, containers, links).
+	Network = overlay.Network
+	// Host is one simulated server.
+	Host = overlay.Host
+	// Container is a container on a host's overlay network.
+	Container = overlay.Container
+	// UDPFlow is a sockperf-style UDP sender/receiver pair.
+	UDPFlow = workload.UDPFlow
+	// TCPConn is a simulated TCP connection through the overlay.
+	TCPConn = transport.Conn
+	// TCPConfig describes a TCP connection's endpoints.
+	TCPConfig = transport.Config
+	// Socket is a receiving endpoint with delivery instrumentation.
+	Socket = socket.Socket
+	// Result is one measured window of a workload.
+	Result = workload.Result
+	// Mode selects Host / Con / Falcon comparisons.
+	Mode = workload.Mode
+)
+
+// Comparison modes, as labelled in the paper.
+const (
+	ModeHost   = workload.ModeHost
+	ModeCon    = workload.ModeCon
+	ModeFalcon = workload.ModeFalcon
+)
+
+// Falcon itself.
+type (
+	// Config selects Falcon's features (FALCON_CPUS, load threshold,
+	// two-choice balancing, GRO splitting).
+	Config = falconcore.Config
+	// Falcon is a host's Falcon instance.
+	Falcon = falconcore.Falcon
+)
+
+// DefaultLoadThreshold is FALCON_LOAD_THRESHOLD's default (85%).
+const DefaultLoadThreshold = falconcore.DefaultLoadThreshold
+
+// Standard testbed addresses.
+var (
+	// ClientIP and ServerIP are the public host IPs of a Testbed.
+	ClientIP = workload.ClientIP
+	ServerIP = workload.ServerIP
+)
+
+// DefaultConfig returns the paper's full Falcon configuration over the
+// given FALCON_CPUS.
+func DefaultConfig(cpus []int) Config { return falconcore.DefaultConfig(cpus) }
+
+// NewEngine returns a deterministic simulation engine.
+func NewEngine(seed uint64) *Engine { return sim.New(seed) }
+
+// NewTestbed builds the standard client/server testbed.
+func NewTestbed(cfg TestbedConfig) *Testbed { return workload.NewTestbed(cfg) }
+
+// NewNetwork builds an empty custom topology on an engine.
+func NewNetwork(e *Engine) *Network { return overlay.NewNetwork(e) }
+
+// DialTCP establishes a TCP connection; appWork is extra per-message
+// receiver-side processing.
+func DialTCP(cfg TCPConfig, appWork Time) (*TCPConn, error) {
+	return transport.Dial(cfg, appWork)
+}
+
+// MeasureWindow advances the testbed past warmup, measures one window
+// over the given sockets, and returns server-side metrics.
+func MeasureWindow(tb *Testbed, socks []*Socket, warmup, window Time) Result {
+	return workload.MeasureWindow(tb, socks, warmup, window)
+}
+
+// Experiment reproduces one of the paper's figures.
+type Experiment = experiments.Experiment
+
+// ExperimentOptions tunes experiment runs.
+type ExperimentOptions = experiments.Options
+
+// Experiments lists every reproducible figure/table.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID finds one experiment.
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
+
+// Table is a labelled results grid produced by experiments.
+type Table = stats.Table

@@ -1,0 +1,95 @@
+package falcon_test
+
+import (
+	"fmt"
+	"testing"
+
+	falcon "falcon"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	tb := falcon.NewTestbed(falcon.TestbedConfig{
+		LinkRate: 100 * falcon.Gbps, Cores: 8, Containers: 1,
+		RSSCores: []int{0}, RPSCores: []int{1}, GRO: true, InnerGRO: true,
+	})
+	f := tb.EnableFalconOnServer(falcon.DefaultConfig([]int{3, 4, 5}))
+	if f == nil || !tb.Server.Falcon.Config().TwoChoice {
+		t.Fatal("falcon not attached through the facade")
+	}
+	sock, flows := tb.StressFlood(true, 2, 64, 2, 20*falcon.Millisecond)
+	if len(flows) != 2 {
+		t.Fatal("flood not started")
+	}
+	res := falcon.MeasureWindow(tb, []*falcon.Socket{sock}, 5*falcon.Millisecond, 10*falcon.Millisecond)
+	if res.Delivered == 0 || res.PPS == 0 {
+		t.Fatal("no traffic measured through the facade")
+	}
+}
+
+func TestFacadeTCP(t *testing.T) {
+	tb := falcon.NewTestbed(falcon.TestbedConfig{
+		LinkRate: 100 * falcon.Gbps, Cores: 8, Containers: 1,
+		GRO: true, InnerGRO: true,
+	})
+	c, err := falcon.DialTCP(falcon.TCPConfig{
+		Net:        tb.Net,
+		SenderHost: tb.Client, SenderCtr: tb.ClientCtrs[0], SenderCore: 2, SrcPort: 40000,
+		ReceiverHost: tb.Server, ReceiverCtr: tb.ServerCtrs[0], AppCore: 3, DstPort: 5201,
+		MsgSize: 1024, FlowID: 1,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Send(20)
+	tb.Run(20 * falcon.Millisecond)
+	if c.Socket().Delivered.Value() != 20 {
+		t.Fatalf("delivered %d of 20", c.Socket().Delivered.Value())
+	}
+	c.Close()
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	if len(falcon.Experiments()) < 20 {
+		t.Fatalf("registry too small: %d", len(falcon.Experiments()))
+	}
+	e, ok := falcon.ExperimentByID("fig11")
+	if !ok {
+		t.Fatal("fig11 missing")
+	}
+	tables := e.Run(falcon.ExperimentOptions{Quick: true})
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		t.Fatal("experiment produced nothing")
+	}
+}
+
+func TestFacadeCustomTopology(t *testing.T) {
+	e := falcon.NewEngine(7)
+	n := falcon.NewNetwork(e)
+	if n.KV == nil || len(n.Hosts()) != 0 {
+		t.Fatal("fresh network malformed")
+	}
+}
+
+// ExampleNewTestbed demonstrates the three-way comparison at the heart
+// of the paper.
+func ExampleNewTestbed() {
+	run := func(mode falcon.Mode) float64 {
+		tb := falcon.NewTestbed(falcon.TestbedConfig{
+			LinkRate: 100 * falcon.Gbps, Cores: 12, Containers: 1,
+			RSSCores: []int{0}, RPSCores: []int{1}, GRO: true, InnerGRO: true,
+		})
+		if mode == falcon.ModeFalcon {
+			tb.EnableFalconOnServer(falcon.DefaultConfig([]int{3, 4, 5}))
+		}
+		sock, _ := tb.StressFlood(mode != falcon.ModeHost, 3, 16, 2, 50*falcon.Millisecond)
+		res := falcon.MeasureWindow(tb, []*falcon.Socket{sock},
+			10*falcon.Millisecond, 30*falcon.Millisecond)
+		return res.PPS
+	}
+	host := run(falcon.ModeHost)
+	con := run(falcon.ModeCon)
+	fal := run(falcon.ModeFalcon)
+	fmt.Printf("overlay keeps %.0f%% of host; falcon recovers to %.0f%%\n",
+		con/host*100, fal/host*100)
+	// Output: overlay keeps 53% of host; falcon recovers to 88%
+}

@@ -1,0 +1,171 @@
+// Benchmarks: one per paper table/figure (each iteration regenerates the
+// experiment end to end in the simulator; run `go test -bench=Fig -benchtime=1x`
+// for a single full sweep), plus micro-benchmarks of the hot substrate
+// primitives (hashing, GRO, encapsulation, event dispatch).
+package falcon_test
+
+import (
+	"testing"
+
+	falcon "falcon"
+	"falcon/internal/gro"
+	"falcon/internal/proto"
+	"falcon/internal/sim"
+	"falcon/internal/skb"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := falcon.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	opt := falcon.ExperimentOptions{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(opt)
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no results", id)
+		}
+	}
+}
+
+// Paper figures (Section 2.2 motivation and Section 6 evaluation).
+
+func BenchmarkFig2a(b *testing.B) { benchExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B) { benchExperiment(b, "fig2b") }
+func BenchmarkFig2c(b *testing.B) { benchExperiment(b, "fig2c") }
+func BenchmarkFig2d(b *testing.B) { benchExperiment(b, "fig2d") }
+func BenchmarkFig4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig9a(b *testing.B) { benchExperiment(b, "fig9a") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B) { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B) { benchExperiment(b, "fig19") }
+
+// Ablations (DESIGN.md §5).
+
+func BenchmarkAblationGROSplit(b *testing.B) { benchExperiment(b, "abl-grosplit") }
+func BenchmarkAblationLocality(b *testing.B) { benchExperiment(b, "abl-locality") }
+func BenchmarkAblationStages(b *testing.B)   { benchExperiment(b, "abl-stages") }
+func BenchmarkAblationDynSplit(b *testing.B) { benchExperiment(b, "abl-dynsplit") }
+func BenchmarkBaselineSlim(b *testing.B)     { benchExperiment(b, "abl-slim") }
+func BenchmarkExtensionMTU(b *testing.B)     { benchExperiment(b, "abl-mtu") }
+func BenchmarkAblationBalancer(b *testing.B) { benchExperiment(b, "abl-balancer") }
+
+// Substrate micro-benchmarks.
+
+func BenchmarkFlowHash(b *testing.B) {
+	k := skb.FlowKey{
+		SrcIP: proto.IP4(10, 0, 0, 1), DstIP: proto.IP4(10, 0, 0, 2),
+		SrcPort: 12345, DstPort: 80, Proto: proto.ProtoTCP,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = k.Hash()
+	}
+}
+
+func BenchmarkDeviceFlowHash(b *testing.B) {
+	h := uint32(0xdeadbeef)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = skb.DeviceFlowHash(h, i&7)
+	}
+}
+
+func BenchmarkEncapsulate(b *testing.B) {
+	inner := proto.BuildUDPFrame(proto.MACFromUint64(1), proto.MACFromUint64(2),
+		proto.IP4(10, 32, 0, 1), proto.IP4(10, 32, 0, 2), 7000, 5001, 1,
+		make([]byte, 1400))
+	b.SetBytes(int64(len(inner)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = proto.Encapsulate(inner, proto.MACFromUint64(3), proto.MACFromUint64(4),
+			proto.IP4(192, 168, 1, 1), proto.IP4(192, 168, 1, 2), 49152, 42, uint16(i))
+	}
+}
+
+func BenchmarkDecapsulate(b *testing.B) {
+	inner := proto.BuildUDPFrame(proto.MACFromUint64(1), proto.MACFromUint64(2),
+		proto.IP4(10, 32, 0, 1), proto.IP4(10, 32, 0, 2), 7000, 5001, 1,
+		make([]byte, 1400))
+	outer := proto.Encapsulate(inner, proto.MACFromUint64(3), proto.MACFromUint64(4),
+		proto.IP4(192, 168, 1, 1), proto.IP4(192, 168, 1, 2), 49152, 42, 7)
+	b.SetBytes(int64(len(outer)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := proto.Decapsulate(outer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGROPushFlush(b *testing.B) {
+	seg := func(seq uint32) []byte {
+		return proto.BuildTCPFrame(proto.MACFromUint64(1), proto.MACFromUint64(2),
+			proto.IP4(10, 0, 0, 1), proto.IP4(10, 0, 0, 2),
+			proto.TCPHdr{SrcPort: 5000, DstPort: 80, Seq: seq, Flags: proto.TCPAck, Window: 65535},
+			0, make([]byte, 1400))
+	}
+	frames := make([][]byte, 8)
+	for i := range frames {
+		frames[i] = seg(uint32(i * 1400))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := gro.New()
+		for _, fr := range frames {
+			buf := make([]byte, len(fr))
+			copy(buf, fr)
+			e.Push(skb.New(buf))
+		}
+		if out := e.Flush(); len(out) != 1 {
+			b.Fatalf("flush = %d", len(out))
+		}
+	}
+}
+
+func BenchmarkEventDispatch(b *testing.B) {
+	e := sim.New(1)
+	b.ReportAllocs()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(100, tick)
+		}
+	}
+	e.After(100, tick)
+	e.Run()
+	if n < b.N {
+		b.Fatal("event loop stalled")
+	}
+}
+
+func BenchmarkOverlayPacketEndToEnd(b *testing.B) {
+	// Cost of simulating one full overlay packet (tx → wire → 3-softirq
+	// rx → socket), amortized: drive b.N packets through a testbed.
+	tb := falcon.NewTestbed(falcon.TestbedConfig{
+		LinkRate: 100 * falcon.Gbps, Cores: 8, Containers: 1,
+		RSSCores: []int{0}, RPSCores: []int{1}, GRO: true, InnerGRO: true,
+	})
+	f := tb.NewUDPFlow(tb.ClientCtrs[0], tb.ServerCtrs[0].IP, 7000, 5001, 64, 2, 3, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	f.SendAtRate(100_000, falcon.Time(b.N)*10*falcon.Microsecond+falcon.Millisecond)
+	tb.Run(falcon.Time(b.N)*10*falcon.Microsecond + 10*falcon.Millisecond)
+	b.StopTimer()
+	if f.Sock.Delivered.Value() == 0 {
+		b.Fatal("nothing delivered")
+	}
+}

@@ -1,0 +1,67 @@
+// Command falconsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	falconsim -list                 # list available experiments
+//	falconsim -exp fig10            # run one experiment
+//	falconsim -exp fig10,fig13      # run several
+//	falconsim -all                  # run everything
+//	falconsim -all -quick           # shorter measurement windows
+//	falconsim -exp fig10 -kernel 5.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"falcon/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiments and exit")
+		expIDs = flag.String("exp", "", "comma-separated experiment ids to run")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "short measurement windows")
+		kernel = flag.String("kernel", "", `kernel cost profile ("4.19" default, "5.4")`)
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *all {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else if *expIDs != "" {
+		ids = strings.Split(*expIDs, ",")
+	} else {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{Quick: *quick, Kernel: *kernel, Seed: *seed}
+	for _, id := range ids {
+		e, ok := experiments.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "falconsim: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tables := e.Run(opt)
+		fmt.Printf("### %s — %s  [%.1fs]\n\n", e.ID, e.Title, time.Since(start).Seconds())
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Data caching: the paper's Section 6.2 memcached experiment. A
+// memcached server (4 worker threads, 550-byte objects) runs in a
+// container; 100 client connections replay a GET-heavy mix through the
+// overlay. With 10 client threads hammering the server, the vanilla
+// overlay's serialized softirq core becomes the bottleneck and tail
+// latency balloons; Falcon pipelines the receive stages and restores it
+// (paper: -51% average, -53% p99).
+package main
+
+import (
+	"fmt"
+
+	falcon "falcon"
+	"falcon/internal/apps"
+)
+
+func run(falconOn bool, clientThreads int) (avgUs, p99Us float64, opsPerSec float64) {
+	tb := falcon.NewTestbed(falcon.TestbedConfig{
+		LinkRate: 100 * falcon.Gbps, Cores: 12, Containers: 1,
+		RSSCores: []int{0}, RPSCores: []int{0},
+		GRO: true, InnerGRO: true,
+	})
+	if falconOn {
+		tb.EnableFalconOnServer(falcon.DefaultConfig([]int{0, 1, 2, 3, 4, 5}))
+		tb.Client.EnableFalcon(falcon.DefaultConfig([]int{0, 1, 2, 3, 4, 5}))
+	}
+
+	const until = 110 * falcon.Millisecond
+	m := apps.StartMemcached(apps.MemcachedConfig{
+		ServerHost: tb.Server, ServerCtr: tb.ServerCtrs[0],
+		ServerCores: []int{8, 9, 10, 11}, // the 4 memcached threads
+		Port:        11211,
+		ClientHost:  tb.Client, ClientCtr: tb.ClientCtrs[0],
+		ClientThreads: 6, ClientCoreBase: 6, Connections: 100,
+		ThinkTime: 1500 * falcon.Microsecond / falcon.Time(clientThreads),
+	}, until)
+
+	tb.Run(30 * falcon.Millisecond)
+	m.ResetMeasurement()
+	tb.Run(until)
+
+	lat := m.Latency()
+	return lat.Mean / 1e3, float64(lat.P99) / 1e3,
+		float64(m.Completed()) / (80 * falcon.Millisecond).Seconds()
+}
+
+func main() {
+	fmt.Println("CloudSuite-style data caching (memcached), 100 connections")
+	fmt.Println()
+	fmt.Printf("%-8s %-8s %10s %10s %12s\n", "clients", "mode", "avg(us)", "p99(us)", "ops/s")
+	for _, threads := range []int{1, 10} {
+		for _, falconOn := range []bool{false, true} {
+			avg, p99, ops := run(falconOn, threads)
+			mode := "Con"
+			if falconOn {
+				mode = "Falcon"
+			}
+			fmt.Printf("%-8d %-8s %10.1f %10.1f %12.0f\n", threads, mode, avg, p99, ops)
+		}
+	}
+	fmt.Println()
+	fmt.Println("with one client thread the network is underloaded and Falcon is")
+	fmt.Println("neutral; at ten threads the overlay's serialized softirqs dominate")
+	fmt.Println("and Falcon's pipelining collapses both average and tail latency.")
+}

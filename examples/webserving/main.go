@@ -1,0 +1,65 @@
+// Web serving: the paper's Section 6.2 CloudSuite experiment. A
+// three-tier social-network stack — web workers, memcached, mysql, each
+// in its own container on the server host — serves an Elgg-style
+// operation mix to a closed-loop user population over the overlay.
+// Falcon's balanced softirq placement keeps page delivery off hot cores,
+// raising per-operation success rates and cutting response and delay
+// times (paper: up to +300% rate, -63% response, -53% delay).
+package main
+
+import (
+	"fmt"
+
+	falcon "falcon"
+	"falcon/internal/apps"
+)
+
+func run(falconOn bool) *apps.Web {
+	tb := falcon.NewTestbed(falcon.TestbedConfig{
+		LinkRate: 100 * falcon.Gbps, Cores: 12, Containers: 4,
+		RSSCores: []int{0}, RPSCores: []int{0},
+		GRO: true, InnerGRO: true,
+	})
+	if falconOn {
+		tb.EnableFalconOnServer(falcon.DefaultConfig([]int{0, 1, 2, 3, 4, 5}))
+		tb.Client.EnableFalcon(falcon.DefaultConfig([]int{0, 1, 2, 3, 4, 5}))
+	}
+	const until = 140 * falcon.Millisecond
+	w := apps.StartWeb(apps.WebConfig{
+		ServerHost: tb.Server,
+		WebCtr:     tb.ServerCtrs[0], CacheCtr: tb.ServerCtrs[1], DBCtr: tb.ServerCtrs[2],
+		WebCores: []int{8, 9}, CacheCore: 10, DBCore: 11,
+		WorkScale:  0.05,
+		ClientHost: tb.Client, ClientCtr: tb.ClientCtrs[0],
+		Users: 250, ClientCores: []int{6, 7, 8, 9},
+		ThinkTime: 500 * falcon.Microsecond,
+	}, until)
+	tb.Run(40 * falcon.Millisecond)
+	w.ResetMeasurement()
+	tb.Run(until)
+	return w
+}
+
+func main() {
+	fmt.Println("CloudSuite-style web serving: 250 users against a 3-tier Elgg stack")
+	fmt.Println()
+	con := run(false)
+	fal := run(true)
+	window := (100 * falcon.Millisecond).Seconds()
+
+	fmt.Printf("%-16s %12s %12s %9s %14s %14s\n",
+		"operation", "Con ops/s", "Falcon ops/s", "gain", "Con resp(us)", "Falcon resp(us)")
+	for i := range con.Stats {
+		c, f := con.Stats[i], fal.Stats[i]
+		if c.Completed.Value() == 0 {
+			continue
+		}
+		cr := float64(c.Completed.Value()) / window
+		fr := float64(f.Completed.Value()) / window
+		fmt.Printf("%-16s %12.0f %12.0f %8.0f%% %14.0f %14.0f\n",
+			c.Op.Name, cr, fr, (fr/cr-1)*100, c.Resp.Mean()/1e3, f.Resp.Mean()/1e3)
+	}
+	fmt.Println()
+	fmt.Println("pages fragment into MTU-sized packets; under the vanilla overlay")
+	fmt.Println("their softirqs serialize on one core and users queue behind it.")
+}

@@ -1,0 +1,122 @@
+package costmodel
+
+import (
+	"testing"
+
+	"falcon/internal/sim"
+)
+
+func TestFuncNames(t *testing.T) {
+	if FnVXLANRcv.String() != "vxlan_rcv" {
+		t.Fatalf("got %s", FnVXLANRcv)
+	}
+	if FnGROReceive.String() != "napi_gro_receive" {
+		t.Fatalf("got %s", FnGROReceive)
+	}
+	if Func(-1).String() != "unknown" || NumFuncs.String() != "unknown" {
+		t.Fatal("out-of-range names")
+	}
+	seen := map[string]bool{}
+	for f := Func(0); f < NumFuncs; f++ {
+		n := f.String()
+		if n == "" || n == "unknown" {
+			t.Fatalf("func %d has no name", f)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate func name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestCostScalesWithBytes(t *testing.T) {
+	m := Kernel419()
+	small := m.Cost(FnSKBAlloc, 64)
+	large := m.Cost(FnSKBAlloc, 4096)
+	if large <= small {
+		t.Fatal("per-byte cost not applied")
+	}
+	if m.Cost(FnBridge, 0) != m.Base(FnBridge) {
+		t.Fatal("base cost mismatch")
+	}
+}
+
+func TestKernelProfilesDiffer(t *testing.T) {
+	k4, k5 := Kernel419(), Kernel504()
+	if k4.Name == k5.Name {
+		t.Fatal("profiles share a name")
+	}
+	// 5.4 improved allocation...
+	if k5.Cost(FnSKBAlloc, 1500) >= k4.Cost(FnSKBAlloc, 1500) {
+		t.Fatal("5.4 allocation should be cheaper")
+	}
+	// ...but regressed GRO.
+	if k5.Cost(FnGROReceive, 4096) <= k4.Cost(FnGROReceive, 4096) {
+		t.Fatal("5.4 GRO should be costlier")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	a := Kernel419()
+	b := a.Clone()
+	b.Set(FnBridge, Entry{Base: 9999})
+	if a.Base(FnBridge) == 9999 {
+		t.Fatal("clone shares entries with original")
+	}
+	if b.Get(FnBridge).Base != 9999 {
+		t.Fatal("set/get mismatch")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("5.4").Name != "linux-5.4" {
+		t.Fatal("5.4 lookup failed")
+	}
+	if ByName("linux-5.4").Name != "linux-5.4" {
+		t.Fatal("linux-5.4 lookup failed")
+	}
+	if ByName("anything-else").Name != "linux-4.19" {
+		t.Fatal("default lookup failed")
+	}
+}
+
+func TestStage1SaturationShape(t *testing.T) {
+	// Paper Fig. 9a: under TCP 4 KB, skb_allocation and napi_gro_receive
+	// are comparable and together dominate the first stage.
+	m := Kernel419()
+	alloc := float64(m.Cost(FnSKBAlloc, 4096))
+	gro := float64(m.Cost(FnGROReceive, 4096))
+	ratio := alloc / gro
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("alloc/gro ratio = %.2f, want comparable (Fig. 9a)", ratio)
+	}
+	rest := float64(m.Base(FnNAPIPoll) + m.Base(FnNetifReceive) + m.Base(FnRPS))
+	if alloc+gro < rest {
+		t.Fatal("alloc+GRO should dominate stage 1 at 4 KB")
+	}
+}
+
+func TestOverlayCostExceedsHost(t *testing.T) {
+	// The overlay softirq path must be substantially more expensive than
+	// the host path for the same packet (the paper's root cause).
+	m := Kernel419()
+	host := m.Cost(FnNAPIPoll, 0) + m.Cost(FnSKBAlloc, 64) + m.Cost(FnGROReceive, 0) +
+		m.Cost(FnNetifReceive, 0) + m.Cost(FnIPRcv, 0) + m.Cost(FnUDPRcv, 0) + m.Cost(FnSocketDeliver, 0)
+	overlayExtra := m.Cost(FnVXLANRcv, 64) + m.Cost(FnGROCellPoll, 0) + m.Cost(FnNetifReceive, 0) +
+		m.Cost(FnBridge, 0) + m.Cost(FnVethXmit, 0) + m.Cost(FnBacklog, 0) +
+		m.Cost(FnIPRcv, 0) + m.Cost(FnUDPRcv, 0)
+	if float64(overlayExtra) < 0.8*float64(host) {
+		t.Fatalf("overlay extra (%v) should approach host path cost (%v)", overlayExtra, host)
+	}
+}
+
+func TestMigrationPenaltyPositive(t *testing.T) {
+	for _, m := range []*Model{Kernel419(), Kernel504()} {
+		if m.Migration() <= 0 {
+			t.Fatalf("%s: migration penalty must be positive", m.Name)
+		}
+		if m.Migration() > sim.Microsecond {
+			t.Fatalf("%s: migration penalty implausibly large", m.Name)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package cpu models a multi-core machine executing the kernel datapath:
+// cores with prioritized hardirq/softirq/task contexts, non-preemptive
+// work items, ksoftirqd-style anti-starvation, per-core accounting, and
+// the periodic timer tick that refreshes the system load estimate
+// Falcon's Algorithm 1 reads.
+package cpu
+
+import (
+	"fmt"
+
+	"falcon/internal/costmodel"
+	"falcon/internal/sim"
+	"falcon/internal/stats"
+	"falcon/internal/trace"
+)
+
+// ksoftirqdBatch bounds consecutive softirq items run while tasks are
+// waiting on the same core. After this many, one task item is allowed to
+// run — the simulation analogue of softirq work being deferred to
+// ksoftirqd under sustained load so user threads are not fully starved.
+const ksoftirqdBatch = 16
+
+// Machine is a simulated multi-core host.
+type Machine struct {
+	E     *sim.Engine
+	Model *costmodel.Model
+	Acct  *stats.CPUAccount
+	IRQ   *stats.IRQCounters
+	Load  *stats.LoadMeter
+	Prof  *trace.Profile
+
+	cores      []*Core
+	tickPeriod sim.Time
+	onTick     []func(now sim.Time)
+	ticker     *sim.Timer
+}
+
+// NewMachine builds a machine with n cores on engine e using the given
+// cost model. tickPeriod is the timer-tick interval used for load
+// estimation (the kernel's do_timer cadence; the paper samples
+// /proc/stat from it).
+func NewMachine(e *sim.Engine, model *costmodel.Model, n int, tickPeriod sim.Time) *Machine {
+	if n <= 0 {
+		panic("cpu: machine needs at least one core")
+	}
+	m := &Machine{
+		E:          e,
+		Model:      model,
+		Acct:       stats.NewCPUAccount(n),
+		IRQ:        stats.NewIRQCounters(n),
+		Load:       stats.NewLoadMeter(n, int64(tickPeriod)),
+		Prof:       trace.NewProfile(n),
+		tickPeriod: tickPeriod,
+	}
+	m.cores = make([]*Core, n)
+	for i := range m.cores {
+		m.cores[i] = &Core{id: i, m: m}
+	}
+	return m
+}
+
+// NumCores returns the core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core {
+	if i < 0 || i >= len(m.cores) {
+		panic(fmt.Sprintf("cpu: core %d out of range [0,%d)", i, len(m.cores)))
+	}
+	return m.cores[i]
+}
+
+// OnTick registers a callback invoked on every timer tick (after the
+// load meter refresh). Falcon registers its L_avg update here.
+func (m *Machine) OnTick(fn func(now sim.Time)) {
+	m.onTick = append(m.onTick, fn)
+}
+
+// StartTicker begins the periodic timer tick. Each tick refreshes the
+// load meter and counts a TIMER interrupt on core 0 (where the global
+// timer lands).
+func (m *Machine) StartTicker() {
+	if m.ticker != nil {
+		return
+	}
+	var tick func()
+	tick = func() {
+		now := m.E.Now()
+		m.IRQ.Inc(0, stats.IRQTimer)
+		m.Load.Tick(m.Acct, int64(now))
+		for _, fn := range m.onTick {
+			fn(now)
+		}
+		m.ticker = m.E.After(m.tickPeriod, tick)
+	}
+	m.ticker = m.E.After(m.tickPeriod, tick)
+}
+
+// StopTicker cancels the periodic tick (so Engine.Run can drain).
+func (m *Machine) StopTicker() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+		m.ticker = nil
+	}
+}
+
+// ResetMeasurement clears accounting, profile and IRQ counters at the
+// current time — used to discard warm-up before a measured window.
+func (m *Machine) ResetMeasurement() {
+	m.Acct.ResetAt(int64(m.E.Now()))
+	m.IRQ.Reset()
+	m.Prof.Reset()
+}
+
+// workItem is one non-preemptible slice of CPU work.
+type workItem struct {
+	ctx  stats.CPUContext
+	fn   costmodel.Func
+	cost sim.Time
+	run  func() // invoked when the slice completes; may submit more work
+}
+
+// Core is one CPU. Work is executed in strict context priority
+// (hardirq > softirq > task) with FIFO order within a context, except
+// for the ksoftirqd anti-starvation rule.
+type Core struct {
+	id   int
+	m    *Machine
+	hard []workItem
+	soft []workItem
+	task []workItem
+	busy bool
+
+	softStreak int // consecutive softirq items while tasks waited
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// Machine returns the owning machine.
+func (c *Core) Machine() *Machine { return c.m }
+
+// QueueLen returns the number of pending work items in ctx.
+func (c *Core) QueueLen(ctx stats.CPUContext) int {
+	switch ctx {
+	case stats.CtxHardIRQ:
+		return len(c.hard)
+	case stats.CtxSoftIRQ:
+		return len(c.soft)
+	case stats.CtxTask:
+		return len(c.task)
+	default:
+		return 0
+	}
+}
+
+// Idle reports whether the core has no running or queued work.
+func (c *Core) Idle() bool {
+	return !c.busy && len(c.hard) == 0 && len(c.soft) == 0 && len(c.task) == 0
+}
+
+// Submit enqueues a work slice of explicit cost. done may be nil.
+func (c *Core) Submit(ctx stats.CPUContext, fn costmodel.Func, cost sim.Time, done func()) {
+	item := workItem{ctx: ctx, fn: fn, cost: cost, run: done}
+	switch ctx {
+	case stats.CtxHardIRQ:
+		c.hard = append(c.hard, item)
+	case stats.CtxSoftIRQ:
+		c.soft = append(c.soft, item)
+	case stats.CtxTask:
+		c.task = append(c.task, item)
+	default:
+		panic("cpu: invalid submit context")
+	}
+	if !c.busy {
+		c.dispatch()
+	}
+}
+
+// Exec submits a slice whose cost is taken from the machine's cost model
+// for fn over bytes.
+func (c *Core) Exec(ctx stats.CPUContext, fn costmodel.Func, bytes int, done func()) {
+	c.Submit(ctx, fn, c.m.Model.Cost(fn, bytes), done)
+}
+
+func (c *Core) next() (workItem, bool) {
+	if len(c.hard) > 0 {
+		it := c.hard[0]
+		c.hard = c.hard[1:]
+		return it, true
+	}
+	// ksoftirqd rule: after a long softirq streak with tasks waiting,
+	// let one task slice through.
+	if len(c.task) > 0 && (len(c.soft) == 0 || c.softStreak >= ksoftirqdBatch) {
+		it := c.task[0]
+		c.task = c.task[1:]
+		c.softStreak = 0
+		return it, true
+	}
+	if len(c.soft) > 0 {
+		it := c.soft[0]
+		c.soft = c.soft[1:]
+		if len(c.task) > 0 {
+			c.softStreak++
+		} else {
+			c.softStreak = 0
+		}
+		return it, true
+	}
+	return workItem{}, false
+}
+
+func (c *Core) dispatch() {
+	item, ok := c.next()
+	if !ok {
+		c.busy = false
+		return
+	}
+	c.busy = true
+	c.m.E.After(item.cost, func() {
+		end := int64(c.m.E.Now())
+		c.m.Acct.Charge(c.id, item.ctx, int64(item.cost), end)
+		c.m.Prof.Charge(c.id, item.fn, int64(item.cost))
+		if item.run != nil {
+			item.run()
+		}
+		c.dispatch()
+	})
+}

@@ -1,0 +1,239 @@
+package cpu
+
+import (
+	"testing"
+
+	"falcon/internal/costmodel"
+	"falcon/internal/sim"
+	"falcon/internal/stats"
+)
+
+func newTestMachine(n int) (*sim.Engine, *Machine) {
+	e := sim.New(1)
+	m := NewMachine(e, costmodel.Kernel419(), n, sim.Millisecond)
+	return e, m
+}
+
+func TestMachineBasics(t *testing.T) {
+	_, m := newTestMachine(4)
+	if m.NumCores() != 4 {
+		t.Fatalf("cores = %d", m.NumCores())
+	}
+	if m.Core(2).ID() != 2 {
+		t.Fatal("core id mismatch")
+	}
+	if m.Core(0).Machine() != m {
+		t.Fatal("machine backref wrong")
+	}
+}
+
+func TestMachineCoreOutOfRangePanics(t *testing.T) {
+	_, m := newTestMachine(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Core(9) did not panic")
+		}
+	}()
+	m.Core(9)
+}
+
+func TestNewMachineZeroCoresPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero cores did not panic")
+		}
+	}()
+	NewMachine(sim.New(1), costmodel.Kernel419(), 0, sim.Millisecond)
+}
+
+func TestCoreExecutesAndCharges(t *testing.T) {
+	e, m := newTestMachine(1)
+	done := false
+	m.Core(0).Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 500, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("work item did not run")
+	}
+	if e.Now() != 500 {
+		t.Fatalf("completion at %v, want 500", e.Now())
+	}
+	if m.Acct.Busy(0, stats.CtxSoftIRQ) != 500 {
+		t.Fatalf("charged %d", m.Acct.Busy(0, stats.CtxSoftIRQ))
+	}
+	if m.Prof.Time(costmodel.FnBridge) != 500 {
+		t.Fatal("profile not charged")
+	}
+}
+
+func TestCoreSerializesWork(t *testing.T) {
+	e, m := newTestMachine(1)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		m.Core(0).Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 100, func() {
+			order = append(order, i)
+		})
+	}
+	e.Run()
+	if e.Now() != 300 {
+		t.Fatalf("three 100ns items finished at %v, want 300 (serialized)", e.Now())
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestCoresRunInParallel(t *testing.T) {
+	e, m := newTestMachine(2)
+	m.Core(0).Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 100, nil)
+	m.Core(1).Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 100, nil)
+	e.Run()
+	if e.Now() != 100 {
+		t.Fatalf("parallel items finished at %v, want 100", e.Now())
+	}
+}
+
+func TestHardIRQPriority(t *testing.T) {
+	e, m := newTestMachine(1)
+	var order []string
+	c := m.Core(0)
+	// Submit a long softirq first; while it runs, queue a task then a
+	// hardirq. The hardirq must run before the task.
+	c.Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 100, func() { order = append(order, "soft") })
+	c.Submit(stats.CtxTask, costmodel.FnAppWork, 100, func() { order = append(order, "task") })
+	c.Submit(stats.CtxHardIRQ, costmodel.FnHardIRQ, 100, func() { order = append(order, "hard") })
+	e.Run()
+	want := []string{"soft", "hard", "task"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSoftirqBeforeTask(t *testing.T) {
+	e, m := newTestMachine(1)
+	var order []string
+	c := m.Core(0)
+	c.Submit(stats.CtxHardIRQ, costmodel.FnHardIRQ, 10, func() {
+		c.Submit(stats.CtxTask, costmodel.FnAppWork, 10, func() { order = append(order, "task") })
+		c.Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 10, func() { order = append(order, "soft") })
+	})
+	e.Run()
+	if order[0] != "soft" || order[1] != "task" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestKsoftirqdAntiStarvation(t *testing.T) {
+	e, m := newTestMachine(1)
+	c := m.Core(0)
+	taskRan := false
+	// Queue one task, then a continuous stream of softirqs that always
+	// resubmit themselves. Without the anti-starvation rule the task
+	// would never run.
+	c.Submit(stats.CtxTask, costmodel.FnAppWork, 10, func() { taskRan = true })
+	var resubmit func()
+	count := 0
+	resubmit = func() {
+		count++
+		if count < 100 {
+			c.Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 10, resubmit)
+		}
+	}
+	c.Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 10, resubmit)
+	e.Run()
+	if !taskRan {
+		t.Fatal("task starved by continuous softirq stream")
+	}
+}
+
+func TestCoreIdleAndQueueLen(t *testing.T) {
+	e, m := newTestMachine(1)
+	c := m.Core(0)
+	if !c.Idle() {
+		t.Fatal("fresh core not idle")
+	}
+	c.Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 100, nil)
+	c.Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 100, nil)
+	if c.Idle() {
+		t.Fatal("busy core reported idle")
+	}
+	if c.QueueLen(stats.CtxSoftIRQ) != 1 { // one running, one queued
+		t.Fatalf("queue len = %d", c.QueueLen(stats.CtxSoftIRQ))
+	}
+	e.Run()
+	if !c.Idle() {
+		t.Fatal("drained core not idle")
+	}
+}
+
+func TestExecUsesModelCost(t *testing.T) {
+	e, m := newTestMachine(1)
+	m.Core(0).Exec(stats.CtxSoftIRQ, costmodel.FnBridge, 0, nil)
+	e.Run()
+	want := m.Model.Cost(costmodel.FnBridge, 0)
+	if e.Now() != want {
+		t.Fatalf("exec took %v, want %v", e.Now(), want)
+	}
+}
+
+func TestTickerUpdatesLoad(t *testing.T) {
+	e, m := newTestMachine(2)
+	m.StartTicker()
+	// Keep core 0 ~100% busy with softirq work for 10ms.
+	var feed func()
+	feed = func() {
+		if e.Now() < 10*sim.Millisecond {
+			m.Core(0).Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 100*sim.Microsecond, feed)
+		}
+	}
+	feed()
+	e.RunUntil(10 * sim.Millisecond)
+	m.StopTicker()
+	if l := m.Load.Load(0); l < 0.9 {
+		t.Fatalf("core 0 load = %v, want ~1", l)
+	}
+	if l := m.Load.Load(1); l != 0 {
+		t.Fatalf("core 1 load = %v, want 0", l)
+	}
+	if avg := m.Load.SystemAvg(); avg < 0.4 || avg > 0.6 {
+		t.Fatalf("system avg = %v, want ~0.5", avg)
+	}
+	if m.IRQ.Total(stats.IRQTimer) == 0 {
+		t.Fatal("no timer interrupts counted")
+	}
+}
+
+func TestOnTickCallback(t *testing.T) {
+	e, m := newTestMachine(1)
+	ticks := 0
+	m.OnTick(func(now sim.Time) { ticks++ })
+	m.StartTicker()
+	e.RunUntil(5 * sim.Millisecond)
+	m.StopTicker()
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	// StartTicker twice must not double-tick.
+	m.StartTicker()
+	m.StartTicker()
+	e.RunUntil(10 * sim.Millisecond)
+	m.StopTicker()
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+}
+
+func TestResetMeasurement(t *testing.T) {
+	e, m := newTestMachine(1)
+	m.Core(0).Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 100, nil)
+	m.IRQ.Inc(0, stats.IRQNetRX)
+	e.Run()
+	m.ResetMeasurement()
+	if m.Acct.TotalBusy(0) != 0 || m.IRQ.Total(stats.IRQNetRX) != 0 || m.Prof.Total() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

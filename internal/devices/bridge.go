@@ -1,0 +1,48 @@
+package devices
+
+import (
+	"falcon/internal/proto"
+	"falcon/internal/stats"
+)
+
+// Bridge is a learning L2 switch (the Linux bridge containers attach to
+// through veth ports). br_handle_frame looks up the destination MAC in
+// the forwarding database and hands the frame to the matching port.
+type Bridge struct {
+	Name    string
+	Ifindex int
+
+	fdb   map[proto.MAC]int // MAC -> port id
+	ports []string
+
+	Flooded stats.Counter // frames with no FDB entry
+}
+
+// NewBridge returns an empty bridge.
+func NewBridge(name string, ifindex int) *Bridge {
+	return &Bridge{Name: name, Ifindex: ifindex, fdb: make(map[proto.MAC]int)}
+}
+
+// AddPort registers a port (e.g. a veth endpoint) and returns its id.
+func (b *Bridge) AddPort(name string) int {
+	b.ports = append(b.ports, name)
+	return len(b.ports) - 1
+}
+
+// Learn records that src is reachable via port.
+func (b *Bridge) Learn(src proto.MAC, port int) { b.fdb[src] = port }
+
+// Lookup returns the port for dst, or -1 (flood) when unknown.
+func (b *Bridge) Lookup(dst proto.MAC) int {
+	if p, ok := b.fdb[dst]; ok {
+		return p
+	}
+	b.Flooded.Inc()
+	return -1
+}
+
+// NumPorts returns the number of attached ports.
+func (b *Bridge) NumPorts() int { return len(b.ports) }
+
+// FDBSize returns the number of learned entries.
+func (b *Bridge) FDBSize() int { return len(b.fdb) }

@@ -1,0 +1,131 @@
+// Package devices implements the network devices on the paper's data
+// path: the physical NIC (rx rings, NAPI, RSS, GRO, hardware interrupt
+// coalescing), the point-to-point link with real serialization delay,
+// the Linux bridge (learning FDB), and veth pairs — plus the composed
+// receive pipeline (rxpath.go) that chains them exactly as Figure 8
+// shows, with Falcon's stage transitions at each device boundary.
+package devices
+
+import (
+	"falcon/internal/sim"
+	"falcon/internal/skb"
+	"falcon/internal/stats"
+)
+
+// Gbps expresses link rates.
+const Gbps = 1e9
+
+// ethOverheadBytes approximates per-frame wire overhead beyond the
+// Ethernet header already present in the frame: preamble, SFD, FCS and
+// inter-frame gap.
+const ethOverheadBytes = 24
+
+// DefaultTxQueueLen mirrors Linux's default NIC qdisc length.
+const DefaultTxQueueLen = 1000
+
+// Link is a unidirectional point-to-point wire with finite bandwidth, a
+// bounded transmit queue, and propagation delay. Frames serialize in
+// FIFO order; a full queue drops (the sender-side bottleneck the paper
+// hits in 16 B single-client UDP tests).
+type Link struct {
+	E *sim.Engine
+	// RateBitsPerSec is the link speed (10 Gb/s and 100 Gb/s in the
+	// paper's testbed).
+	RateBitsPerSec float64
+	// Delay is one-way propagation latency (direct cable: sub-µs).
+	Delay sim.Time
+	// Deliver receives each frame at the far end.
+	Deliver func(s *skb.SKB)
+
+	// TxQueueLen bounds frames in flight on the serializer (0 = default).
+	TxQueueLen int
+
+	// MTU, when positive, is the largest IP packet the wire carries;
+	// senders must fragment beyond it (0 = jumbo-frame mode, the
+	// default, modelling GSO/TSO offloads).
+	MTU int
+
+	// Failure injection. LossRate drops each frame independently with
+	// the given probability; Jitter adds a uniform random delay in
+	// [0, Jitter] to each frame without reordering the wire (delays are
+	// monotonized, as on a real point-to-point link).
+	LossRate float64
+	Jitter   sim.Time
+
+	busyUntil   sim.Time
+	lastArrival sim.Time
+	queued      int
+	rng         *sim.Rand
+
+	Sent    stats.Counter
+	Dropped stats.Counter
+	// Lost counts frames destroyed by injected loss (distinct from
+	// queue-overflow drops).
+	Lost stats.Counter
+}
+
+// NewLink builds a link of the given rate on engine e.
+func NewLink(e *sim.Engine, rateBitsPerSec float64, delay sim.Time) *Link {
+	return &Link{
+		E: e, RateBitsPerSec: rateBitsPerSec, Delay: delay,
+		TxQueueLen: DefaultTxQueueLen, rng: e.Rand().Fork(),
+	}
+}
+
+// SerializationTime returns how long a frame of n bytes occupies the wire.
+func (l *Link) SerializationTime(n int) sim.Time {
+	bits := float64(n+ethOverheadBytes) * 8
+	return sim.Time(bits / l.RateBitsPerSec * 1e9)
+}
+
+// QueueLen returns frames currently queued or serializing.
+func (l *Link) QueueLen() int { return l.queued }
+
+// Send enqueues a frame for transmission. It reports false when the
+// transmit queue is full (frame dropped).
+func (l *Link) Send(s *skb.SKB) bool {
+	limit := l.TxQueueLen
+	if limit <= 0 {
+		limit = DefaultTxQueueLen
+	}
+	if l.queued >= limit {
+		l.Dropped.Inc()
+		return false
+	}
+	now := l.E.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	txEnd := start + l.SerializationTime(s.Len())
+	l.busyUntil = txEnd
+	l.queued++
+	if s.WireTime == 0 {
+		s.WireTime = now
+	}
+	l.Sent.Inc()
+	arrival := txEnd + l.Delay
+	if l.Jitter > 0 {
+		arrival += sim.Time(l.rng.Intn(int(l.Jitter) + 1))
+		if arrival < l.lastArrival {
+			arrival = l.lastArrival // no reordering on the wire
+		}
+		l.lastArrival = arrival
+	}
+	lost := l.LossRate > 0 && l.rng.Float64() < l.LossRate
+	l.E.At(arrival, func() {
+		l.queued--
+		if lost {
+			l.Lost.Inc()
+			return
+		}
+		if l.Deliver != nil {
+			l.Deliver(s)
+		}
+	})
+	return true
+}
+
+// Utilization returns the fraction of time [since, now] the wire was busy
+// — approximated by whether the serializer is backed up.
+func (l *Link) Busy() bool { return l.busyUntil > l.E.Now() }

@@ -1,0 +1,200 @@
+package devices
+
+import (
+	"falcon/internal/costmodel"
+	"falcon/internal/gro"
+	"falcon/internal/netdev"
+	"falcon/internal/sim"
+	"falcon/internal/skb"
+	"falcon/internal/stats"
+	"falcon/internal/steering"
+)
+
+// DefaultRingSize is the per-queue receive ring capacity.
+const DefaultRingSize = 4096
+
+// DefaultNAPIBudget is packets processed per softirq activation before
+// the poll yields (net_rx_action's budget).
+const DefaultNAPIBudget = 64
+
+// DefaultModeration is the adaptive interrupt-moderation window: after a
+// NAPI cycle completes, the next hardirq is held off this long so
+// back-to-back traffic accumulates into poll batches (and GRO gets
+// segments to merge). An arrival after a quiet period interrupts
+// immediately, so idle-flow latency is unaffected — the "adaptive
+// interrupt coalescing" the paper's testbed enables.
+const DefaultModeration = 12 * sim.Microsecond
+
+// PNIC is a multi-queue physical NIC on the receive side: RSS spreads
+// flows across queues, each queue's hardirq is affined to a core, and a
+// NAPI poll loop drains the ring in softirq context with interrupt
+// coalescing (no further hardirqs while polling) and optional GRO.
+type PNIC struct {
+	St      *netdev.Stack
+	Name    string
+	Ifindex int
+
+	RSS        steering.RSS
+	GROEnabled bool
+	RingSize   int
+	Budget     int
+	// Moderation is the interrupt-coalescing window (0 = default;
+	// negative = disabled).
+	Moderation sim.Time
+
+	// OnReceive continues the stack after poll+alloc(+GRO merge): it is
+	// the netif_receive_skb entry installed by the receive path builder.
+	OnReceive netdev.Handler
+
+	queues map[int]*nicQueue
+
+	// Drops counts frames rejected by full rings.
+	Drops stats.Counter
+	// HardIRQs counts interrupt activations (coalesced).
+	HardIRQs stats.Counter
+}
+
+type nicQueue struct {
+	core         int
+	ring         *skb.Queue
+	active       bool
+	gro          *gro.Engine
+	lastComplete sim.Time // when the previous NAPI cycle finished
+	irqArmed     bool     // a delayed (moderated) hardirq is scheduled
+}
+
+// NewPNIC builds a NIC registered on stack st.
+func NewPNIC(st *netdev.Stack, name string, rss steering.RSS, groOn bool) *PNIC {
+	return &PNIC{
+		St:         st,
+		Name:       name,
+		Ifindex:    st.RegisterDevice(name),
+		RSS:        rss,
+		GROEnabled: groOn,
+		RingSize:   DefaultRingSize,
+		Budget:     DefaultNAPIBudget,
+		queues:     make(map[int]*nicQueue),
+	}
+}
+
+func (n *PNIC) queue(core int) *nicQueue {
+	q, ok := n.queues[core]
+	if !ok {
+		q = &nicQueue{core: core, ring: skb.NewQueue(n.RingSize), gro: gro.New()}
+		n.queues[core] = q
+	}
+	return q
+}
+
+// RingLen returns the rx ring depth of the queue affined to core.
+func (n *PNIC) RingLen(core int) int { return n.queue(core).ring.Len() }
+
+// Arrive is the link-delivery entry: DMA into the RSS-selected queue's
+// ring and raise a (coalesced) hardirq. The receiving host starts from a
+// fresh sk_buff: sender-side hash and core affinity do not carry over
+// the wire.
+func (n *PNIC) Arrive(s *skb.SKB) {
+	s.ResetFlowHash()
+	s.LastCore = -1
+	s.Migrations = 0
+	if err := s.SetFlowHash(); err != nil {
+		n.Drops.Inc()
+		return
+	}
+	s.IfIndex = n.Ifindex
+	q := n.queue(n.RSS.CoreFor(s.Hash))
+	if !q.ring.Enqueue(s) {
+		n.Drops.Inc()
+		return
+	}
+	if q.active || q.irqArmed {
+		return // NAPI polling or a moderated interrupt pending
+	}
+	mod := n.Moderation
+	if mod == 0 {
+		mod = DefaultModeration
+	}
+	now := n.St.M.E.Now()
+	fire := func() {
+		q.irqArmed = false
+		if q.active || q.ring.Len() == 0 {
+			return
+		}
+		q.active = true
+		n.HardIRQs.Inc()
+		core := n.St.M.Core(q.core)
+		n.St.M.IRQ.Inc(q.core, stats.IRQHard)
+		core.Exec(stats.CtxHardIRQ, costmodel.FnHardIRQ, 0, func() {
+			n.raiseNetRX(q)
+		})
+	}
+	if hold := q.lastComplete + mod - now; mod > 0 && hold > 0 {
+		q.irqArmed = true
+		n.St.M.E.After(hold, fire)
+		return
+	}
+	fire()
+}
+
+// raiseNetRX schedules one softirq activation of the poll loop.
+func (n *PNIC) raiseNetRX(q *nicQueue) {
+	n.St.M.IRQ.Inc(q.core, stats.IRQNetRX)
+	core := n.St.M.Core(q.core)
+	core.Exec(stats.CtxSoftIRQ, costmodel.FnSoftIRQEntry, 0, func() {
+		n.poll(q, n.Budget)
+	})
+}
+
+// poll drains up to budget packets: per packet it charges the poll and
+// skb-allocation costs, then feeds GRO. When the ring empties or the
+// budget runs out, held GRO super-packets flush and the batch is handed
+// to OnReceive in order.
+func (n *PNIC) poll(q *nicQueue, budget int) {
+	core := n.St.M.Core(q.core)
+	if budget == 0 || q.ring.Len() == 0 {
+		n.flushAndDeliver(q, q.ring.Len() > 0)
+		return
+	}
+	s := q.ring.Dequeue()
+	s.Touch(q.core)
+	steps := []netdev.Step{
+		{Fn: costmodel.FnNAPIPoll},
+		{Fn: costmodel.FnSKBAlloc, Bytes: s.Len()},
+	}
+	netdev.RunChain(core, stats.CtxSoftIRQ, steps, func() {
+		var out *skb.SKB
+		if n.GROEnabled {
+			out = q.gro.Push(s)
+		} else {
+			out = s
+		}
+		if out != nil {
+			n.OnReceive(core, out, func() { n.poll(q, budget-1) })
+			return
+		}
+		n.poll(q, budget-1)
+	})
+}
+
+// flushAndDeliver releases GRO state and either re-arms the poll (budget
+// exhausted with work remaining → a fresh NET_RX activation) or
+// completes the NAPI cycle, re-enabling the hardirq.
+func (n *PNIC) flushAndDeliver(q *nicQueue, more bool) {
+	core := n.St.M.Core(q.core)
+	flushed := q.gro.Flush()
+	var deliver func(i int)
+	deliver = func(i int) {
+		if i < len(flushed) {
+			n.OnReceive(core, flushed[i], func() { deliver(i + 1) })
+			return
+		}
+		if more || q.ring.Len() > 0 {
+			n.raiseNetRX(q)
+			return
+		}
+		// napi_complete: re-enable the (moderated) hardirq.
+		q.active = false
+		q.lastComplete = n.St.M.E.Now()
+	}
+	deliver(0)
+}

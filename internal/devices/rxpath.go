@@ -1,0 +1,340 @@
+package devices
+
+import (
+	"falcon/internal/costmodel"
+	"falcon/internal/cpu"
+	"falcon/internal/gro"
+	"falcon/internal/ipfrag"
+	"falcon/internal/netdev"
+	"falcon/internal/proto"
+	"falcon/internal/sim"
+	"falcon/internal/skb"
+	"falcon/internal/stats"
+	"falcon/internal/steering"
+)
+
+// CPUSelector abstracts Falcon's placement decisions so the datapath
+// does not depend on the core package. A nil selector is the vanilla
+// kernel (stages stay on the current core).
+type CPUSelector interface {
+	// GetCPU returns the core for the next stage of s at device ifindex
+	// and whether Falcon placement applies.
+	GetCPU(s *skb.SKB, ifindex int) (int, bool)
+	// GROSplitOn reports whether the pNIC stage should be split before
+	// napi_gro_receive.
+	GROSplitOn() bool
+}
+
+// RxPath is the composed receive pipeline of one host (paper Fig. 8):
+//
+//	pNIC poll/alloc [→ Falcon GRO split] → GRO → netif_receive → RPS hop
+//	→ ip_rcv → (host: L4) | (overlay: udp_rcv → vxlan_rcv decap
+//	[→ Falcon hop] → gro_cell_poll → inner GRO → bridge → veth_xmit
+//	[→ Falcon hop] → process_backlog → inner ip_rcv → L4)
+//
+// L4 handling (udp_rcv/tcp_v4_rcv + socket or transport delivery) is
+// delegated to DeliverL4, installed by the overlay builder.
+type RxPath struct {
+	St  *netdev.Stack
+	NIC *PNIC
+	RPS steering.RPS
+
+	// Falcon, when non-nil, pipelines stages across FALCON_CPUS.
+	Falcon CPUSelector
+
+	// Overlay wiring (nil Bridge means host-network mode for all
+	// traffic).
+	VXLANIf   int
+	Bridge    *Bridge
+	VethByMAC map[proto.MAC]*Veth
+
+	// InnerGRO enables GRO at the VXLAN gro_cells stage (inner TCP
+	// flows), as the kernel's gro_cells do.
+	InnerGRO bool
+
+	// DeliverL4 terminates the path: it must charge L4 costs and hand
+	// the packet to a socket or transport endpoint.
+	DeliverL4 netdev.Handler
+
+	// Reasm is the host's IP reassembly queue (created on first
+	// fragment; only exercised in MTU mode).
+	Reasm *ipfrag.Reassembler
+
+	// Decapped counts packets that took the overlay branch; HostPath
+	// counts packets delivered natively.
+	Decapped stats.Counter
+	HostPath stats.Counter
+	// PathDrops counts packets discarded inside the path (unparsable,
+	// unknown MAC).
+	PathDrops stats.Counter
+
+	innerGRO map[int]*gro.Engine // per-core gro_cells engines
+}
+
+// Install wires the path into its NIC. Call once after filling fields.
+func (rx *RxPath) Install() {
+	if rx.innerGRO == nil {
+		rx.innerGRO = make(map[int]*gro.Engine)
+	}
+	rx.NIC.OnReceive = rx.afterAlloc
+}
+
+// afterAlloc runs on the NAPI core once poll+alloc are charged. With
+// Falcon GRO splitting, everything from napi_gro_receive onward moves to
+// a Falcon core (Section 4.2); otherwise it continues inline. The split
+// applies only to TCP frames: GRO is a no-op for UDP, so moving UDP
+// packets would pay the hop for nothing (the paper's Section 6.4
+// observation that GRO splitting "does not take effect" for UDP).
+func (rx *RxPath) afterAlloc(c *cpu.Core, s *skb.SKB, done func()) {
+	if rx.Falcon != nil && rx.Falcon.GROSplitOn() && gro.TCPBytes(s.Data) > 0 {
+		if target, ok := rx.Falcon.GetCPU(s, rx.NIC.Ifindex); ok && target != c.ID() {
+			// A full backlog is already counted by the stack's drop
+			// counter; nothing extra to account here.
+			rx.St.NetifRx(c, target, s, rx.groStage)
+			done()
+			return
+		}
+	}
+	rx.groStage(c, s, done)
+}
+
+// groStage charges napi_gro_receive. The per-byte merge work applies to
+// TCP frames (segment folding + checksum); UDP and VXLAN-in-UDP outer
+// frames only pay the base lookup.
+func (rx *RxPath) groStage(c *cpu.Core, s *skb.SKB, done func()) {
+	bytes := gro.TCPBytes(s.Data)
+	segs := s.Segs
+	if segs < 1 {
+		segs = 1
+	}
+	e := rx.St.M.Model.Get(costmodel.FnGROReceive)
+	cost := sim.Time(e.Base*float64(segs) + e.PerByte*float64(bytes))
+	c.Submit(stats.CtxSoftIRQ, costmodel.FnGROReceive, cost, func() {
+		rx.netifStage(c, s, done)
+	})
+}
+
+// netifStage charges netif_receive_skb and applies RPS steering — the
+// first and only steering point the vanilla kernel gives a flow.
+func (rx *RxPath) netifStage(c *cpu.Core, s *skb.SKB, done func()) {
+	steps := []netdev.Step{
+		{Fn: costmodel.FnNetifReceive},
+		{Fn: costmodel.FnRPS},
+	}
+	netdev.RunChain(c, stats.CtxSoftIRQ, steps, func() {
+		target := rx.RPS.CPUFor(s.Hash, c.ID())
+		if target != c.ID() {
+			rx.St.NetifRx(c, target, s, rx.l3Backlog)
+			done()
+			return
+		}
+		rx.l3Stage(c, s, done)
+	})
+}
+
+// l3Backlog is l3Stage reached through a backlog (charges the
+// process_backlog poll cost first).
+func (rx *RxPath) l3Backlog(c *cpu.Core, s *skb.SKB, done func()) {
+	c.Exec(stats.CtxSoftIRQ, costmodel.FnBacklog, 0, func() {
+		rx.l3Stage(c, s, done)
+	})
+}
+
+// l3Stage runs ip_rcv and branches: IP fragments go to reassembly,
+// VXLAN frames to the decapsulation path, the rest to native delivery.
+func (rx *RxPath) l3Stage(c *cpu.Core, s *skb.SKB, done func()) {
+	c.Exec(stats.CtxSoftIRQ, costmodel.FnIPRcv, 0, func() {
+		if isFragment(s.Data) {
+			rx.reassemble(c, s, done)
+			return
+		}
+		if rx.Bridge != nil && proto.IsVXLAN(s.Data) {
+			rx.vxlanRcv(c, s, done)
+			return
+		}
+		rx.HostPath.Inc()
+		rx.DeliverL4(c, s, done)
+	})
+}
+
+// reassemble feeds an IP fragment to the host's reassembly queue
+// (ip_defrag); when the datagram completes it pays the rebuild copy and
+// re-enters l3 processing as a whole packet.
+func (rx *RxPath) reassemble(c *cpu.Core, s *skb.SKB, done func()) {
+	if rx.Reasm == nil {
+		rx.Reasm = ipfrag.NewReassembler()
+	}
+	whole, err := rx.Reasm.Add(s.Data, rx.St.M.E.Now())
+	if err != nil {
+		rx.PathDrops.Inc()
+		done()
+		return
+	}
+	if whole == nil {
+		done() // datagram incomplete; fragment absorbed
+		return
+	}
+	s.Data = whole
+	// The linearization copy of the completed datagram.
+	c.Exec(stats.CtxSoftIRQ, costmodel.FnSKBAlloc, len(whole), func() {
+		rx.l3Stage(c, s, done)
+	})
+}
+
+// isFragment peeks at the IPv4 flags without a full dissect.
+func isFragment(frame []byte) bool {
+	if len(frame) < proto.EthLen+proto.IPv4Len {
+		return false
+	}
+	flags := uint16(frame[proto.EthLen+6])<<8 | uint16(frame[proto.EthLen+7])
+	return flags&0x2000 != 0 || flags&0x1FFF != 0
+}
+
+// vxlanRcv charges the outer udp_rcv plus vxlan_rcv, performs the real
+// decapsulation, and ends stage 1: the packet transitions to the VXLAN
+// device's stage (Falcon: on another core; vanilla: same core).
+func (rx *RxPath) vxlanRcv(c *cpu.Core, s *skb.SKB, done func()) {
+	steps := []netdev.Step{
+		{Fn: costmodel.FnUDPRcv},
+		{Fn: costmodel.FnVXLANRcv, Bytes: s.Len()},
+	}
+	netdev.RunChain(c, stats.CtxSoftIRQ, steps, func() {
+		inner, _, err := proto.Decapsulate(s.Data)
+		if err != nil {
+			rx.PathDrops.Inc()
+			done()
+			return
+		}
+		s.Data = inner
+		s.IfIndex = rx.VXLANIf
+		rx.Decapped.Inc()
+		rx.transition(c, s, rx.VXLANIf, rx.vxlanBacklog, done)
+	})
+}
+
+// vxlanBacklog is vxlanStage reached through a backlog.
+func (rx *RxPath) vxlanBacklog(c *cpu.Core, s *skb.SKB, done func()) {
+	rx.vxlanStage(c, s, done)
+}
+
+// vxlanStage is the VXLAN device's softirq: gro_cell_poll picks the
+// inner packet up, optionally GRO-merges inner TCP segments, then the
+// frame crosses the bridge and veth pair.
+func (rx *RxPath) vxlanStage(c *cpu.Core, s *skb.SKB, done func()) {
+	c.Exec(stats.CtxSoftIRQ, costmodel.FnGROCellPoll, s.Len(), func() {
+		if !rx.InnerGRO {
+			rx.bridgeStage(c, s, done)
+			return
+		}
+		eng := rx.innerGRO[c.ID()]
+		if eng == nil {
+			eng = gro.New()
+			rx.innerGRO[c.ID()] = eng
+		}
+		// Charge inner GRO (per-byte for TCP only; Push ignores others).
+		bytes := 0
+		if isTCP(s.Data) && s.Segs == 1 {
+			bytes = s.Len()
+		}
+		c.Exec(stats.CtxSoftIRQ, costmodel.FnGROReceive, bytes, func() {
+			out := eng.Push(s)
+			// Flush at the end of the gro_cells batch (backlog drained),
+			// the analogue of napi_gro_flush when the poll completes.
+			items := make([]*skb.SKB, 0, 2)
+			if out != nil {
+				items = append(items, out)
+			}
+			if rx.St.BacklogLen(c.ID()) == 0 {
+				items = append(items, eng.Flush()...)
+			}
+			var run func(i int)
+			run = func(i int) {
+				if i < len(items) {
+					rx.bridgeStage(c, items[i], func() { run(i + 1) })
+					return
+				}
+				done()
+			}
+			run(0)
+		})
+	})
+}
+
+// bridgeStage charges br_handle_frame, resolves the destination
+// container's veth port via the FDB, charges veth_xmit, and ends stage
+// 2: the packet transitions to the veth device's stage.
+func (rx *RxPath) bridgeStage(c *cpu.Core, s *skb.SKB, done func()) {
+	steps := []netdev.Step{
+		{Fn: costmodel.FnNetifReceive},
+		{Fn: costmodel.FnBridge},
+	}
+	netdev.RunChain(c, stats.CtxSoftIRQ, steps, func() {
+		eth, err := proto.ParseEthernet(s.Data)
+		if err != nil {
+			rx.PathDrops.Inc()
+			done()
+			return
+		}
+		veth, ok := rx.VethByMAC[eth.Dst]
+		if !ok {
+			rx.Bridge.Flooded.Inc()
+			rx.PathDrops.Inc()
+			done()
+			return
+		}
+		c.Exec(stats.CtxSoftIRQ, costmodel.FnVethXmit, 0, func() {
+			s.IfIndex = veth.Ifindex
+			rx.transition(c, s, veth.Ifindex, rx.vethBacklog, done)
+		})
+	})
+}
+
+// isTCP is a cheap L4 check (IP protocol byte) without a full dissect.
+func isTCP(frame []byte) bool {
+	const protoOff = proto.EthLen + 9
+	return len(frame) > protoOff && frame[proto.EthLen]>>4 == 4 && frame[protoOff] == proto.ProtoTCP
+}
+
+// InjectLocal delivers a frame destined to a local container without
+// touching the NIC: the transmit path of same-host container-to-container
+// traffic enqueues directly into the veth stage's backlog on the given
+// core (netif_rx from the sender's context).
+func (rx *RxPath) InjectLocal(from *cpu.Core, core int, s *skb.SKB) bool {
+	return rx.St.NetifRx(from, core, s, rx.vethBacklog)
+}
+
+// vethBacklog is vethStage reached through a backlog: veth is not a
+// NAPI device, so process_backlog polls it (the paper's third softirq).
+func (rx *RxPath) vethBacklog(c *cpu.Core, s *skb.SKB, done func()) {
+	c.Exec(stats.CtxSoftIRQ, costmodel.FnBacklog, s.Len(), func() {
+		rx.vethStage(c, s, done)
+	})
+}
+
+// vethStage runs the container's private stack: netif_receive + ip_rcv,
+// then L4 delivery.
+func (rx *RxPath) vethStage(c *cpu.Core, s *skb.SKB, done func()) {
+	steps := []netdev.Step{
+		{Fn: costmodel.FnNetifReceive},
+		{Fn: costmodel.FnIPRcv},
+	}
+	netdev.RunChain(c, stats.CtxSoftIRQ, steps, func() {
+		rx.DeliverL4(c, s, done)
+	})
+}
+
+// transition implements the stage boundary at a device: netif_rx always
+// enqueues to a per-CPU backlog and raises a softirq (so the vanilla
+// overlay pays its three softirqs per packet on one core, paper Fig. 4);
+// with Falcon active the target backlog is the device-hashed core
+// instead of the current one (Algorithm 1, line 7).
+func (rx *RxPath) transition(c *cpu.Core, s *skb.SKB, ifindex int, viaBacklog netdev.Handler, done func()) {
+	target := c.ID()
+	if rx.Falcon != nil {
+		if t, ok := rx.Falcon.GetCPU(s, ifindex); ok {
+			target = t
+		}
+	}
+	rx.St.NetifRx(c, target, s, viaBacklog)
+	done()
+}

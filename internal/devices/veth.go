@@ -1,0 +1,32 @@
+package devices
+
+import "falcon/internal/proto"
+
+// Veth is one end of a virtual Ethernet pair. The bridge-side end gates
+// a container's private network: veth_xmit on one end emerges as a
+// receive on the peer, entering the container's stack through the
+// per-CPU backlog (veth is not a NAPI device, so process_backlog polls
+// it — the third softirq of the paper's Figure 3).
+type Veth struct {
+	Name    string
+	Ifindex int
+	MAC     proto.MAC
+
+	peer *Veth
+
+	// ContainerID identifies the container the pair serves (instrument-
+	// ation only).
+	ContainerID int
+}
+
+// NewVethPair creates both ends, already peered: the bridge-side end
+// (attached to the host bridge) and the container-side end.
+func NewVethPair(bridgeSide, containerSide string, bridgeIf, containerIf int, mac proto.MAC, containerID int) (*Veth, *Veth) {
+	b := &Veth{Name: bridgeSide, Ifindex: bridgeIf, MAC: mac, ContainerID: containerID}
+	c := &Veth{Name: containerSide, Ifindex: containerIf, MAC: mac, ContainerID: containerID}
+	b.peer, c.peer = c, b
+	return b, c
+}
+
+// Peer returns the other end of the pair.
+func (v *Veth) Peer() *Veth { return v.peer }

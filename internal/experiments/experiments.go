@@ -1,0 +1,90 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (Section 2.2 motivation and Section 6). Each experiment is
+// a named harness that builds the right testbed, drives the paper's
+// workload, and emits stats.Tables shaped like the figure's rows/series.
+// EXPERIMENTS.md records paper-vs-measured for each id.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"falcon/internal/sim"
+	"falcon/internal/stats"
+)
+
+// Options tunes a run.
+type Options struct {
+	// Kernel selects the cost profile ("linux-4.19" default).
+	Kernel string
+	// Quick shortens measurement windows (used by tests; benchmarks and
+	// the CLI use full windows).
+	Quick bool
+	// Seed for determinism (0 → 1).
+	Seed uint64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// warmup/window return the measurement phases.
+func (o Options) warmup() sim.Time {
+	if o.Quick {
+		return 5 * sim.Millisecond
+	}
+	return 15 * sim.Millisecond
+}
+
+func (o Options) window() sim.Time {
+	if o.Quick {
+		return 10 * sim.Millisecond
+	}
+	return 40 * sim.Millisecond
+}
+
+// Experiment is one reproducible figure/table.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) []*stats.Table
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(Options) []*stats.Table) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment, sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Formatting helpers shared by the harnesses.
+
+func fKpps(pps float64) string { return fmt.Sprintf("%.1f", pps/1e3) }
+
+func fGbps(g float64) string { return fmt.Sprintf("%.2f", g) }
+
+func fUs(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1e3) }
+
+func fPct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+func fRatio(x float64) string { return fmt.Sprintf("%.2fx", x) }

@@ -1,0 +1,172 @@
+package gro
+
+import (
+	"bytes"
+	"testing"
+
+	"falcon/internal/proto"
+	"falcon/internal/skb"
+)
+
+func tcpSeg(srcPort uint16, seq uint32, payload []byte) *skb.SKB {
+	frame := proto.BuildTCPFrame(proto.MACFromUint64(1), proto.MACFromUint64(2),
+		proto.IP4(10, 0, 0, 1), proto.IP4(10, 0, 0, 2),
+		proto.TCPHdr{SrcPort: srcPort, DstPort: 80, Seq: seq, Flags: proto.TCPAck, Window: 65535},
+		0, payload)
+	return skb.New(frame)
+}
+
+func udpPkt() *skb.SKB {
+	return skb.New(proto.BuildUDPFrame(proto.MACFromUint64(1), proto.MACFromUint64(2),
+		proto.IP4(10, 0, 0, 1), proto.IP4(10, 0, 0, 2), 100, 200, 0, []byte("u")))
+}
+
+func payloadOf(t *testing.T, s *skb.SKB) []byte {
+	t.Helper()
+	f, err := proto.ParseFrame(s.Data)
+	if err != nil {
+		t.Fatalf("merged frame does not parse: %v", err)
+	}
+	return f.Payload
+}
+
+func TestUDPPassesThrough(t *testing.T) {
+	e := New()
+	p := udpPkt()
+	if got := e.Push(p); got != p {
+		t.Fatal("UDP packet not passed through")
+	}
+	if e.HeldCount() != 0 {
+		t.Fatal("UDP packet held")
+	}
+}
+
+func TestUnparsablePassesThrough(t *testing.T) {
+	e := New()
+	p := skb.New([]byte{1, 2, 3})
+	if got := e.Push(p); got != p {
+		t.Fatal("garbage not passed through")
+	}
+}
+
+func TestControlSegmentsPassThrough(t *testing.T) {
+	e := New()
+	syn := tcpSeg(5000, 0, nil)
+	// Zero-payload control packet passes straight through.
+	if got := e.Push(syn); got != syn {
+		t.Fatal("SYN-ish zero payload segment held")
+	}
+}
+
+func TestContiguousSegmentsMerge(t *testing.T) {
+	e := New()
+	a := tcpSeg(5000, 1000, bytes.Repeat([]byte{'a'}, 100))
+	b := tcpSeg(5000, 1100, bytes.Repeat([]byte{'b'}, 100))
+	c := tcpSeg(5000, 1200, bytes.Repeat([]byte{'c'}, 100))
+	if e.Push(a) != nil || e.Push(b) != nil || e.Push(c) != nil {
+		t.Fatal("contiguous segments not absorbed")
+	}
+	out := e.Flush()
+	if len(out) != 1 {
+		t.Fatalf("flush returned %d packets, want 1", len(out))
+	}
+	m := out[0]
+	if m.Segs != 3 {
+		t.Fatalf("segs = %d, want 3", m.Segs)
+	}
+	pl := payloadOf(t, m)
+	if len(pl) != 300 || pl[0] != 'a' || pl[100] != 'b' || pl[200] != 'c' {
+		t.Fatalf("merged payload wrong: len=%d", len(pl))
+	}
+	if e.Merged != 2 {
+		t.Fatalf("merged counter = %d, want 2", e.Merged)
+	}
+}
+
+func TestNonContiguousReleasesHeld(t *testing.T) {
+	e := New()
+	a := tcpSeg(5000, 1000, bytes.Repeat([]byte{'a'}, 100))
+	gap := tcpSeg(5000, 9000, bytes.Repeat([]byte{'g'}, 100))
+	e.Push(a)
+	out := e.Push(gap)
+	if out == nil {
+		t.Fatal("gap did not release held packet")
+	}
+	if string(payloadOf(t, out)) != string(bytes.Repeat([]byte{'a'}, 100)) {
+		t.Fatal("released wrong packet")
+	}
+	// The gap segment is now held.
+	fl := e.Flush()
+	if len(fl) != 1 || payloadOf(t, fl[0])[0] != 'g' {
+		t.Fatal("gap segment not held after release")
+	}
+}
+
+func TestDistinctFlowsDoNotMerge(t *testing.T) {
+	e := New()
+	a := tcpSeg(5000, 0, []byte("aaaa"))
+	b := tcpSeg(6000, 0, []byte("bbbb"))
+	e.Push(a)
+	e.Push(b)
+	out := e.Flush()
+	if len(out) != 2 {
+		t.Fatalf("flush = %d packets, want 2", len(out))
+	}
+	if out[0].Segs != 1 || out[1].Segs != 1 {
+		t.Fatal("cross-flow merge happened")
+	}
+}
+
+func TestFlushOrderIsArrivalOrder(t *testing.T) {
+	e := New()
+	e.Push(tcpSeg(7000, 0, []byte("x")))
+	e.Push(tcpSeg(5000, 0, []byte("y")))
+	e.Push(tcpSeg(6000, 0, []byte("z")))
+	out := e.Flush()
+	f0, _ := proto.ParseFrame(out[0].Data)
+	f2, _ := proto.ParseFrame(out[2].Data)
+	if f0.TCP.SrcPort != 7000 || f2.TCP.SrcPort != 6000 {
+		t.Fatal("flush order != arrival order")
+	}
+	if e.HeldCount() != 0 {
+		t.Fatal("flush left state behind")
+	}
+}
+
+func TestSizeCapReleases(t *testing.T) {
+	e := New()
+	seg := 16000
+	seq := uint32(0)
+	var released *skb.SKB
+	for i := 0; i < 8 && released == nil; i++ {
+		released = e.Push(tcpSeg(5000, seq, bytes.Repeat([]byte{'x'}, seg)))
+		seq += uint32(seg)
+	}
+	if released == nil {
+		t.Fatal("size cap never triggered")
+	}
+	if len(released.Data) > MaxMergedBytes {
+		t.Fatalf("released frame exceeds cap: %d", len(released.Data))
+	}
+	// Released super-packet must still parse with a valid checksum.
+	if _, err := proto.ParseFrame(released.Data); err != nil {
+		t.Fatalf("capped super-packet invalid: %v", err)
+	}
+}
+
+func TestMergedFrameChecksumValid(t *testing.T) {
+	e := New()
+	e.Push(tcpSeg(5000, 0, bytes.Repeat([]byte{'p'}, 500)))
+	e.Push(tcpSeg(5000, 500, bytes.Repeat([]byte{'q'}, 500)))
+	out := e.Flush()
+	if len(out) != 1 {
+		t.Fatal("merge failed")
+	}
+	f, err := proto.ParseFrame(out[0].Data)
+	if err != nil {
+		t.Fatalf("checksum/parse error: %v", err)
+	}
+	if int(f.IP.TotalLen) != proto.IPv4Len+proto.TCPLen+1000 {
+		t.Fatalf("total len = %d", f.IP.TotalLen)
+	}
+}

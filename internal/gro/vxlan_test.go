@@ -1,0 +1,135 @@
+package gro
+
+import (
+	"bytes"
+	"testing"
+
+	"falcon/internal/proto"
+	"falcon/internal/skb"
+)
+
+// vxlanSeg builds a VXLAN-encapsulated TCP segment of the inner flow.
+func vxlanSeg(srcPort uint16, seq uint32, payload []byte, entropy uint16) *skb.SKB {
+	inner := proto.BuildTCPFrame(proto.MACFromUint64(10), proto.MACFromUint64(11),
+		proto.IP4(10, 32, 0, 1), proto.IP4(10, 32, 0, 2),
+		proto.TCPHdr{SrcPort: srcPort, DstPort: 80, Seq: seq, Flags: proto.TCPAck, Window: 65535},
+		0, payload)
+	outer := proto.Encapsulate(inner, proto.MACFromUint64(20), proto.MACFromUint64(21),
+		proto.IP4(192, 168, 1, 1), proto.IP4(192, 168, 1, 2), entropy, 42, seq16(seq))
+	return skb.New(outer)
+}
+
+func seq16(v uint32) uint16 { return uint16(v%65000) + 1 }
+
+func TestVXLANTCPBytesEligibility(t *testing.T) {
+	if TCPBytes(vxlanSeg(5000, 0, []byte("data"), 49152).Data) == 0 {
+		t.Fatal("VXLAN-encapsulated TCP not GRO-eligible")
+	}
+	// Encapsulated UDP is not eligible.
+	innerUDP := proto.BuildUDPFrame(proto.MACFromUint64(10), proto.MACFromUint64(11),
+		proto.IP4(10, 32, 0, 1), proto.IP4(10, 32, 0, 2), 7000, 5001, 1, []byte("u"))
+	outer := proto.Encapsulate(innerUDP, proto.MACFromUint64(20), proto.MACFromUint64(21),
+		proto.IP4(192, 168, 1, 1), proto.IP4(192, 168, 1, 2), 49152, 42, 9)
+	if TCPBytes(outer) != 0 {
+		t.Fatal("VXLAN-encapsulated UDP marked GRO-eligible")
+	}
+	// Plain UDP is not eligible.
+	if TCPBytes(innerUDP) != 0 {
+		t.Fatal("plain UDP marked GRO-eligible")
+	}
+}
+
+func TestVXLANSegmentsMerge(t *testing.T) {
+	e := New()
+	pay := bytes.Repeat([]byte{'v'}, 1000)
+	for i := 0; i < 4; i++ {
+		out := e.Push(vxlanSeg(5000, uint32(i*1000), pay, 49152))
+		if out != nil {
+			t.Fatalf("segment %d not absorbed", i)
+		}
+	}
+	merged := e.Flush()
+	if len(merged) != 1 || merged[0].Segs != 4 {
+		t.Fatalf("merge failed: %d packets", len(merged))
+	}
+	// The merged frame must still decapsulate into a valid inner frame
+	// carrying all four payloads in order.
+	inner, vni, err := proto.Decapsulate(merged[0].Data)
+	if err != nil {
+		t.Fatalf("merged frame does not decapsulate: %v", err)
+	}
+	if vni != 42 {
+		t.Fatalf("vni = %d", vni)
+	}
+	fi, err := proto.ParseFrame(inner)
+	if err != nil {
+		t.Fatalf("merged inner invalid: %v", err)
+	}
+	if len(fi.Payload) != 4000 {
+		t.Fatalf("merged inner payload = %d, want 4000", len(fi.Payload))
+	}
+	for i, b := range fi.Payload {
+		if b != 'v' {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
+
+func TestVXLANDistinctInnerFlowsDoNotMerge(t *testing.T) {
+	e := New()
+	pay := bytes.Repeat([]byte{'x'}, 500)
+	e.Push(vxlanSeg(5000, 0, pay, 49152))
+	e.Push(vxlanSeg(6000, 0, pay, 49153)) // different inner flow
+	out := e.Flush()
+	if len(out) != 2 {
+		t.Fatalf("cross-flow merge: %d packets", len(out))
+	}
+}
+
+func TestVXLANAndPlainDoNotMerge(t *testing.T) {
+	// Same inner 5-tuple, but one is encapsulated and one is plain: the
+	// engine must not fold them into the same super-packet.
+	e := New()
+	pay := bytes.Repeat([]byte{'y'}, 500)
+	e.Push(vxlanSeg(5000, 0, pay, 49152))
+	plain := proto.BuildTCPFrame(proto.MACFromUint64(10), proto.MACFromUint64(11),
+		proto.IP4(10, 32, 0, 1), proto.IP4(10, 32, 0, 2),
+		proto.TCPHdr{SrcPort: 5000, DstPort: 80, Seq: 500, Flags: proto.TCPAck, Window: 65535},
+		0, pay)
+	released := e.Push(skb.New(plain))
+	// Different encapsulation forces a release rather than a merge.
+	if released == nil {
+		flushed := e.Flush()
+		total := 0
+		for _, s := range flushed {
+			total += s.Segs
+		}
+		if len(flushed) < 1 || total != 2 {
+			t.Fatalf("plain+vxlan merged: %d packets, %d segs", len(flushed), total)
+		}
+		if flushed[0].Segs != 1 {
+			t.Fatal("encapsulation mismatch merged")
+		}
+	}
+}
+
+func TestFragmentNotEligible(t *testing.T) {
+	// An IP fragment (even of a TCP datagram) must bypass GRO.
+	big := proto.BuildTCPFrame(proto.MACFromUint64(1), proto.MACFromUint64(2),
+		proto.IP4(10, 0, 0, 1), proto.IP4(10, 0, 0, 2),
+		proto.TCPHdr{SrcPort: 5000, DstPort: 80, Seq: 0, Flags: proto.TCPAck, Window: 65535},
+		0, bytes.Repeat([]byte{'z'}, 100))
+	// Rewrite as a fragment (set MF).
+	ip := proto.IPv4Hdr{TotalLen: uint16(len(big) - proto.EthLen), ID: 9, TTL: 64,
+		Protocol: proto.ProtoTCP, Src: proto.IP4(10, 0, 0, 1), Dst: proto.IP4(10, 0, 0, 2),
+		MoreFrags: true}
+	proto.PutIPv4(big[proto.EthLen:], ip)
+	if TCPBytes(big) != 0 {
+		t.Fatal("IP fragment marked GRO-eligible")
+	}
+	e := New()
+	s := skb.New(big)
+	if out := e.Push(s); out != s {
+		t.Fatal("fragment absorbed by GRO")
+	}
+}

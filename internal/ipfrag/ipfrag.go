@@ -1,0 +1,173 @@
+// Package ipfrag implements IPv4 fragmentation and reassembly, enabling
+// the testbed's MTU mode: with a 1500-byte MTU (instead of the default
+// jumbo/GSO model), a 64 KB UDP datagram crosses the wire as ~44
+// fragments and the receiver pays per-fragment stack costs before
+// reassembly — the regime the paper's 64 KB sockperf runs actually
+// exercise on hardware.
+package ipfrag
+
+import (
+	"errors"
+	"fmt"
+
+	"falcon/internal/proto"
+	"falcon/internal/sim"
+)
+
+// ReassemblyTimeout evicts incomplete datagrams (the kernel's
+// ip_frag_time is 30 s; the simulation uses a tighter bound).
+const ReassemblyTimeout = 500 * sim.Millisecond
+
+// Fragment splits an Ethernet/IPv4 frame whose IP packet exceeds mtu
+// into valid fragments, each a complete Ethernet frame. The original
+// frame's IP ID groups the fragments (callers must use unique non-zero
+// IDs per datagram). Frames already within mtu are returned unchanged.
+func Fragment(frame []byte, mtu int) ([][]byte, error) {
+	eth, err := proto.ParseEthernet(frame)
+	if err != nil {
+		return nil, err
+	}
+	ip, err := proto.ParseIPv4(frame[proto.EthLen:])
+	if err != nil {
+		return nil, err
+	}
+	if int(ip.TotalLen) <= mtu {
+		return [][]byte{frame}, nil
+	}
+	if ip.IsFragment() {
+		return nil, errors.New("ipfrag: refusing to re-fragment a fragment")
+	}
+	chunk := (mtu - proto.IPv4Len) &^ 7 // offsets are 8-byte aligned
+	if chunk <= 0 {
+		return nil, fmt.Errorf("ipfrag: mtu %d too small", mtu)
+	}
+	payload := frame[proto.EthLen+proto.IPv4Len : proto.EthLen+int(ip.TotalLen)]
+	var out [][]byte
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		part := payload[off:end]
+		f := make([]byte, proto.EthLen+proto.IPv4Len+len(part))
+		proto.PutEthernet(f, eth)
+		proto.PutIPv4(f[proto.EthLen:], proto.IPv4Hdr{
+			TotalLen:  uint16(proto.IPv4Len + len(part)),
+			ID:        ip.ID,
+			TTL:       ip.TTL,
+			Protocol:  ip.Protocol,
+			Src:       ip.Src,
+			Dst:       ip.Dst,
+			MoreFrags: end < len(payload),
+			FragOff:   uint16(off),
+		})
+		copy(f[proto.EthLen+proto.IPv4Len:], part)
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+type fragKey struct {
+	src, dst proto.IPv4Addr
+	id       uint16
+	protocol uint8
+}
+
+type partial struct {
+	parts    map[uint16][]byte // offset → payload bytes
+	total    int               // payload length, known once the MF=0 part arrives
+	received int
+	eth      proto.EthernetHdr
+	hdr      proto.IPv4Hdr
+	started  sim.Time
+}
+
+// Reassembler collects fragments into whole datagrams.
+type Reassembler struct {
+	table map[fragKey]*partial
+
+	// Reassembled and Evicted count completed datagrams and timed-out
+	// partials.
+	Reassembled uint64
+	Evicted     uint64
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{table: make(map[fragKey]*partial)}
+}
+
+// Pending returns the number of incomplete datagrams held.
+func (r *Reassembler) Pending() int { return len(r.table) }
+
+// Add offers one fragment at virtual time now. When the fragment
+// completes its datagram, the reconstructed frame is returned; otherwise
+// nil. Non-fragment frames pass straight through.
+func (r *Reassembler) Add(frame []byte, now sim.Time) ([]byte, error) {
+	eth, err := proto.ParseEthernet(frame)
+	if err != nil {
+		return nil, err
+	}
+	ip, err := proto.ParseIPv4(frame[proto.EthLen:])
+	if err != nil {
+		return nil, err
+	}
+	if !ip.IsFragment() {
+		return frame, nil
+	}
+	r.evict(now)
+
+	key := fragKey{src: ip.Src, dst: ip.Dst, id: ip.ID, protocol: ip.Protocol}
+	p, ok := r.table[key]
+	if !ok {
+		p = &partial{parts: make(map[uint16][]byte), total: -1, eth: eth, hdr: ip, started: now}
+		r.table[key] = p
+	}
+	payload := frame[proto.EthLen+proto.IPv4Len : proto.EthLen+int(ip.TotalLen)]
+	if _, dup := p.parts[ip.FragOff]; !dup {
+		p.parts[ip.FragOff] = payload
+		p.received += len(payload)
+	}
+	if !ip.MoreFrags {
+		p.total = int(ip.FragOff) + len(payload)
+	}
+	if p.total < 0 || p.received < p.total {
+		return nil, nil
+	}
+	// Verify contiguity and rebuild.
+	buf := make([]byte, proto.EthLen+proto.IPv4Len+p.total)
+	covered := 0
+	for off, part := range p.parts {
+		if int(off)+len(part) > p.total {
+			delete(r.table, key)
+			return nil, errors.New("ipfrag: fragment overruns datagram")
+		}
+		copy(buf[proto.EthLen+proto.IPv4Len+int(off):], part)
+		covered += len(part)
+	}
+	if covered != p.total {
+		return nil, nil // overlapping or duplicate-counted: wait for more
+	}
+	delete(r.table, key)
+	proto.PutEthernet(buf, p.eth)
+	proto.PutIPv4(buf[proto.EthLen:], proto.IPv4Hdr{
+		TotalLen: uint16(proto.IPv4Len + p.total),
+		ID:       p.hdr.ID,
+		TTL:      p.hdr.TTL,
+		Protocol: p.hdr.Protocol,
+		Src:      p.hdr.Src,
+		Dst:      p.hdr.Dst,
+	})
+	r.Reassembled++
+	return buf, nil
+}
+
+// evict drops partials older than the reassembly timeout.
+func (r *Reassembler) evict(now sim.Time) {
+	for k, p := range r.table {
+		if now-p.started > ReassemblyTimeout {
+			delete(r.table, k)
+			r.Evicted++
+		}
+	}
+}

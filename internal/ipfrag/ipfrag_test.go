@@ -1,0 +1,195 @@
+package ipfrag
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"falcon/internal/proto"
+	"falcon/internal/sim"
+)
+
+func bigFrame(n int, id uint16) []byte {
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	return proto.BuildUDPFrame(proto.MACFromUint64(1), proto.MACFromUint64(2),
+		proto.IP4(10, 0, 0, 1), proto.IP4(10, 0, 0, 2), 7000, 5001, id, payload)
+}
+
+func TestSmallFramePassesThrough(t *testing.T) {
+	f := bigFrame(100, 1)
+	out, err := Fragment(f, 1500)
+	if err != nil || len(out) != 1 || !bytes.Equal(out[0], f) {
+		t.Fatalf("small frame mangled: %d parts, %v", len(out), err)
+	}
+}
+
+func TestFragmentSizesAndFlags(t *testing.T) {
+	f := bigFrame(4000, 2)
+	parts, err := Fragment(f, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d, want 3", len(parts))
+	}
+	for i, p := range parts {
+		ip, err := proto.ParseIPv4(p[proto.EthLen:])
+		if err != nil {
+			t.Fatalf("fragment %d: %v", i, err)
+		}
+		if int(ip.TotalLen) > 1500 {
+			t.Fatalf("fragment %d exceeds MTU: %d", i, ip.TotalLen)
+		}
+		if ip.FragOff%8 != 0 {
+			t.Fatalf("fragment %d offset %d not 8-aligned", i, ip.FragOff)
+		}
+		if (i < len(parts)-1) != ip.MoreFrags {
+			t.Fatalf("fragment %d MF flag wrong", i)
+		}
+		if ip.ID != 2 {
+			t.Fatalf("fragment %d lost the datagram id", i)
+		}
+	}
+}
+
+func TestRefuseRefragment(t *testing.T) {
+	parts, _ := Fragment(bigFrame(4000, 3), 1500)
+	if _, err := Fragment(parts[0], 600); err == nil {
+		t.Fatal("re-fragmenting a fragment succeeded")
+	}
+}
+
+func TestReassembleRoundTrip(t *testing.T) {
+	orig := bigFrame(9000, 4)
+	parts, err := Fragment(orig, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReassembler()
+	var got []byte
+	for i, p := range parts {
+		out, err := r.Add(p, sim.Time(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < len(parts)-1 && out != nil {
+			t.Fatal("completed early")
+		}
+		if i == len(parts)-1 {
+			got = out
+		}
+	}
+	if got == nil {
+		t.Fatal("never completed")
+	}
+	if !bytes.Equal(got, orig) {
+		t.Fatal("reassembly corrupted the datagram")
+	}
+	if r.Pending() != 0 || r.Reassembled != 1 {
+		t.Fatalf("state: pending=%d reassembled=%d", r.Pending(), r.Reassembled)
+	}
+}
+
+func TestReassembleOutOfOrderAndDuplicates(t *testing.T) {
+	orig := bigFrame(6000, 5)
+	parts, _ := Fragment(orig, 1500)
+	r := NewReassembler()
+	// Deliver in reverse with a duplicate in the middle.
+	var got []byte
+	order := [][]byte{parts[len(parts)-1]}
+	for i := len(parts) - 2; i >= 0; i-- {
+		order = append(order, parts[i], parts[i])
+	}
+	for i, p := range order {
+		out, err := r.Add(p, sim.Time(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, orig) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestInterleavedDatagrams(t *testing.T) {
+	a, _ := Fragment(bigFrame(4000, 10), 1500)
+	b, _ := Fragment(bigFrame(4000, 11), 1500)
+	r := NewReassembler()
+	done := 0
+	for i := range a {
+		if out, _ := r.Add(a[i], 0); out != nil {
+			done++
+		}
+		if out, _ := r.Add(b[i], 0); out != nil {
+			done++
+		}
+	}
+	if done != 2 {
+		t.Fatalf("completed %d datagrams, want 2", done)
+	}
+}
+
+func TestEvictionOnTimeout(t *testing.T) {
+	parts, _ := Fragment(bigFrame(4000, 12), 1500)
+	r := NewReassembler()
+	r.Add(parts[0], 0) // lone fragment
+	if r.Pending() != 1 {
+		t.Fatal("partial not held")
+	}
+	// A later fragment of another datagram triggers eviction.
+	other, _ := Fragment(bigFrame(4000, 13), 1500)
+	r.Add(other[0], ReassemblyTimeout+1)
+	if r.Evicted != 1 {
+		t.Fatalf("evicted = %d", r.Evicted)
+	}
+	// The stale datagram can no longer complete.
+	for _, p := range parts[1:] {
+		if out, _ := r.Add(p, ReassemblyTimeout+2); out != nil {
+			t.Fatal("evicted datagram completed")
+		}
+	}
+}
+
+func TestNonFragmentPassesThrough(t *testing.T) {
+	f := bigFrame(200, 14)
+	r := NewReassembler()
+	out, err := r.Add(f, 0)
+	if err != nil || !bytes.Equal(out, f) {
+		t.Fatal("non-fragment did not pass through")
+	}
+}
+
+func TestFragmentRoundTripProperty(t *testing.T) {
+	// Any payload size and MTU choice round-trips byte-for-byte.
+	r := NewReassembler()
+	id := uint16(100)
+	if err := quick.Check(func(sizeRaw uint16, mtuRaw uint8) bool {
+		size := int(sizeRaw)%30000 + 100
+		mtu := int(mtuRaw)%2000 + 576
+		id++
+		orig := bigFrame(size, id)
+		parts, err := Fragment(orig, mtu)
+		if err != nil {
+			return false
+		}
+		var got []byte
+		for _, p := range parts {
+			out, err := r.Add(p, 0)
+			if err != nil {
+				return false
+			}
+			if out != nil {
+				got = out
+			}
+		}
+		return bytes.Equal(got, orig)
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,224 @@
+package overlay
+
+import (
+	"fmt"
+
+	falconcore "falcon/internal/core"
+	"falcon/internal/costmodel"
+	"falcon/internal/cpu"
+	"falcon/internal/devices"
+	"falcon/internal/netdev"
+	"falcon/internal/proto"
+	"falcon/internal/sim"
+	"falcon/internal/skb"
+	"falcon/internal/socket"
+	"falcon/internal/stats"
+	"falcon/internal/steering"
+)
+
+// SockKey identifies an L4 delivery target.
+type SockKey struct {
+	IP    proto.IPv4Addr
+	Port  uint16
+	Proto uint8
+}
+
+// L4Handler terminates the receive path for one bound endpoint. It runs
+// in softirq context and must call done exactly once. The L4 protocol
+// cost (udp_rcv / tcp_v4_rcv) has already been charged.
+type L4Handler func(c *cpu.Core, s *skb.SKB, f proto.Frame, done func())
+
+// HostConfig sizes a host.
+type HostConfig struct {
+	Name string
+	IP   proto.IPv4Addr
+	// Cores is the machine size (the paper's servers: 20 physical cores).
+	Cores int
+	// RSSCores are the cores NIC queues are affined to.
+	RSSCores []int
+	// RPSCores is the rps_cpus mask (empty disables RPS).
+	RPSCores []int
+	// GRO enables pNIC GRO; InnerGRO enables gro_cells GRO on decap.
+	GRO, InnerGRO bool
+	// Kernel selects the cost profile ("linux-4.19" default, "linux-5.4").
+	Kernel string
+	// TickPeriod is the timer tick (default 1ms).
+	TickPeriod sim.Time
+}
+
+// Host is one simulated server: machine, network stack, NIC, bridge and
+// any number of containers.
+type Host struct {
+	Net  *Network
+	Name string
+	IP   proto.IPv4Addr
+	MAC  proto.MAC
+
+	M  *cpu.Machine
+	St *netdev.Stack
+	Rx *devices.RxPath
+
+	NIC    *devices.PNIC
+	Bridge *devices.Bridge
+
+	Falcon *falconcore.Falcon
+
+	containers []*Container
+	handlers   map[SockKey]L4Handler
+	links      map[proto.IPv4Addr]*devices.Link // by peer host IP
+
+	// L4Drops counts packets with no bound endpoint.
+	L4Drops stats.Counter
+
+	txSeq uint16 // IPv4 identification counter
+}
+
+// Container is a container attached to its host's bridge via a veth pair,
+// with a private IP on the overlay network.
+type Container struct {
+	Host *Host
+	ID   int
+	Name string
+	IP   proto.IPv4Addr
+	MAC  proto.MAC
+
+	VethBr *devices.Veth // bridge-side end
+	VethCt *devices.Veth // container-side end
+}
+
+func newHost(n *Network, cfg HostConfig, hostID uint64) *Host {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 8
+	}
+	if cfg.TickPeriod == 0 {
+		cfg.TickPeriod = sim.Millisecond
+	}
+	if len(cfg.RSSCores) == 0 {
+		cfg.RSSCores = []int{0}
+	}
+	model := costmodel.ByName(cfg.Kernel)
+	m := cpu.NewMachine(n.E, model, cfg.Cores, cfg.TickPeriod)
+	st := netdev.NewStack(m)
+	h := &Host{
+		Net:      n,
+		Name:     cfg.Name,
+		IP:       cfg.IP,
+		MAC:      proto.MACFromUint64(0xA0000 + hostID),
+		M:        m,
+		St:       st,
+		handlers: make(map[SockKey]L4Handler),
+		links:    make(map[proto.IPv4Addr]*devices.Link),
+	}
+	h.NIC = devices.NewPNIC(st, cfg.Name+"-eth0", steering.RSS{QueueCores: cfg.RSSCores}, cfg.GRO)
+	vxlanIf := st.RegisterDevice(cfg.Name + "-vxlan0")
+	bridgeIf := st.RegisterDevice(cfg.Name + "-br0")
+	h.Bridge = devices.NewBridge(cfg.Name+"-br0", bridgeIf)
+	h.Rx = &devices.RxPath{
+		St:        st,
+		NIC:       h.NIC,
+		RPS:       steering.RPS{CPUs: cfg.RPSCores, Enabled: len(cfg.RPSCores) > 0},
+		VXLANIf:   vxlanIf,
+		Bridge:    h.Bridge,
+		VethByMAC: make(map[proto.MAC]*devices.Veth),
+		InnerGRO:  cfg.InnerGRO,
+		DeliverL4: h.deliverL4,
+	}
+	h.Rx.Install()
+	m.StartTicker()
+	return h
+}
+
+// EnableFalcon attaches a Falcon instance to the host's receive path.
+func (h *Host) EnableFalcon(cfg falconcore.Config) *falconcore.Falcon {
+	h.Falcon = falconcore.New(h.M, cfg)
+	h.Rx.Falcon = h.Falcon
+	return h.Falcon
+}
+
+// DisableFalcon restores the vanilla path.
+func (h *Host) DisableFalcon() {
+	h.Falcon = nil
+	h.Rx.Falcon = nil
+}
+
+// AddContainer creates a container with the given private IP, wires its
+// veth pair into the bridge, and publishes it in the overlay KV store.
+func (h *Host) AddContainer(name string, ip proto.IPv4Addr) *Container {
+	id := len(h.containers) + 1
+	mac := proto.MACFromUint64(uint64(ip))
+	brIf := h.St.RegisterDevice(fmt.Sprintf("%s-veth%d", h.Name, id))
+	ctIf := h.St.RegisterDevice(fmt.Sprintf("%s-c%d-eth0", h.Name, id))
+	vbr, vct := devices.NewVethPair(
+		fmt.Sprintf("%s-veth%d", h.Name, id),
+		fmt.Sprintf("%s-c%d-eth0", h.Name, id),
+		brIf, ctIf, mac, id)
+	c := &Container{Host: h, ID: id, Name: name, IP: ip, MAC: mac, VethBr: vbr, VethCt: vct}
+	port := h.Bridge.AddPort(vbr.Name)
+	h.Bridge.Learn(mac, port)
+	h.Rx.VethByMAC[mac] = vbr
+	h.containers = append(h.containers, c)
+	h.Net.KV.Put(ip, EndpointInfo{ContainerMAC: mac, HostIP: h.IP, HostMAC: h.MAC})
+	return c
+}
+
+// Containers returns the host's containers.
+func (h *Host) Containers() []*Container { return h.containers }
+
+// Bind registers an L4 handler for (ip, port, proto).
+func (h *Host) Bind(key SockKey, fn L4Handler) {
+	h.handlers[key] = fn
+}
+
+// Unbind removes a binding.
+func (h *Host) Unbind(key SockKey) { delete(h.handlers, key) }
+
+// OpenUDP binds a plain receiving socket (the sockperf-server shape) at
+// ip:port, consumed by an application thread pinned to appCore.
+func (h *Host) OpenUDP(ip proto.IPv4Addr, port uint16, appCore int) *socket.Socket {
+	sk := socket.New(h.M, appCore)
+	h.Bind(SockKey{IP: ip, Port: port, Proto: proto.ProtoUDP},
+		func(c *cpu.Core, s *skb.SKB, f proto.Frame, done func()) {
+			c.Exec(stats.CtxSoftIRQ, costmodel.FnSocketDeliver, 0, func() {
+				sk.Deliver(c, s)
+				done()
+			})
+		})
+	return sk
+}
+
+// deliverL4 terminates the receive path: it parses the (inner) frame,
+// charges the L4 receive cost, and dispatches to the bound handler.
+func (h *Host) deliverL4(c *cpu.Core, s *skb.SKB, done func()) {
+	f, err := proto.ParseFrame(s.Data)
+	if err != nil {
+		h.L4Drops.Inc()
+		done()
+		return
+	}
+	var l4 costmodel.Func
+	switch f.IP.Protocol {
+	case proto.ProtoTCP:
+		l4 = costmodel.FnTCPRcv
+	default:
+		l4 = costmodel.FnUDPRcv
+	}
+	c.Exec(stats.CtxSoftIRQ, l4, 0, func() {
+		key := SockKey{IP: f.IP.Dst, Port: f.DstPort(), Proto: f.IP.Protocol}
+		fn, ok := h.handlers[key]
+		if !ok {
+			h.L4Drops.Inc()
+			done()
+			return
+		}
+		fn(c, s, f, done)
+	})
+}
+
+// ResetMeasurement clears the host's accounting for a fresh window.
+func (h *Host) ResetMeasurement() {
+	h.M.ResetMeasurement()
+	h.NIC.Drops.Reset()
+	h.NIC.HardIRQs.Reset()
+	h.St.Drops.Reset()
+	h.L4Drops.Reset()
+}

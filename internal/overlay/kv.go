@@ -1,0 +1,57 @@
+// Package overlay assembles complete container-overlay topologies: hosts
+// (machine + stack + NIC + bridge), containers (veth pairs, private IPs),
+// the VXLAN tunnel fabric with its distributed key-value store mapping
+// container IPs to host endpoints (as Docker overlay/Flannel do), links
+// between hosts, and the transmit path. It is the integration layer that
+// turns the device/stack substrates into the systems the paper measures.
+package overlay
+
+import (
+	"fmt"
+
+	"falcon/internal/proto"
+)
+
+// EndpointInfo is what the overlay control plane knows about a container
+// IP: which host carries it and the MACs needed for encapsulation.
+type EndpointInfo struct {
+	ContainerMAC proto.MAC
+	HostIP       proto.IPv4Addr
+	HostMAC      proto.MAC
+}
+
+// KVStore is the distributed key-value store backing the overlay: the
+// mapping from private container IPs to public host endpoints that
+// vxlan_xmit consults when encapsulating (Section 2.1). Lookups are
+// local (hosts cache the full table, as Docker's gossip-backed store
+// effectively provides).
+type KVStore struct {
+	entries map[proto.IPv4Addr]EndpointInfo
+}
+
+// NewKVStore returns an empty store.
+func NewKVStore() *KVStore {
+	return &KVStore{entries: make(map[proto.IPv4Addr]EndpointInfo)}
+}
+
+// Put registers (or updates) a container IP mapping.
+func (kv *KVStore) Put(containerIP proto.IPv4Addr, info EndpointInfo) {
+	kv.entries[containerIP] = info
+}
+
+// Get resolves a container IP.
+func (kv *KVStore) Get(containerIP proto.IPv4Addr) (EndpointInfo, error) {
+	info, ok := kv.entries[containerIP]
+	if !ok {
+		return EndpointInfo{}, fmt.Errorf("overlay: no endpoint for %s", containerIP)
+	}
+	return info, nil
+}
+
+// Delete removes a mapping (container teardown).
+func (kv *KVStore) Delete(containerIP proto.IPv4Addr) {
+	delete(kv.entries, containerIP)
+}
+
+// Len returns the number of registered containers.
+func (kv *KVStore) Len() int { return len(kv.entries) }

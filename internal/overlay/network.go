@@ -1,0 +1,62 @@
+package overlay
+
+import (
+	"falcon/internal/devices"
+	"falcon/internal/proto"
+	"falcon/internal/sim"
+)
+
+// DefaultVNI is the VXLAN network identifier overlays are built with.
+const DefaultVNI = 42
+
+// Network is a set of hosts joined by point-to-point links and one
+// overlay (VXLAN) segment backed by a shared KV store.
+type Network struct {
+	E   *sim.Engine
+	KV  *KVStore
+	VNI uint32
+
+	hosts []*Host
+}
+
+// NewNetwork returns an empty network on engine e.
+func NewNetwork(e *sim.Engine) *Network {
+	return &Network{E: e, KV: NewKVStore(), VNI: DefaultVNI}
+}
+
+// AddHost creates a host from cfg.
+func (n *Network) AddHost(cfg HostConfig) *Host {
+	h := newHost(n, cfg, uint64(len(n.hosts)+1))
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// Hosts returns all hosts.
+func (n *Network) Hosts() []*Host { return n.hosts }
+
+// Connect joins two hosts with a full-duplex link of the given rate and
+// one-way delay (two unidirectional links delivering into each peer's
+// NIC).
+func (n *Network) Connect(a, b *Host, rateBitsPerSec float64, delay sim.Time) {
+	ab := devices.NewLink(n.E, rateBitsPerSec, delay)
+	ab.Deliver = b.NIC.Arrive
+	ba := devices.NewLink(n.E, rateBitsPerSec, delay)
+	ba.Deliver = a.NIC.Arrive
+	a.links[b.IP] = ab
+	b.links[a.IP] = ba
+}
+
+// LinkTo returns the outgoing link from h toward the host owning dstIP.
+func (h *Host) LinkTo(dstIP proto.IPv4Addr) *devices.Link {
+	return h.links[dstIP]
+}
+
+// hostByIP finds a host by its public IP.
+func (n *Network) hostByIP(ip proto.IPv4Addr) *Host {
+	for _, h := range n.hosts {
+		if h.IP == ip {
+			return h
+		}
+	}
+	return nil
+}

@@ -1,0 +1,356 @@
+package overlay
+
+import (
+	"testing"
+
+	falconcore "falcon/internal/core"
+	"falcon/internal/devices"
+	"falcon/internal/proto"
+	"falcon/internal/sim"
+	"falcon/internal/socket"
+	"falcon/internal/stats"
+)
+
+var (
+	clientIP  = proto.IP4(192, 168, 1, 1)
+	serverIP  = proto.IP4(192, 168, 1, 2)
+	cliCtrIP  = proto.IP4(10, 32, 0, 1)
+	srvCtrIP  = proto.IP4(10, 32, 0, 2)
+	srvCtrIP2 = proto.IP4(10, 32, 0, 3)
+)
+
+type bed struct {
+	e              *sim.Engine
+	n              *Network
+	client, server *Host
+	cliCtr, srvCtr *Container
+}
+
+func newBed(t *testing.T, kernel string, rate float64) *bed {
+	t.Helper()
+	e := sim.New(7)
+	n := NewNetwork(e)
+	client := n.AddHost(HostConfig{
+		Name: "client", IP: clientIP, Cores: 8,
+		RSSCores: []int{0}, RPSCores: []int{1}, GRO: true, InnerGRO: true, Kernel: kernel,
+	})
+	server := n.AddHost(HostConfig{
+		Name: "server", IP: serverIP, Cores: 8,
+		RSSCores: []int{0}, RPSCores: []int{1}, GRO: true, InnerGRO: true, Kernel: kernel,
+	})
+	n.Connect(client, server, rate, sim.Microsecond)
+	return &bed{
+		e: e, n: n, client: client, server: server,
+		cliCtr: client.AddContainer("c-cli", cliCtrIP),
+		srvCtr: server.AddContainer("c-srv", srvCtrIP),
+	}
+}
+
+// sendUDPStream schedules n packets of size bytes at the given interval,
+// container-to-container.
+func (b *bed) sendUDPStream(n int, size int, every sim.Time) {
+	for i := 0; i < n; i++ {
+		seq := uint64(i + 1)
+		b.e.At(sim.Time(i)*every, func() {
+			b.client.SendUDP(SendParams{
+				From: b.cliCtr, SrcPort: 7000, DstIP: srvCtrIP, DstPort: 5001,
+				Payload: size, Core: 2, FlowID: 1, Seq: seq,
+			})
+		})
+	}
+}
+
+func TestOverlayUDPEndToEnd(t *testing.T) {
+	b := newBed(t, "", 100*devices.Gbps)
+	sk := b.server.OpenUDP(srvCtrIP, 5001, 2)
+	const n = 500
+	b.sendUDPStream(n, 64, 5*sim.Microsecond)
+	b.e.RunUntil(20 * sim.Millisecond)
+
+	if got := sk.Delivered.Value(); got != n {
+		t.Fatalf("delivered %d, want %d", got, n)
+	}
+	if sk.OrderViols != 0 {
+		t.Fatalf("order violations: %d", sk.OrderViols)
+	}
+	if b.server.Rx.Decapped.Value() != n {
+		t.Fatalf("decapped %d, want %d", b.server.Rx.Decapped.Value(), n)
+	}
+	if sk.Latency.Min() <= 0 {
+		t.Fatal("latency not measured")
+	}
+}
+
+func TestHostNetworkUDPEndToEnd(t *testing.T) {
+	b := newBed(t, "", 100*devices.Gbps)
+	sk := b.server.OpenUDP(serverIP, 5001, 2)
+	const n = 300
+	for i := 0; i < n; i++ {
+		seq := uint64(i + 1)
+		b.e.At(sim.Time(i)*5*sim.Microsecond, func() {
+			b.client.SendUDP(SendParams{
+				SrcPort: 7000, DstIP: serverIP, DstPort: 5001,
+				Payload: 64, Core: 2, FlowID: 1, Seq: seq,
+			})
+		})
+	}
+	b.e.RunUntil(20 * sim.Millisecond)
+	if got := sk.Delivered.Value(); got != n {
+		t.Fatalf("delivered %d, want %d", got, n)
+	}
+	if b.server.Rx.HostPath.Value() != n {
+		t.Fatalf("host path count %d", b.server.Rx.HostPath.Value())
+	}
+	if b.server.Rx.Decapped.Value() != 0 {
+		t.Fatal("host traffic went through decap")
+	}
+}
+
+func TestOverlayTriggersMoreSoftirqs(t *testing.T) {
+	// Paper Fig. 4: the overlay path raises ~3x the NET_RX softirqs of
+	// the native path for the same traffic.
+	run := func(overlayMode bool) float64 {
+		b := newBed(t, "", 100*devices.Gbps)
+		var sk *socket.Socket
+		const n = 400
+		if overlayMode {
+			sk = b.server.OpenUDP(srvCtrIP, 5001, 2)
+		} else {
+			sk = b.server.OpenUDP(serverIP, 5001, 2)
+		}
+		for i := 0; i < n; i++ {
+			seq := uint64(i + 1)
+			var from *Container
+			dst := serverIP
+			if overlayMode {
+				from = b.cliCtr
+				dst = srvCtrIP
+			}
+			b.e.At(sim.Time(i)*20*sim.Microsecond, func() {
+				b.client.SendUDP(SendParams{
+					From: from, SrcPort: 7000, DstIP: dst, DstPort: 5001,
+					Payload: 64, Core: 2, FlowID: 1, Seq: seq,
+				})
+			})
+		}
+		b.e.RunUntil(30 * sim.Millisecond)
+		if sk.Delivered.Value() != n {
+			t.Fatalf("delivered %d/%d (overlay=%v)", sk.Delivered.Value(), n, overlayMode)
+		}
+		total := uint64(0)
+		for c := 0; c < b.server.M.NumCores(); c++ {
+			total += b.server.M.IRQ.Core(c, stats.IRQNetRX)
+		}
+		return float64(total)
+	}
+	native := run(false)
+	over := run(true)
+	ratio := over / native
+	// Isolated packets: native = 2 invocations (NAPI + RPS backlog),
+	// overlay = 3 (the vxlan/veth re-raise adds one; the two same-core
+	// raises coalesce). The paper's 3.6x is measured under stress where
+	// coalescing dynamics differ; the experiment harness reports the
+	// stressed ratio.
+	if ratio < 1.4 {
+		t.Fatalf("overlay/native NET_RX ratio = %.2f, want >= 1.4", ratio)
+	}
+}
+
+func TestFalconPreservesOrderAndDelivery(t *testing.T) {
+	b := newBed(t, "", 100*devices.Gbps)
+	b.server.EnableFalcon(falconcore.DefaultConfig([]int{3, 4, 5, 6}))
+	sk := b.server.OpenUDP(srvCtrIP, 5001, 2)
+	const n = 2000
+	b.sendUDPStream(n, 64, 2*sim.Microsecond)
+	b.e.RunUntil(50 * sim.Millisecond)
+
+	if got := sk.Delivered.Value(); got != n {
+		t.Fatalf("delivered %d, want %d", got, n)
+	}
+	if sk.OrderViols != 0 {
+		t.Fatalf("order violations under falcon: %d", sk.OrderViols)
+	}
+	first, _, _ := b.server.Falcon.Stats()
+	if first == 0 {
+		t.Fatal("falcon never placed a softirq")
+	}
+	// Falcon must have spread softirq work onto its CPU set.
+	busyFalconCores := 0
+	for _, c := range []int{3, 4, 5, 6} {
+		if b.server.M.Acct.Busy(c, stats.CtxSoftIRQ) > 0 {
+			busyFalconCores++
+		}
+	}
+	if busyFalconCores == 0 {
+		t.Fatal("no softirq work on FALCON_CPUS")
+	}
+}
+
+func TestVanillaOverlaySerializesOnRPSCore(t *testing.T) {
+	// Without Falcon, all three softirq stages stack on the RPS core
+	// (core 1) — the paper's Fig. 5/11 serialization.
+	b := newBed(t, "", 100*devices.Gbps)
+	sk := b.server.OpenUDP(srvCtrIP, 5001, 2)
+	const n = 1000
+	b.sendUDPStream(n, 64, 2*sim.Microsecond)
+	b.e.RunUntil(50 * sim.Millisecond)
+	if sk.Delivered.Value() != n {
+		t.Fatalf("delivered %d", sk.Delivered.Value())
+	}
+	acct := b.server.M.Acct
+	soft1 := acct.Busy(1, stats.CtxSoftIRQ)
+	for c := 3; c < 8; c++ {
+		if s := acct.Busy(c, stats.CtxSoftIRQ); s > soft1/10 {
+			t.Fatalf("vanilla overlay leaked softirq work to core %d (%d vs %d)", c, s, soft1)
+		}
+	}
+	if soft1 == 0 {
+		t.Fatal("RPS core did no softirq work")
+	}
+}
+
+func TestSameHostContainerTraffic(t *testing.T) {
+	b := newBed(t, "", 100*devices.Gbps)
+	second := b.server.AddContainer("c-srv2", srvCtrIP2)
+	_ = second
+	sk := b.server.OpenUDP(srvCtrIP2, 5001, 2)
+	const n = 100
+	for i := 0; i < n; i++ {
+		seq := uint64(i + 1)
+		b.e.At(sim.Time(i)*5*sim.Microsecond, func() {
+			b.server.SendUDP(SendParams{
+				From: b.srvCtr, SrcPort: 7000, DstIP: srvCtrIP2, DstPort: 5001,
+				Payload: 64, Core: 3, FlowID: 9, Seq: seq,
+			})
+		})
+	}
+	b.e.RunUntil(10 * sim.Millisecond)
+	if sk.Delivered.Value() != n {
+		t.Fatalf("delivered %d, want %d", sk.Delivered.Value(), n)
+	}
+	// Local traffic must not touch the wire or the decap path.
+	if b.server.Rx.Decapped.Value() != 0 {
+		t.Fatal("local traffic was encapsulated")
+	}
+}
+
+func TestUnboundPortDropped(t *testing.T) {
+	b := newBed(t, "", 100*devices.Gbps)
+	b.client.SendUDP(SendParams{
+		From: b.cliCtr, SrcPort: 7000, DstIP: srvCtrIP, DstPort: 9999,
+		Payload: 64, Core: 2, FlowID: 1, Seq: 1,
+	})
+	b.e.RunUntil(5 * sim.Millisecond)
+	if b.server.L4Drops.Value() != 1 {
+		t.Fatalf("L4 drops = %d, want 1", b.server.L4Drops.Value())
+	}
+}
+
+func TestKVStore(t *testing.T) {
+	kv := NewKVStore()
+	info := EndpointInfo{HostIP: serverIP, HostMAC: proto.MACFromUint64(1)}
+	kv.Put(srvCtrIP, info)
+	got, err := kv.Get(srvCtrIP)
+	if err != nil || got.HostIP != serverIP {
+		t.Fatalf("get: %+v, %v", got, err)
+	}
+	if _, err := kv.Get(proto.IP4(1, 2, 3, 4)); err == nil {
+		t.Fatal("missing key did not error")
+	}
+	if kv.Len() != 1 {
+		t.Fatalf("len = %d", kv.Len())
+	}
+	kv.Delete(srvCtrIP)
+	if kv.Len() != 0 {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestSendToUnknownContainerFails(t *testing.T) {
+	b := newBed(t, "", 100*devices.Gbps)
+	okReported := true
+	b.client.SendUDP(SendParams{
+		From: b.cliCtr, SrcPort: 1, DstIP: proto.IP4(10, 99, 0, 1), DstPort: 2,
+		Payload: 16, Core: 2,
+		Done: func(ok bool) { okReported = ok },
+	})
+	b.e.RunUntil(sim.Millisecond)
+	if okReported {
+		t.Fatal("send to unknown container reported success")
+	}
+}
+
+func TestKernel54ProfileRuns(t *testing.T) {
+	b := newBed(t, "linux-5.4", 100*devices.Gbps)
+	sk := b.server.OpenUDP(srvCtrIP, 5001, 2)
+	b.sendUDPStream(200, 64, 5*sim.Microsecond)
+	b.e.RunUntil(10 * sim.Millisecond)
+	if sk.Delivered.Value() != 200 {
+		t.Fatalf("delivered %d under 5.4 profile", sk.Delivered.Value())
+	}
+	if b.server.M.Model.Name != "linux-5.4" {
+		t.Fatal("kernel profile not applied")
+	}
+}
+
+func TestThreeHostMesh(t *testing.T) {
+	// Container traffic routes correctly across a 3-host full mesh: each
+	// host carries one container; every container messages every other.
+	e := sim.New(21)
+	n := NewNetwork(e)
+	mk := func(name string, ip proto.IPv4Addr) *Host {
+		return n.AddHost(HostConfig{
+			Name: name, IP: ip, Cores: 6,
+			RSSCores: []int{0}, RPSCores: []int{1}, GRO: true, InnerGRO: true,
+		})
+	}
+	hosts := []*Host{
+		mk("h1", proto.IP4(192, 168, 2, 1)),
+		mk("h2", proto.IP4(192, 168, 2, 2)),
+		mk("h3", proto.IP4(192, 168, 2, 3)),
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			n.Connect(hosts[i], hosts[j], 100*devices.Gbps, sim.Microsecond)
+		}
+	}
+	var ctrs []*Container
+	var socks []*socket.Socket
+	for i, h := range hosts {
+		c := h.AddContainer("c", proto.IP4(10, 40, 0, byte(i+1)))
+		ctrs = append(ctrs, c)
+		socks = append(socks, h.OpenUDP(c.IP, 5001, 3))
+	}
+	const per = 50
+	for i, src := range hosts {
+		for j := range hosts {
+			if i == j {
+				continue
+			}
+			i, j, src := i, j, src
+			for k := 0; k < per; k++ {
+				seq := uint64(k + 1)
+				e.At(sim.Time(k)*20*sim.Microsecond, func() {
+					src.SendUDP(SendParams{
+						From: ctrs[i], SrcPort: uint16(7000 + i), DstIP: ctrs[j].IP, DstPort: 5001,
+						Payload: 128, Core: 2, FlowID: uint64(i*10 + j), Seq: seq,
+					})
+				})
+			}
+		}
+	}
+	e.RunUntil(20 * sim.Millisecond)
+	for i, sk := range socks {
+		if got := sk.Delivered.Value(); got != 2*per {
+			t.Fatalf("host %d received %d, want %d", i, got, 2*per)
+		}
+		if sk.OrderViols != 0 {
+			t.Fatalf("host %d saw reordering", i)
+		}
+	}
+	for _, h := range hosts {
+		if h.Rx.Decapped.Value() != 2*per {
+			t.Fatalf("%s decapped %d", h.Name, h.Rx.Decapped.Value())
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package overlay
+
+import (
+	"fmt"
+
+	"falcon/internal/costmodel"
+	"falcon/internal/cpu"
+	"falcon/internal/ipfrag"
+	"falcon/internal/netdev"
+	"falcon/internal/proto"
+	"falcon/internal/sim"
+	"falcon/internal/skb"
+	"falcon/internal/stats"
+)
+
+// SendParams describes one message transmission.
+type SendParams struct {
+	// From is the sending container; nil sends over the host network.
+	From    *Container
+	SrcPort uint16
+	DstIP   proto.IPv4Addr
+	DstPort uint16
+	// Payload is the message size in bytes.
+	Payload int
+	// Core is the core the sending task runs on.
+	Core int
+	// FlowID and Seq instrument delivery-order verification.
+	FlowID, Seq uint64
+	// Done, if non-nil, reports whether the frame made it onto the wire
+	// (false: resolution failure or transmit-queue drop).
+	Done func(ok bool)
+	// FromSoftirq charges the transmit work in softirq context instead
+	// of task context — how the kernel emits TCP ACKs from tcp_v4_rcv.
+	FromSoftirq bool
+}
+
+// SendUDP transmits one UDP message through the full transmit path in
+// task context: container stack → veth → bridge → vxlan_xmit
+// encapsulation → pNIC, or the plain host stack for host networking.
+func (h *Host) SendUDP(p SendParams) {
+	h.sendL4(p, proto.ProtoUDP, nil)
+}
+
+// SendTCP transmits one TCP segment with the given header. Payload bytes
+// are p.Payload; ports are taken from the header.
+func (h *Host) SendTCP(p SendParams, hdr proto.TCPHdr) {
+	h.sendL4(p, proto.ProtoTCP, &hdr)
+}
+
+// sendL4 is the shared transmit machinery. For TCP, hdr carries the
+// prebuilt TCP header (ports in hdr override p's).
+func (h *Host) sendL4(p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
+	core := h.M.Core(p.Core)
+	ctx := stats.CtxTask
+	if p.FromSoftirq {
+		ctx = stats.CtxSoftIRQ
+	}
+	finish := func(ok bool) {
+		if p.Done != nil {
+			p.Done(ok)
+		}
+	}
+	steps := []netdev.Step{{Fn: costmodel.FnTxStack, Bytes: p.Payload}}
+	if p.From != nil {
+		steps = append(steps, netdev.Step{Fn: costmodel.FnVethXmit}, netdev.Step{Fn: costmodel.FnBridge})
+	}
+	netdev.RunChain(core, ctx, steps, func() {
+		inner, info, err := h.buildInner(p, ipProto, tcp)
+		if err != nil {
+			finish(false)
+			return
+		}
+		s := skb.New(inner)
+		s.FlowID = p.FlowID
+		s.Seq = p.Seq
+		if err := s.SetFlowHash(); err != nil {
+			finish(false)
+			return
+		}
+		if p.From == nil {
+			// Host networking: straight out the NIC.
+			core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
+				finish(h.sendWire(core, ctx, s, p.DstIP))
+			})
+			return
+		}
+		if info.HostIP == h.IP {
+			// Same-host container: the bridge forwards locally; the frame
+			// enters the destination's veth backlog without encapsulation.
+			s.WireTime = h.Net.E.Now()
+			finish(h.Rx.InjectLocal(nil, p.Core, s))
+			return
+		}
+		// Cross-host: encapsulate and transmit.
+		core.Exec(ctx, costmodel.FnVXLANXmit, len(inner), func() {
+			entropy := uint16(49152 + (s.Hash % 16384))
+			outer := proto.Encapsulate(inner, h.MAC, info.HostMAC, h.IP, info.HostIP,
+				entropy, h.Net.VNI, h.nextIPID())
+			s.Data = outer
+			core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
+				finish(h.sendWire(core, ctx, s, info.HostIP))
+			})
+		})
+	})
+}
+
+// MaxOverlayPayload is the largest L4 payload a container can send in
+// one frame: IPv4's 16-bit total length must also fit the VXLAN
+// encapsulation overhead. (The testbed models jumbo/GSO frames rather
+// than IP fragmentation, so "64 KB" experiments use payloads under this
+// cap; see DESIGN.md.)
+const MaxOverlayPayload = 65535 - proto.IPv4Len - proto.UDPLen - proto.OverlayOverhead
+
+// MaxHostPayload is the host-network equivalent.
+const MaxHostPayload = 65535 - proto.IPv4Len - proto.UDPLen
+
+// buildInner constructs the L2–L4 frame and resolves the destination.
+// For container senders it also computes the flow hash used as VXLAN
+// source-port entropy.
+func (h *Host) buildInner(p SendParams, ipProto uint8, tcp *proto.TCPHdr) ([]byte, EndpointInfo, error) {
+	limit := MaxHostPayload
+	if p.From != nil {
+		limit = MaxOverlayPayload
+	}
+	if p.Payload > limit {
+		return nil, EndpointInfo{}, fmt.Errorf("overlay: payload %d exceeds frame limit %d", p.Payload, limit)
+	}
+	payload := make([]byte, p.Payload)
+	if p.From != nil {
+		info, err := h.Net.KV.Get(p.DstIP)
+		if err != nil {
+			return nil, EndpointInfo{}, err
+		}
+		var frame []byte
+		if ipProto == proto.ProtoTCP {
+			frame = proto.BuildTCPFrame(p.From.MAC, info.ContainerMAC, p.From.IP, p.DstIP,
+				*tcp, h.nextIPID(), payload)
+		} else {
+			frame = proto.BuildUDPFrame(p.From.MAC, info.ContainerMAC, p.From.IP, p.DstIP,
+				p.SrcPort, p.DstPort, h.nextIPID(), payload)
+		}
+		return frame, info, nil
+	}
+	// Host networking: resolve the peer host's MAC through the link map.
+	peer := h.Net.hostByIP(p.DstIP)
+	if peer == nil {
+		return nil, EndpointInfo{}, errNoRoute(p.DstIP)
+	}
+	var frame []byte
+	if ipProto == proto.ProtoTCP {
+		frame = proto.BuildTCPFrame(h.MAC, peer.MAC, h.IP, p.DstIP, *tcp, h.nextIPID(), payload)
+	} else {
+		frame = proto.BuildUDPFrame(h.MAC, peer.MAC, h.IP, p.DstIP,
+			p.SrcPort, p.DstPort, h.nextIPID(), payload)
+	}
+	return frame, EndpointInfo{HostIP: p.DstIP, HostMAC: peer.MAC}, nil
+}
+
+// sendWire puts the frame on the link toward dstHostIP, fragmenting to
+// the link MTU when one is configured. Fragments inherit the skb's flow
+// identity; they pay per-fragment NIC transmit cost.
+func (h *Host) sendWire(core *cpu.Core, ctx stats.CPUContext, s *skb.SKB, dstHostIP proto.IPv4Addr) bool {
+	l := h.links[dstHostIP]
+	if l == nil {
+		return false
+	}
+	if l.MTU <= 0 {
+		return l.Send(s)
+	}
+	parts, err := ipfrag.Fragment(s.Data, l.MTU)
+	if err != nil {
+		return false
+	}
+	if len(parts) > 1 {
+		// The first fragment's doorbell was already charged; the rest
+		// cost one FnTxNIC each.
+		cost := h.M.Model.Cost(costmodel.FnTxNIC, 0) * sim.Time(len(parts)-1)
+		core.Submit(ctx, costmodel.FnTxNIC, cost, nil)
+	}
+	ok := true
+	for i, part := range parts {
+		fs := s
+		if i > 0 || len(parts) > 1 {
+			fs = skb.New(part)
+			fs.FlowID = s.FlowID
+			fs.Seq = s.Seq
+			_ = fs.SetFlowHash()
+		}
+		if !l.Send(fs) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+func (h *Host) nextIPID() uint16 {
+	h.txSeq++
+	return h.txSeq
+}
+
+type errNoRoute proto.IPv4Addr
+
+func (e errNoRoute) Error() string {
+	return "overlay: no route to host " + proto.IPv4Addr(e).String()
+}

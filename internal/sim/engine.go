@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events fire in (at, seq) order; seq breaks
+// ties deterministically in FIFO scheduling order.
+type event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	cancel *Timer
+	index  int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev      *event
+	stopped bool
+}
+
+// Stop cancels the timer. It reports whether the callback was prevented
+// from running (false when it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.ev == nil || t.ev.fn == nil {
+		return false
+	}
+	t.stopped = true
+	t.ev.fn = nil
+	return true
+}
+
+// Engine is the discrete-event simulation core.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns an engine with its clock at zero, seeded with seed.
+func New(seed uint64) *Engine {
+	return &Engine{rng: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's root RNG. Components should Fork it.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Fired returns the number of events executed so far (for diagnostics).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a simulation bug.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop halts the run loop after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		e.step()
+	}
+}
+
+// RunUntil executes events with at <= deadline, then sets the clock to
+// deadline. Events scheduled beyond the deadline remain pending.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped && e.events[0].at <= deadline {
+		e.step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(*event)
+	if ev.fn == nil { // cancelled
+		return
+	}
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.fired++
+	fn()
+}

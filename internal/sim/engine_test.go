@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.After(30, func() { got = append(got, 3) })
+	e.After(10, func() { got = append(got, 1) })
+	e.After(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken events not FIFO at %d: %v", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New(1)
+	var fired []Time
+	e.After(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() { fired = append(fired, e.Now()) })
+		e.After(0, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10, 10, 15}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := Time(1); i <= 100; i++ {
+		e.At(i*10, func() { count++ })
+	}
+	e.RunUntil(500)
+	if count != 50 {
+		t.Fatalf("count = %d, want 50", count)
+	}
+	if e.Now() != 500 {
+		t.Fatalf("clock = %v, want 500", e.Now())
+	}
+	e.RunUntil(1000)
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := New(1)
+	e.After(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New(1)
+	ran := false
+	tm := e.After(10, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled timer still fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := New(1)
+	tm := e.After(10, func() {})
+	e.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.At(i, func() {
+			count++
+			if count == 5 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5 after Stop", count)
+	}
+	e.Run() // resumes
+	if count != 10 {
+		t.Fatalf("count = %d, want 10 after resume", count)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed uint64) []uint64 {
+		e := New(seed)
+		rng := e.Rand()
+		var trace []uint64
+		var tick func()
+		tick = func() {
+			trace = append(trace, rng.Uint64())
+			if len(trace) < 50 {
+				e.After(Time(1+rng.Intn(100)), tick)
+			}
+		}
+		e.After(1, tick)
+		e.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("determinism violated at %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(7)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if mean < 0.98 || mean > 1.02 {
+		t.Fatalf("exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(3)
+	p := r.Perm(64)
+	seen := make([]bool, 64)
+	for _, v := range p {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	r := NewRand(9)
+	a := r.Fork()
+	b := r.Fork()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("forked generators produced identical first values")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.500us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := New(1)
+	t1 := e.After(10, func() {})
+	e.After(20, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	t1.Stop()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after cancel, want 1", e.Pending())
+	}
+}

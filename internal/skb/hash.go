@@ -1,0 +1,51 @@
+package skb
+
+// Kernel hashing primitives. RSS/RPS use the flow hash to pick a CPU;
+// Falcon additionally mixes the device index through Hash32 so that the
+// same flow maps to different cores at different pipeline stages
+// (Algorithm 1, line 19: hash_32(skb.hash + ifindex)).
+
+// goldenRatio32 is the kernel's GOLDEN_RATIO_32 multiplier.
+const goldenRatio32 = 0x61C88647
+
+// Hash32 mixes a 32-bit value, mirroring the kernel's hash_32().
+func Hash32(v uint32) uint32 {
+	return v * goldenRatio32
+}
+
+// jhash constants (Bob Jenkins' lookup3, as used by the kernel).
+const jhashInitval = 0xdeadbeef
+
+func rol32(x uint32, k uint) uint32 { return x<<k | x>>(32-k) }
+
+// jhash3 hashes three 32-bit words — the kernel's jhash_3words, used by
+// flow_hash_from_keys on the 5-tuple.
+func jhash3(a, b, c uint32) uint32 {
+	a += jhashInitval
+	b += jhashInitval
+	c += jhashInitval
+
+	c ^= b
+	c -= rol32(b, 14)
+	a ^= c
+	a -= rol32(c, 11)
+	b ^= a
+	b -= rol32(a, 25)
+	c ^= b
+	c -= rol32(b, 16)
+	a ^= c
+	a -= rol32(c, 4)
+	b ^= a
+	b -= rol32(a, 14)
+	c ^= b
+	c -= rol32(b, 24)
+	return c
+}
+
+// DeviceFlowHash combines a flow hash with a device index — Falcon's
+// per-stage hash. Distinct devices yield distinct values for the same
+// flow, which is what lets Falcon pipeline one flow's stages across
+// cores while keeping each stage pinned to a single core.
+func DeviceFlowHash(flowHash uint32, ifindex int) uint32 {
+	return Hash32(flowHash + uint32(ifindex))
+}

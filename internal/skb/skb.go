@@ -1,0 +1,200 @@
+// Package skb models the kernel's socket buffer (sk_buff): the unit of
+// work that flows through every device, queue and softirq in the
+// simulation. It also provides the kernel's flow-hashing primitives
+// (jhash over the flow key, hash_32 mixing) that RSS, RPS and Falcon's
+// get_falcon_cpu all build on.
+package skb
+
+import (
+	"fmt"
+
+	"falcon/internal/proto"
+	"falcon/internal/sim"
+)
+
+// FlowKey identifies a network flow — the kernel's struct flow_keys
+// reduced to the fields the hash uses: the 5-tuple.
+type FlowKey struct {
+	SrcIP, DstIP     proto.IPv4Addr
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// String renders the flow key for diagnostics.
+func (k FlowKey) String() string {
+	p := "udp"
+	if k.Proto == proto.ProtoTCP {
+		p = "tcp"
+	}
+	return fmt.Sprintf("%s:%d->%s:%d/%s", k.SrcIP, k.SrcPort, k.DstIP, k.DstPort, p)
+}
+
+// FlowKeyOf dissects a frame into its flow key, as the kernel's flow
+// dissector does when computing skb->hash. IP fragments hash on the
+// 3-tuple only (ports are unavailable or must match across fragments so
+// they land on the same core for reassembly).
+func FlowKeyOf(frame []byte) (FlowKey, error) {
+	f, err := proto.ParseFrame(frame)
+	if err != nil {
+		return FlowKey{}, err
+	}
+	k := FlowKey{
+		SrcIP: f.IP.Src,
+		DstIP: f.IP.Dst,
+		Proto: f.IP.Protocol,
+	}
+	if !f.IP.IsFragment() {
+		k.SrcPort = f.SrcPort()
+		k.DstPort = f.DstPort()
+	}
+	return k, nil
+}
+
+// Hash computes the flow hash over the key, mirroring the kernel's
+// flow_hash_from_keys (jhash over the flow words).
+func (k FlowKey) Hash() uint32 {
+	return jhash3(uint32(k.SrcIP), uint32(k.DstIP),
+		uint32(k.SrcPort)<<16|uint32(k.DstPort)|uint32(k.Proto)<<8)
+}
+
+// SKB is the simulation's sk_buff. It carries the real frame bytes plus
+// the metadata the datapath needs: the flow hash, the current device
+// (skb->dev), GRO segment count, and timestamps for latency measurement.
+type SKB struct {
+	Data []byte // current frame bytes (outer headers while encapsulated)
+
+	// Hash is the flow hash, computed once when the packet first enters
+	// the stack (HashValid) and preserved across decapsulation updates.
+	Hash      uint32
+	HashValid bool
+
+	// IfIndex is the index of the device currently processing the
+	// packet — the dev->ifindex the paper mixes into Falcon's hash.
+	IfIndex int
+
+	// Segs counts the original packets coalesced into this skb by GRO
+	// (1 for a non-merged packet).
+	Segs int
+
+	// FlowID and Seq identify the application-level flow and the
+	// packet's position in it, used by tests to verify in-order,
+	// exactly-once delivery. They are simulation instrumentation, not
+	// header fields.
+	FlowID uint64
+	Seq    uint64
+
+	// WireTime is when the frame left the sender's NIC; Delivered is
+	// when the receiving application consumed it.
+	WireTime  sim.Time
+	Delivered sim.Time
+
+	// LastCore is the core that last touched this packet (-1 initially);
+	// Migrations counts cross-core hops. Consumers charge the model's
+	// migration penalty when resuming on a new core (loss of locality,
+	// paper Section 6.3).
+	LastCore   int
+	Migrations int
+
+	// next links skbs inside intrusive queues (rx rings, backlogs).
+	next *SKB
+}
+
+// Touch records that core is about to process the packet and reports
+// whether this is a cross-core migration (the packet was previously
+// processed on a different core).
+func (s *SKB) Touch(core int) bool {
+	if s.LastCore == core {
+		return false
+	}
+	migrated := s.LastCore >= 0
+	s.LastCore = core
+	if migrated {
+		s.Migrations++
+	}
+	return migrated
+}
+
+// New returns an SKB wrapping the given frame bytes, with one segment
+// and no core affinity yet.
+func New(data []byte) *SKB {
+	return &SKB{Data: data, Segs: 1, LastCore: -1}
+}
+
+// Len returns the frame length in bytes.
+func (s *SKB) Len() int { return len(s.Data) }
+
+// SetFlowHash computes and pins the flow hash from the current frame
+// bytes. Like the kernel, the hash is computed only once per packet; the
+// overlay path recomputes it for the inner flow after decapsulation by
+// calling ResetFlowHash.
+func (s *SKB) SetFlowHash() error {
+	if s.HashValid {
+		return nil
+	}
+	k, err := FlowKeyOf(s.Data)
+	if err != nil {
+		return err
+	}
+	s.Hash = k.Hash()
+	s.HashValid = true
+	return nil
+}
+
+// ResetFlowHash invalidates the pinned hash, forcing recomputation from
+// the (now inner) frame on the next SetFlowHash.
+func (s *SKB) ResetFlowHash() { s.HashValid = false }
+
+// Queue is an intrusive FIFO of SKBs with O(1) enqueue/dequeue and a
+// byte/packet budget — the shape of every packet queue in the kernel
+// (rx_ring, input_pkt_queue, gro_cells, socket backlog).
+type Queue struct {
+	head, tail *SKB
+	n          int
+	limit      int // max packets; 0 means unlimited
+	dropped    uint64
+}
+
+// NewQueue returns a queue holding at most limit packets (0 = unlimited).
+func NewQueue(limit int) *Queue { return &Queue{limit: limit} }
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return q.n }
+
+// Dropped returns the number of packets rejected because the queue was
+// full — the simulation's packet-drop counter.
+func (q *Queue) Dropped() uint64 { return q.dropped }
+
+// Enqueue appends s. It reports false (and counts a drop) when full.
+func (q *Queue) Enqueue(s *SKB) bool {
+	if q.limit > 0 && q.n >= q.limit {
+		q.dropped++
+		return false
+	}
+	s.next = nil
+	if q.tail == nil {
+		q.head = s
+	} else {
+		q.tail.next = s
+	}
+	q.tail = s
+	q.n++
+	return true
+}
+
+// Dequeue removes and returns the head, or nil when empty.
+func (q *Queue) Dequeue() *SKB {
+	s := q.head
+	if s == nil {
+		return nil
+	}
+	q.head = s.next
+	if q.head == nil {
+		q.tail = nil
+	}
+	s.next = nil
+	q.n--
+	return s
+}
+
+// Peek returns the head without removing it.
+func (q *Queue) Peek() *SKB { return q.head }

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count (packets delivered,
+// bytes received, softirqs raised...).
+type Counter struct {
+	v uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v = 0 }
+
+// Rate converts a count accumulated over elapsed nanoseconds into a
+// per-second rate.
+func Rate(count uint64, elapsedNs int64) float64 {
+	if elapsedNs <= 0 {
+		return 0
+	}
+	return float64(count) * 1e9 / float64(elapsedNs)
+}
+
+// IRQKind enumerates the interrupt classes the paper counts (Fig. 4).
+type IRQKind int
+
+// Interrupt classes.
+const (
+	IRQHard  IRQKind = iota // hardware interrupts from the pNIC
+	IRQNetRX                // NET_RX_SOFTIRQ software interrupts
+	IRQNetTX                // NET_TX_SOFTIRQ software interrupts
+	IRQRES                  // rescheduling IPIs (cross-core wakeups)
+	IRQTimer                // timer ticks
+	irqKinds
+)
+
+// String returns the kernel-style name of the interrupt class.
+func (k IRQKind) String() string {
+	switch k {
+	case IRQHard:
+		return "HW"
+	case IRQNetRX:
+		return "NET_RX"
+	case IRQNetTX:
+		return "NET_TX"
+	case IRQRES:
+		return "RES"
+	case IRQTimer:
+		return "TIMER"
+	default:
+		return fmt.Sprintf("IRQ(%d)", int(k))
+	}
+}
+
+// IRQCounters tallies interrupts per class and per core, reproducing the
+// /proc/interrupts and /proc/softirqs views used in the paper's Fig. 4.
+type IRQCounters struct {
+	perCore [][irqKinds]uint64
+}
+
+// NewIRQCounters returns counters for cores CPU cores.
+func NewIRQCounters(cores int) *IRQCounters {
+	return &IRQCounters{perCore: make([][irqKinds]uint64, cores)}
+}
+
+// Inc records one interrupt of kind k on the given core.
+func (ic *IRQCounters) Inc(core int, k IRQKind) {
+	ic.perCore[core][k]++
+}
+
+// Core returns the count of kind k on a single core.
+func (ic *IRQCounters) Core(core int, k IRQKind) uint64 {
+	return ic.perCore[core][k]
+}
+
+// Total returns the count of kind k summed over all cores.
+func (ic *IRQCounters) Total(k IRQKind) uint64 {
+	var t uint64
+	for i := range ic.perCore {
+		t += ic.perCore[i][k]
+	}
+	return t
+}
+
+// Reset zeroes every counter.
+func (ic *IRQCounters) Reset() {
+	for i := range ic.perCore {
+		ic.perCore[i] = [irqKinds]uint64{}
+	}
+}
+
+// Table holds a labelled results grid: the common currency between
+// experiment harnesses, benchmarks and the CLI. Each experiment prints
+// one or more Tables shaped like the paper's figures.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b []byte
+	if t.Title != "" {
+		b = append(b, "== "+t.Title+" ==\n"...)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b = append(b, "  "...)
+			}
+			b = append(b, fmt.Sprintf("%-*s", widths[i], c)...)
+		}
+		b = append(b, '\n')
+	}
+	line(t.Columns)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return string(b)
+}
+
+// SortRows sorts rows by the first column (stable, lexicographic); useful
+// when rows are produced by map iteration.
+func (t *Table) SortRows() {
+	sort.SliceStable(t.Rows, func(i, j int) bool { return t.Rows[i][0] < t.Rows[j][0] })
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRate(t *testing.T) {
+	if r := Rate(1000, 1e9); r != 1000 {
+		t.Fatalf("rate = %v", r)
+	}
+	if r := Rate(500, 5e8); r != 1000 {
+		t.Fatalf("rate = %v", r)
+	}
+	if r := Rate(10, 0); r != 0 {
+		t.Fatalf("rate with zero elapsed = %v", r)
+	}
+}
+
+func TestIRQCounters(t *testing.T) {
+	ic := NewIRQCounters(4)
+	ic.Inc(0, IRQHard)
+	ic.Inc(1, IRQNetRX)
+	ic.Inc(1, IRQNetRX)
+	ic.Inc(2, IRQRES)
+	if ic.Total(IRQNetRX) != 2 {
+		t.Fatalf("NET_RX total = %d", ic.Total(IRQNetRX))
+	}
+	if ic.Core(1, IRQNetRX) != 2 {
+		t.Fatalf("NET_RX core1 = %d", ic.Core(1, IRQNetRX))
+	}
+	if ic.Total(IRQHard) != 1 || ic.Total(IRQRES) != 1 {
+		t.Fatal("per-kind totals wrong")
+	}
+	ic.Reset()
+	if ic.Total(IRQNetRX) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestIRQKindString(t *testing.T) {
+	names := map[IRQKind]string{
+		IRQHard: "HW", IRQNetRX: "NET_RX", IRQNetTX: "NET_TX",
+		IRQRES: "RES", IRQTimer: "TIMER",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	// Column alignment: "value" column starts at same offset in all rows.
+	h := strings.Index(lines[1], "value")
+	if h < 0 {
+		t.Fatal("header missing")
+	}
+	if lines[2][h-2:h] != "  " && lines[2][h:h+1] == "" {
+		t.Fatal("misaligned column")
+	}
+}
+
+func TestTableSortRows(t *testing.T) {
+	tb := &Table{Columns: []string{"k"}}
+	tb.AddRow("z")
+	tb.AddRow("a")
+	tb.AddRow("m")
+	tb.SortRows()
+	if tb.Rows[0][0] != "a" || tb.Rows[2][0] != "z" {
+		t.Fatalf("rows not sorted: %v", tb.Rows)
+	}
+}
+
+func TestCPUAccount(t *testing.T) {
+	a := NewCPUAccount(2)
+	a.ResetAt(0)
+	a.Charge(0, CtxSoftIRQ, 500, 1000)
+	a.Charge(0, CtxHardIRQ, 100, 1000)
+	a.Charge(1, CtxTask, 250, 1000)
+	if a.TotalBusy(0) != 600 {
+		t.Fatalf("busy0 = %d", a.TotalBusy(0))
+	}
+	if u := a.Utilization(0); u != 0.6 {
+		t.Fatalf("util0 = %v", u)
+	}
+	if s := a.ContextShare(0, CtxSoftIRQ); s != 0.5 {
+		t.Fatalf("softirq share = %v", s)
+	}
+	if u := a.SystemUtilization(); u != (0.6+0.25)/2 {
+		t.Fatalf("system util = %v", u)
+	}
+	a.ResetAt(1000)
+	if a.TotalBusy(0) != 0 || a.Span() != 0 {
+		t.Fatal("ResetAt did not clear")
+	}
+}
+
+func TestCPUAccountClamp(t *testing.T) {
+	a := NewCPUAccount(1)
+	a.ResetAt(0)
+	a.Charge(0, CtxSoftIRQ, 5000, 1000) // overcommitted
+	if u := a.Utilization(0); u != 1 {
+		t.Fatalf("util should clamp to 1, got %v", u)
+	}
+}
+
+func TestLoadMeterStaleness(t *testing.T) {
+	a := NewCPUAccount(2)
+	a.ResetAt(0)
+	m := NewLoadMeter(2, 1000)
+
+	a.Charge(0, CtxSoftIRQ, 800, 1000)
+	m.Tick(a, 1000)
+	if l := m.Load(0); l != 0.8 {
+		t.Fatalf("load0 = %v, want 0.8", l)
+	}
+	if l := m.Load(1); l != 0 {
+		t.Fatalf("load1 = %v, want 0", l)
+	}
+	if avg := m.SystemAvg(); avg != 0.4 {
+		t.Fatalf("avg = %v, want 0.4", avg)
+	}
+
+	// Between ticks the meter reports stale values even as busy accrues.
+	a.Charge(1, CtxSoftIRQ, 900, 2000)
+	if l := m.Load(1); l != 0 {
+		t.Fatalf("load should be stale between ticks, got %v", l)
+	}
+	m.Tick(a, 2000)
+	if l := m.Load(1); l != 0.9 {
+		t.Fatalf("load1 after tick = %v, want 0.9", l)
+	}
+	if l := m.Load(0); l != 0 {
+		t.Fatalf("load0 after idle window = %v, want 0", l)
+	}
+}
+
+func TestCPUContextString(t *testing.T) {
+	if CtxSoftIRQ.String() != "softirq" || CtxIdle.String() != "idle" {
+		t.Fatal("context names wrong")
+	}
+}

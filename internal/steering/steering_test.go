@@ -1,0 +1,86 @@
+package steering
+
+import (
+	"testing"
+
+	"falcon/internal/skb"
+)
+
+func TestRSSStableMapping(t *testing.T) {
+	r := RSS{QueueCores: []int{0, 2, 4, 6}}
+	h := uint32(0xdeadbeef)
+	if r.CoreFor(h) != r.CoreFor(h) {
+		t.Fatal("RSS mapping not stable")
+	}
+	if got := r.CoreFor(5); got != 2 {
+		t.Fatalf("CoreFor(5) = %d, want 2", got)
+	}
+}
+
+func TestRSSEmptyDefaultsToZero(t *testing.T) {
+	var r RSS
+	if r.CoreFor(123) != 0 {
+		t.Fatal("empty RSS should map to core 0")
+	}
+}
+
+func TestRPSDisabledStaysPut(t *testing.T) {
+	r := RPS{CPUs: []int{1, 2, 3}, Enabled: false}
+	if got := r.CPUFor(99, 7); got != 7 {
+		t.Fatalf("disabled RPS moved packet to %d", got)
+	}
+	r2 := RPS{Enabled: true}
+	if got := r2.CPUFor(99, 7); got != 7 {
+		t.Fatalf("empty-mask RPS moved packet to %d", got)
+	}
+}
+
+func TestRPSSameFlowSameCPU(t *testing.T) {
+	// The paper's Section 3.3 observation: all packets of one flow --
+	// and all *stages* of one flow -- map to the same CPU under RPS.
+	r := RPS{CPUs: []int{1, 2, 3, 4}, Enabled: true}
+	flow := skb.FlowKey{SrcPort: 1234, DstPort: 80, Proto: 17}.Hash()
+	first := r.CPUFor(flow, 0)
+	for i := 0; i < 100; i++ {
+		if r.CPUFor(flow, 0) != first {
+			t.Fatal("same flow steered to different CPUs")
+		}
+	}
+}
+
+func TestRPSSpreadsFlows(t *testing.T) {
+	r := RPS{CPUs: []int{0, 1, 2, 3}, Enabled: true}
+	seen := map[int]int{}
+	for p := uint16(0); p < 400; p++ {
+		k := skb.FlowKey{SrcPort: p, DstPort: 80, Proto: 6}
+		seen[r.CPUFor(k.Hash(), 0)]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("flows hit %d cores, want 4", len(seen))
+	}
+	for core, n := range seen {
+		if n < 50 || n > 150 {
+			t.Fatalf("core %d badly skewed: %d flows", core, n)
+		}
+	}
+}
+
+func TestRPSCollisionsExist(t *testing.T) {
+	// With more flows than cores, collisions are inevitable (the paper's
+	// load-imbalance observation in multi-flow tests).
+	r := RPS{CPUs: []int{0, 1, 2, 3, 4, 5, 6, 7}, Enabled: true}
+	counts := map[int]int{}
+	for p := uint16(0); p < 16; p++ {
+		k := skb.FlowKey{SrcPort: 1000 + p, DstPort: 80, Proto: 6}
+		counts[r.CPUFor(k.Hash(), 0)]++
+	}
+	collided := false
+	for _, n := range counts {
+		if n > 1 {
+			collided = true
+		}
+	}
+	if !collided {
+		t.Skip("no collision in this sample (unlikely but possible)")
+	}
+}

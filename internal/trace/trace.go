@@ -1,0 +1,123 @@
+// Package trace is the simulation's perf/flamegraph analogue: it
+// accumulates CPU time per datapath function (optionally per core) and
+// renders the share tables the paper presents as flamegraphs (Figs. 6
+// and 9a).
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"falcon/internal/costmodel"
+	"falcon/internal/stats"
+)
+
+// Profile accumulates nanoseconds per function.
+type Profile struct {
+	total   [costmodel.NumFuncs]int64
+	perCore [][costmodel.NumFuncs]int64
+	calls   [costmodel.NumFuncs]uint64
+}
+
+// NewProfile returns a profile tracking cores CPU cores.
+func NewProfile(cores int) *Profile {
+	return &Profile{perCore: make([][costmodel.NumFuncs]int64, cores)}
+}
+
+// Charge records ns nanoseconds of fn on core.
+func (p *Profile) Charge(core int, fn costmodel.Func, ns int64) {
+	p.total[fn] += ns
+	p.calls[fn]++
+	if core >= 0 && core < len(p.perCore) {
+		p.perCore[core][fn] += ns
+	}
+}
+
+// Time returns the accumulated ns of fn across all cores.
+func (p *Profile) Time(fn costmodel.Func) int64 { return p.total[fn] }
+
+// Calls returns the number of invocations of fn.
+func (p *Profile) Calls(fn costmodel.Func) uint64 { return p.calls[fn] }
+
+// CoreTime returns the accumulated ns of fn on one core.
+func (p *Profile) CoreTime(core int, fn costmodel.Func) int64 {
+	return p.perCore[core][fn]
+}
+
+// Total returns the accumulated ns across all functions.
+func (p *Profile) Total() int64 {
+	var t int64
+	for _, v := range p.total {
+		t += v
+	}
+	return t
+}
+
+// Share returns fn's fraction of all profiled CPU time.
+func (p *Profile) Share(fn costmodel.Func) float64 {
+	t := p.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.total[fn]) / float64(t)
+}
+
+// Reset clears the profile.
+func (p *Profile) Reset() {
+	p.total = [costmodel.NumFuncs]int64{}
+	p.calls = [costmodel.NumFuncs]uint64{}
+	for i := range p.perCore {
+		p.perCore[i] = [costmodel.NumFuncs]int64{}
+	}
+}
+
+// Top returns the n most expensive functions with their shares, sorted
+// descending — the flamegraph's widest frames.
+func (p *Profile) Top(n int) []FuncShare {
+	var all []FuncShare
+	t := p.Total()
+	if t == 0 {
+		return nil
+	}
+	for f := costmodel.Func(0); f < costmodel.NumFuncs; f++ {
+		if p.total[f] > 0 {
+			all = append(all, FuncShare{
+				Func:  f,
+				Ns:    p.total[f],
+				Share: float64(p.total[f]) / float64(t),
+				Calls: p.calls[f],
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Ns != all[j].Ns {
+			return all[i].Ns > all[j].Ns
+		}
+		return all[i].Func < all[j].Func
+	})
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// FuncShare is one row of a flamegraph table.
+type FuncShare struct {
+	Func  costmodel.Func
+	Ns    int64
+	Share float64
+	Calls uint64
+}
+
+// Table renders the top-n functions as a stats.Table shaped like the
+// paper's flamegraph annotations ("gro_cell_poll 30.61%...").
+func (p *Profile) Table(title string, n int) *stats.Table {
+	t := &stats.Table{Title: title, Columns: []string{"function", "cpu%", "calls", "time"}}
+	for _, fs := range p.Top(n) {
+		t.AddRow(fs.Func.String(),
+			fmt.Sprintf("%.2f%%", fs.Share*100),
+			fmt.Sprintf("%d", fs.Calls),
+			fmt.Sprintf("%.3fms", float64(fs.Ns)/1e6))
+	}
+	return t
+}

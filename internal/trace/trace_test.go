@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"falcon/internal/costmodel"
+)
+
+func TestProfileChargeAndShares(t *testing.T) {
+	p := NewProfile(2)
+	p.Charge(0, costmodel.FnGROReceive, 600)
+	p.Charge(1, costmodel.FnSKBAlloc, 300)
+	p.Charge(1, costmodel.FnSKBAlloc, 100)
+
+	if p.Time(costmodel.FnSKBAlloc) != 400 {
+		t.Fatalf("alloc time = %d", p.Time(costmodel.FnSKBAlloc))
+	}
+	if p.Calls(costmodel.FnSKBAlloc) != 2 {
+		t.Fatalf("alloc calls = %d", p.Calls(costmodel.FnSKBAlloc))
+	}
+	if p.CoreTime(1, costmodel.FnSKBAlloc) != 400 || p.CoreTime(0, costmodel.FnSKBAlloc) != 0 {
+		t.Fatal("per-core attribution wrong")
+	}
+	if p.Total() != 1000 {
+		t.Fatalf("total = %d", p.Total())
+	}
+	if s := p.Share(costmodel.FnGROReceive); s != 0.6 {
+		t.Fatalf("share = %v", s)
+	}
+}
+
+func TestProfileTopOrdering(t *testing.T) {
+	p := NewProfile(1)
+	p.Charge(0, costmodel.FnBridge, 100)
+	p.Charge(0, costmodel.FnVethXmit, 300)
+	p.Charge(0, costmodel.FnIPRcv, 200)
+	top := p.Top(2)
+	if len(top) != 2 {
+		t.Fatalf("top len = %d", len(top))
+	}
+	if top[0].Func != costmodel.FnVethXmit || top[1].Func != costmodel.FnIPRcv {
+		t.Fatalf("ordering wrong: %v", top)
+	}
+}
+
+func TestProfileTopEmpty(t *testing.T) {
+	p := NewProfile(1)
+	if p.Top(5) != nil {
+		t.Fatal("empty profile returned rows")
+	}
+	if p.Share(costmodel.FnBridge) != 0 {
+		t.Fatal("share of empty profile non-zero")
+	}
+}
+
+func TestProfileReset(t *testing.T) {
+	p := NewProfile(1)
+	p.Charge(0, costmodel.FnBridge, 100)
+	p.Reset()
+	if p.Total() != 0 || p.Calls(costmodel.FnBridge) != 0 || p.CoreTime(0, costmodel.FnBridge) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestProfileChargeOutOfRangeCore(t *testing.T) {
+	p := NewProfile(1)
+	p.Charge(-1, costmodel.FnBridge, 50) // must not panic
+	p.Charge(5, costmodel.FnBridge, 50)
+	if p.Time(costmodel.FnBridge) != 100 {
+		t.Fatal("totals should still accumulate")
+	}
+}
+
+func TestProfileTable(t *testing.T) {
+	p := NewProfile(1)
+	p.Charge(0, costmodel.FnGROCellPoll, 1000)
+	p.Charge(0, costmodel.FnBacklog, 3000)
+	out := p.Table("flame", 10).String()
+	if !strings.Contains(out, "gro_cell_poll") || !strings.Contains(out, "process_backlog") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "75.00%") {
+		t.Fatalf("share missing:\n%s", out)
+	}
+}

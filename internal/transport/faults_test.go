@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"testing"
+
+	"falcon/internal/devices"
+	"falcon/internal/sim"
+)
+
+// faultBed builds a testbed whose client→server link has injected
+// impairments.
+func faultBed(t *testing.T, seed uint64, loss float64, jitter sim.Time) *bed {
+	t.Helper()
+	b := newBed(t, 100*devices.Gbps, 0)
+	l := b.client.LinkTo(serverIP)
+	l.LossRate = loss
+	l.Jitter = jitter
+	return b
+}
+
+func TestTCPSurvivesInjectedLoss(t *testing.T) {
+	b := faultBed(t, 1, 0.02, 0)
+	c := dialOverlay(t, b, 4096)
+	c.StartContinuous()
+	b.e.RunUntil(150 * sim.Millisecond)
+
+	if c.Retransmits.Value() == 0 && c.Timeouts.Value() == 0 {
+		t.Fatalf("2%% loss triggered no recovery (link lost %d)",
+			b.client.LinkTo(serverIP).Lost.Value())
+	}
+	if c.rcvNxt != c.BytesAssembled.Value() {
+		t.Fatalf("stream gap under loss: rcvNxt=%d assembled=%d",
+			c.rcvNxt, c.BytesAssembled.Value())
+	}
+	if c.Socket().OrderViols != 0 {
+		t.Fatal("app saw out-of-order data under loss")
+	}
+	if c.BytesAssembled.Value() < 1<<20 {
+		t.Fatalf("little progress under 2%% loss: %d bytes", c.BytesAssembled.Value())
+	}
+}
+
+func TestTCPSurvivesJitter(t *testing.T) {
+	b := faultBed(t, 1, 0, 200*sim.Microsecond)
+	c := dialOverlay(t, b, 4096)
+	c.Send(200)
+	b.e.RunUntil(200 * sim.Millisecond)
+	if c.Socket().Delivered.Value() != 200 {
+		t.Fatalf("delivered %d of 200 under jitter", c.Socket().Delivered.Value())
+	}
+	if c.rcvNxt != 200*4096 {
+		t.Fatalf("rcvNxt = %d", c.rcvNxt)
+	}
+}
+
+func TestTCPLossSweepProperty(t *testing.T) {
+	// Property: at any loss rate, the delivered byte stream is exactly
+	// contiguous (rcvNxt == assembled bytes) and the application never
+	// observes reordering.
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, loss := range []float64{0.001, 0.01, 0.05, 0.15} {
+		for _, seed := range []uint64{1, 2} {
+			b := faultBed(t, seed, loss, 50*sim.Microsecond)
+			c := dialOverlay(t, b, 2048)
+			c.StartContinuous()
+			b.e.RunUntil(120 * sim.Millisecond)
+			if c.rcvNxt != c.BytesAssembled.Value() {
+				t.Fatalf("loss=%.3f seed=%d: gap rcvNxt=%d assembled=%d",
+					loss, seed, c.rcvNxt, c.BytesAssembled.Value())
+			}
+			if c.Socket().OrderViols != 0 {
+				t.Fatalf("loss=%.3f seed=%d: order violation", loss, seed)
+			}
+			if c.rcvNxt == 0 {
+				t.Fatalf("loss=%.3f seed=%d: no progress", loss, seed)
+			}
+			c.Close()
+		}
+	}
+}
+
+func TestTCPGoodputDegradesWithLoss(t *testing.T) {
+	run := func(loss float64) uint64 {
+		b := faultBed(t, 1, loss, 0)
+		c := dialOverlay(t, b, 4096)
+		c.StartContinuous()
+		b.e.RunUntil(100 * sim.Millisecond)
+		return c.BytesAssembled.Value()
+	}
+	clean := run(0)
+	lossy := run(0.05)
+	if lossy >= clean {
+		t.Fatalf("5%% loss did not reduce goodput: %d vs %d", lossy, clean)
+	}
+}

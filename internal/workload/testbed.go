@@ -1,0 +1,139 @@
+// Package workload provides the traffic generators and measurement
+// harnesses behind every experiment: the standard two-server testbed
+// (client + server over a direct 10G/100G link, as in the paper's
+// evaluation setup), sockperf-style UDP stress and fixed-rate flows,
+// multi-flow and multi-container populations, TCP bulk flows, and the
+// hotspot generator used by the adaptability test.
+package workload
+
+import (
+	"fmt"
+
+	falconcore "falcon/internal/core"
+	"falcon/internal/devices"
+	"falcon/internal/overlay"
+	"falcon/internal/proto"
+	"falcon/internal/sim"
+)
+
+// Standard testbed addresses.
+var (
+	ClientIP = proto.IP4(192, 168, 1, 1)
+	ServerIP = proto.IP4(192, 168, 1, 2)
+)
+
+// ContainerIP returns the private IP of container i (1-based) on the
+// given side (0 = client side, 1 = server side).
+func ContainerIP(side, i int) proto.IPv4Addr {
+	return proto.IP4(10, 32, byte(side), byte(i))
+}
+
+// TestbedConfig sizes the standard two-host testbed.
+type TestbedConfig struct {
+	// Kernel selects the cost profile for both hosts.
+	Kernel string
+	// LinkRate in bits/s (10G or 100G in the paper).
+	LinkRate float64
+	// Cores per host.
+	Cores int
+	// Server steering: RSS queue cores and the RPS mask.
+	RSSCores, RPSCores []int
+	// GRO / InnerGRO on both hosts.
+	GRO, InnerGRO bool
+	// Containers created per side (client side sends, server side
+	// receives). 0 is valid for host-network-only experiments.
+	Containers int
+	// MTU, when positive, enables IP fragmentation on the inter-host
+	// link (default 0: jumbo/GSO mode).
+	MTU int
+	// Seed for the engine.
+	Seed uint64
+}
+
+// Defaults fills zero fields with the paper's standard setup.
+func (c TestbedConfig) withDefaults() TestbedConfig {
+	if c.LinkRate == 0 {
+		c.LinkRate = 100 * devices.Gbps
+	}
+	if c.Cores == 0 {
+		c.Cores = 12
+	}
+	if len(c.RSSCores) == 0 {
+		c.RSSCores = []int{0}
+	}
+	if len(c.RPSCores) == 0 {
+		c.RPSCores = []int{1}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Testbed is the standard client/server pair.
+type Testbed struct {
+	E              *sim.Engine
+	Net            *overlay.Network
+	Client, Server *overlay.Host
+	// ClientCtrs and ServerCtrs are the per-side containers.
+	ClientCtrs, ServerCtrs []*overlay.Container
+}
+
+// NewTestbed builds the standard testbed.
+func NewTestbed(cfg TestbedConfig) *Testbed {
+	cfg = cfg.withDefaults()
+	e := sim.New(cfg.Seed)
+	n := overlay.NewNetwork(e)
+	mk := func(name string, ip proto.IPv4Addr) *overlay.Host {
+		return n.AddHost(overlay.HostConfig{
+			Name: name, IP: ip, Cores: cfg.Cores,
+			RSSCores: cfg.RSSCores, RPSCores: cfg.RPSCores,
+			GRO: cfg.GRO, InnerGRO: cfg.InnerGRO, Kernel: cfg.Kernel,
+		})
+	}
+	tb := &Testbed{E: e, Net: n, Client: mk("client", ClientIP), Server: mk("server", ServerIP)}
+	n.Connect(tb.Client, tb.Server, cfg.LinkRate, sim.Microsecond)
+	if cfg.MTU > 0 {
+		tb.Client.LinkTo(ServerIP).MTU = cfg.MTU
+		tb.Server.LinkTo(ClientIP).MTU = cfg.MTU
+	}
+	for i := 1; i <= cfg.Containers; i++ {
+		tb.ClientCtrs = append(tb.ClientCtrs,
+			tb.Client.AddContainer(fmt.Sprintf("cli-%d", i), ContainerIP(0, i)))
+		tb.ServerCtrs = append(tb.ServerCtrs,
+			tb.Server.AddContainer(fmt.Sprintf("srv-%d", i), ContainerIP(1, i)))
+	}
+	return tb
+}
+
+// EnableFalconOnServer attaches Falcon to the receive-heavy side.
+func (tb *Testbed) EnableFalconOnServer(cfg falconcore.Config) *falconcore.Falcon {
+	return tb.Server.EnableFalcon(cfg)
+}
+
+// Run advances the simulation to the absolute time t.
+func (tb *Testbed) Run(t sim.Time) { tb.E.RunUntil(t) }
+
+// Mode names the three configurations every figure compares.
+type Mode int
+
+// The paper's three comparison points.
+const (
+	ModeHost   Mode = iota // native host network, no containers
+	ModeCon                // vanilla Docker-style overlay
+	ModeFalcon             // overlay with Falcon
+)
+
+// String returns the paper's label for the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeHost:
+		return "Host"
+	case ModeCon:
+		return "Con"
+	case ModeFalcon:
+		return "Falcon"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
