@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke experiments clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One full pass of every experiment benchmark (quick windows).
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Regenerate every paper table with full measurement windows.
+experiments:
+	$(GO) run ./cmd/falconsim -all
+
+clean:
+	$(GO) clean ./...

@@ -18,6 +18,7 @@ import (
 	falconcore "falcon/internal/core"
 	"falcon/internal/devices"
 	"falcon/internal/experiments"
+	"falcon/internal/faults"
 	"falcon/internal/overlay"
 	"falcon/internal/sim"
 	"falcon/internal/socket"
@@ -122,6 +123,43 @@ func DialTCP(cfg TCPConfig, appWork Time) (*TCPConn, error) {
 func MeasureWindow(tb *Testbed, socks []*Socket, warmup, window Time) Result {
 	return workload.MeasureWindow(tb, socks, warmup, window)
 }
+
+// Chaos harness: deterministic, time-windowed fault injection (see
+// internal/faults for the plan format and the shipped fault types).
+type (
+	// Fault is one schedulable impairment.
+	Fault = faults.Fault
+	// FaultItem schedules a Fault over one time window.
+	FaultItem = faults.Item
+	// FaultPlan is a named schedule of impairments for one run.
+	FaultPlan = faults.Plan
+	// FaultInjector binds plans to an engine.
+	FaultInjector = faults.Injector
+)
+
+// The shipped fault types, usable directly in FaultPlan items. Handles
+// come from the testbed: links via Host.LinkTo, machines via Host.M,
+// NICs via Host.NIC, the KV store via Network.KV.
+type (
+	// LinkLossBurst forces a loss rate on one link for the window.
+	LinkLossBurst = faults.LinkLossBurst
+	// LinkJitterBurst adds bounded random delay to one link.
+	LinkJitterBurst = faults.LinkJitterBurst
+	// RingShrink caps a pNIC's rx-ring occupancy.
+	RingShrink = faults.RingShrink
+	// CoreStall wedges cores silently (they keep their queues).
+	CoreStall = faults.CoreStall
+	// CoreOffline hot-unplugs cores visibly.
+	CoreOffline = faults.CoreOffline
+	// KVFlaky adds latency and transient failures to KV lookups.
+	KVFlaky = faults.KVFlaky
+	// NoisyNeighbor burns a utilization share of the given cores.
+	NoisyNeighbor = faults.NoisyNeighbor
+)
+
+// NewFaultInjector returns an injector whose randomness forks from the
+// engine's seeded root RNG.
+func NewFaultInjector(e *Engine) *FaultInjector { return faults.NewInjector(e) }
 
 // Experiment reproduces one of the paper's figures.
 type Experiment = experiments.Experiment

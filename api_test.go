@@ -62,6 +62,33 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	}
 }
 
+func TestFacadeChaosHarness(t *testing.T) {
+	tb := falcon.NewTestbed(falcon.TestbedConfig{
+		LinkRate: 100 * falcon.Gbps, Cores: 8, Containers: 1,
+		RSSCores: []int{0}, RPSCores: []int{1}, GRO: true, InnerGRO: true,
+	})
+	in := falcon.NewFaultInjector(tb.E)
+	in.Install(falcon.FaultPlan{Name: "smoke"}) // empty plan: zero-cost
+	if in.Counters.Injected.Value() != 0 {
+		t.Fatal("empty plan injected something")
+	}
+	in.Install(falcon.FaultPlan{Name: "burst", Items: []falcon.FaultItem{
+		{At: 4 * falcon.Millisecond, For: falcon.Millisecond,
+			Fault: &falcon.LinkLossBurst{Link: tb.Client.LinkTo(falcon.ServerIP), Rate: 1.0}},
+	}})
+	sock, _ := tb.StressFlood(true, 1, 64, 2, 10*falcon.Millisecond)
+	res := falcon.MeasureWindow(tb, []*falcon.Socket{sock}, 2*falcon.Millisecond, 5*falcon.Millisecond)
+	if res.Delivered == 0 {
+		t.Fatal("no traffic with a chaos plan installed")
+	}
+	if got := in.Counters.Injected.Value(); got != 1 {
+		t.Fatalf("injected = %d, want 1", got)
+	}
+	if got := in.Counters.Cleared.Value(); got != 1 {
+		t.Fatalf("cleared = %d, want 1", got)
+	}
+}
+
 func TestFacadeCustomTopology(t *testing.T) {
 	e := falcon.NewEngine(7)
 	n := falcon.NewNetwork(e)

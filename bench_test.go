@@ -60,6 +60,7 @@ func BenchmarkAblationDynSplit(b *testing.B) { benchExperiment(b, "abl-dynsplit"
 func BenchmarkBaselineSlim(b *testing.B)     { benchExperiment(b, "abl-slim") }
 func BenchmarkExtensionMTU(b *testing.B)     { benchExperiment(b, "abl-mtu") }
 func BenchmarkAblationBalancer(b *testing.B) { benchExperiment(b, "abl-balancer") }
+func BenchmarkAblationChaos(b *testing.B)    { benchExperiment(b, "abl-chaos") }
 
 // Substrate micro-benchmarks.
 

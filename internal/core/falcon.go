@@ -19,6 +19,7 @@ import (
 	"falcon/internal/cpu"
 	"falcon/internal/sim"
 	"falcon/internal/skb"
+	"falcon/internal/stats"
 )
 
 // DefaultLoadThreshold is FALCON_LOAD_THRESHOLD: the paper's sensitivity
@@ -61,6 +62,12 @@ type Config struct {
 	// refreshes (the paper updates "every N timer interrupts").
 	// Zero means every tick.
 	UpdateEvery int
+
+	// Health configures the per-core health tracker (health.go). The
+	// zero value enables tracking with defaults; tracking is passive
+	// (tick-driven reads of existing accounting) and changes placement
+	// only when a core actually sickens.
+	Health HealthConfig
 }
 
 // DefaultConfig returns the full Falcon configuration over the given
@@ -87,6 +94,16 @@ type Falcon struct {
 	dynActive  bool
 	dynWatch   []*dynSplitState
 
+	// Per-core health tracking (health.go).
+	health        []coreHealth
+	healthy       []int // healthy subset of cfg.CPUs, in cfg order
+	degraded      bool
+	degradedSince sim.Time
+
+	// Faults makes degradation observable: reroutes off sick cores,
+	// below-floor fallbacks, time spent degraded.
+	Faults stats.FaultCounters
+
 	// Diagnostics.
 	firstChoice  uint64 // placements served by the first hash
 	secondChoice uint64 // placements that needed the double hash
@@ -99,12 +116,15 @@ func New(m *cpu.Machine, cfg Config) *Falcon {
 	if cfg.LoadThreshold == 0 {
 		cfg.LoadThreshold = DefaultLoadThreshold
 	}
+	cfg.Health = cfg.Health.withDefaults()
 	f := &Falcon{cfg: cfg, m: m}
+	f.initHealth()
 	m.OnTick(func(now sim.Time) {
 		f.tickCount++
 		if cfg.UpdateEvery <= 1 || f.tickCount%cfg.UpdateEvery == 0 {
 			f.lavg = f.falconLoad()
 		}
+		f.updateHealth(now)
 	})
 	return f
 }
@@ -154,11 +174,25 @@ func (f *Falcon) GetCPU(s *skb.SKB, ifindex int) (int, bool) {
 		f.gatedOff++
 		return 0, false
 	}
-	n := len(f.cfg.CPUs)
+	cpus := f.cfg.CPUs
+	if len(f.healthy) != len(cpus) {
+		// Some FALCON_CPUS are blacklisted. Below the floor, decline
+		// placement entirely: the caller keeps the vanilla same-core
+		// path, which needs no healthy spare cores at all.
+		if len(f.healthy) < f.cfg.Health.MinHealthy {
+			f.Faults.Fallbacks.Inc()
+			return 0, false
+		}
+		if first := cpus[int(skb.DeviceFlowHash(s.Hash, ifindex))%len(cpus)]; !f.isHealthy(first) {
+			f.Faults.Rerouted.Inc()
+		}
+		cpus = f.healthy
+	}
+	n := len(cpus)
 	if f.cfg.LeastLoaded {
-		best := f.cfg.CPUs[0]
+		best := cpus[0]
 		bestLoad := f.m.Load.Load(best)
-		for _, c := range f.cfg.CPUs[1:] {
+		for _, c := range cpus[1:] {
 			if l := f.m.Load.Load(c); l < bestLoad {
 				best, bestLoad = c, l
 			}
@@ -167,14 +201,14 @@ func (f *Falcon) GetCPU(s *skb.SKB, ifindex int) (int, bool) {
 		return best, true
 	}
 	hash := skb.DeviceFlowHash(s.Hash, ifindex)
-	cpu1 := f.cfg.CPUs[int(hash)%n]
+	cpu1 := cpus[int(hash)%n]
 	if f.m.Load.Load(cpu1) < f.cfg.LoadThreshold || !f.cfg.TwoChoice {
 		f.firstChoice++
 		return cpu1, true
 	}
 	hash = skb.Hash32(hash)
 	f.secondChoice++
-	return f.cfg.CPUs[int(hash)%n], true
+	return cpus[int(hash)%n], true
 }
 
 // GROSplitOn reports whether softirq splitting of the pNIC stage should

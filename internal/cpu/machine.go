@@ -132,6 +132,16 @@ type Core struct {
 	busy bool
 
 	softStreak int // consecutive softirq items while tasks waited
+
+	// Fault-injection state (internal/faults). A stalled core finishes
+	// its in-flight work item but starts nothing new until unstalled —
+	// the simulation analogue of a core wedged by a runaway SMI/hypervisor
+	// preemption. An offline core behaves the same but is additionally
+	// visible to software (CPU-hotplug notification), so balancers can
+	// blacklist it immediately rather than inferring sickness from
+	// stalled progress.
+	stalled bool
+	offline bool
 }
 
 // ID returns the core index.
@@ -158,6 +168,41 @@ func (c *Core) QueueLen(ctx stats.CPUContext) int {
 func (c *Core) Idle() bool {
 	return !c.busy && len(c.hard) == 0 && len(c.soft) == 0 && len(c.task) == 0
 }
+
+// SetStalled freezes (true) or resumes (false) the core. While stalled,
+// the in-flight work item completes but no queued item starts; queues
+// keep accepting work. Progress-based health trackers can detect the
+// condition (queued work, no busy-time delta), which is exactly how the
+// kernel's soft-lockup watchdog infers a wedged CPU.
+func (c *Core) SetStalled(v bool) {
+	if c.stalled == v {
+		return
+	}
+	c.stalled = v
+	if !v && !c.busy {
+		c.dispatch()
+	}
+}
+
+// Stalled reports whether the core is currently stalled.
+func (c *Core) Stalled() bool { return c.stalled }
+
+// SetOffline takes the core out of service (true) or returns it (false)
+// — the simulation's CPU hotplug. Execution freezes exactly as in
+// SetStalled, but the state is visible via Offline, modelling the
+// hotplug notification real kernels broadcast.
+func (c *Core) SetOffline(v bool) {
+	if c.offline == v {
+		return
+	}
+	c.offline = v
+	if !v && !c.busy {
+		c.dispatch()
+	}
+}
+
+// Offline reports whether the core has been hot-unplugged.
+func (c *Core) Offline() bool { return c.offline }
 
 // Submit enqueues a work slice of explicit cost. done may be nil.
 func (c *Core) Submit(ctx stats.CPUContext, fn costmodel.Func, cost sim.Time, done func()) {
@@ -211,6 +256,12 @@ func (c *Core) next() (workItem, bool) {
 }
 
 func (c *Core) dispatch() {
+	if c.stalled || c.offline {
+		// Frozen: leave queued work in place. SetStalled/SetOffline
+		// re-enter dispatch on resume.
+		c.busy = false
+		return
+	}
 	item, ok := c.next()
 	if !ok {
 		c.busy = false

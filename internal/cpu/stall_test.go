@@ -1,0 +1,89 @@
+package cpu
+
+import (
+	"testing"
+
+	"falcon/internal/costmodel"
+	"falcon/internal/stats"
+)
+
+func TestStalledCoreParksQueuedWork(t *testing.T) {
+	e, m := newTestMachine(1)
+	c := m.Core(0)
+	c.SetStalled(true)
+	if !c.Stalled() {
+		t.Fatal("stall flag not visible")
+	}
+	ran := false
+	c.Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 100, func() { ran = true })
+	e.Run()
+	if ran {
+		t.Fatal("stalled core executed new work")
+	}
+	if c.QueueLen(stats.CtxSoftIRQ) == 0 {
+		t.Fatal("work not parked in the queue")
+	}
+	// Unstalling must redispatch the parked item without a new Submit.
+	c.SetStalled(false)
+	e.Run()
+	if !ran {
+		t.Fatal("parked work did not resume after unstall")
+	}
+}
+
+func TestOfflineCoreVisibleAndParked(t *testing.T) {
+	e, m := newTestMachine(1)
+	c := m.Core(0)
+	c.SetOffline(true)
+	if !c.Offline() {
+		t.Fatal("offline flag not visible")
+	}
+	ran := false
+	c.Submit(stats.CtxTask, costmodel.FnAppWork, 10, func() { ran = true })
+	e.Run()
+	if ran {
+		t.Fatal("offline core executed work")
+	}
+	c.SetOffline(false)
+	e.Run()
+	if !ran {
+		t.Fatal("work did not resume after online")
+	}
+}
+
+func TestStallDoesNotPreemptInflight(t *testing.T) {
+	e, m := newTestMachine(1)
+	c := m.Core(0)
+	var doneAt []int64
+	c.Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 100, func() { doneAt = append(doneAt, int64(e.Now())) })
+	c.Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 100, func() { doneAt = append(doneAt, int64(e.Now())) })
+	e.At(50, func() { c.SetStalled(true) })
+	e.At(500, func() { c.SetStalled(false) })
+	e.Run()
+	if len(doneAt) != 2 {
+		t.Fatalf("completions = %d", len(doneAt))
+	}
+	// First item was in flight when the stall hit: completes on time
+	// (non-preemptive). Second waits for the unstall.
+	if doneAt[0] != 100 {
+		t.Fatalf("in-flight item at %d, want 100", doneAt[0])
+	}
+	if doneAt[1] != 600 {
+		t.Fatalf("queued item at %d, want 600", doneAt[1])
+	}
+}
+
+func TestUnstallIdempotent(t *testing.T) {
+	e, m := newTestMachine(1)
+	c := m.Core(0)
+	// Toggling state on an idle core must not panic or double-dispatch.
+	c.SetStalled(true)
+	c.SetStalled(false)
+	c.SetStalled(false)
+	ran := 0
+	c.Submit(stats.CtxSoftIRQ, costmodel.FnBridge, 10, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("ran %d times", ran)
+	}
+}

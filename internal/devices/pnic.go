@@ -48,6 +48,12 @@ type PNIC struct {
 
 	queues map[int]*nicQueue
 
+	// ringLimit, when positive, caps the usable depth of every rx ring
+	// below RingSize — fault injection's "ring shrink" (a driver reset
+	// renegotiating a tiny ring, or DMA buffer exhaustion). Zero is the
+	// healthy full-depth ring.
+	ringLimit int
+
 	// Drops counts frames rejected by full rings.
 	Drops stats.Counter
 	// HardIRQs counts interrupt activations (coalesced).
@@ -89,6 +95,16 @@ func (n *PNIC) queue(core int) *nicQueue {
 // RingLen returns the rx ring depth of the queue affined to core.
 func (n *PNIC) RingLen(core int) int { return n.queue(core).ring.Len() }
 
+// SetRingLimit caps (limit > 0) or restores (limit <= 0) the usable rx
+// ring depth. Frames already in a ring beyond a new cap stay queued;
+// only admissions are limited.
+func (n *PNIC) SetRingLimit(limit int) {
+	if limit < 0 {
+		limit = 0
+	}
+	n.ringLimit = limit
+}
+
 // Arrive is the link-delivery entry: DMA into the RSS-selected queue's
 // ring and raise a (coalesced) hardirq. The receiving host starts from a
 // fresh sk_buff: sender-side hash and core affinity do not carry over
@@ -103,6 +119,10 @@ func (n *PNIC) Arrive(s *skb.SKB) {
 	}
 	s.IfIndex = n.Ifindex
 	q := n.queue(n.RSS.CoreFor(s.Hash))
+	if n.ringLimit > 0 && q.ring.Len() >= n.ringLimit {
+		n.Drops.Inc()
+		return
+	}
 	if !q.ring.Enqueue(s) {
 		n.Drops.Inc()
 		return

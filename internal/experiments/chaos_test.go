@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"falcon/internal/workload"
+)
+
+func TestChaosRegistered(t *testing.T) {
+	if _, ok := ByID("abl-chaos"); !ok {
+		t.Fatal("abl-chaos not registered")
+	}
+}
+
+func TestChaosNeverWorseAndBoundedRecovery(t *testing.T) {
+	// The PR's acceptance property: under every shipped fault scenario,
+	// Falcon with health tracking delivers >= 0.98x the vanilla overlay,
+	// and per-ms delivery recovers within half the measurement window of
+	// the fault clearing.
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	maxRecover := (quick.window() / 2).Seconds() * 1e3
+	for _, sc := range chaosScenarios() {
+		sc := sc
+		t.Run(sc.key, func(t *testing.T) {
+			con := runChaosScenario(workload.ModeCon, quick, sc)
+			fal := runChaosScenario(workload.ModeFalcon, quick, sc)
+			if fal.Res.PPS < 0.98*con.Res.PPS {
+				t.Fatalf("never-worse violated: falcon=%.0f con=%.0f (%.3fx)",
+					fal.Res.PPS, con.Res.PPS, fal.Res.PPS/con.Res.PPS)
+			}
+			if fal.RecoverMs < 0 || fal.RecoverMs > maxRecover {
+				t.Fatalf("recovery out of bounds: %.1fms (budget %.1fms)",
+					fal.RecoverMs, maxRecover)
+			}
+		})
+	}
+}
+
+func TestChaosCoreOfflineDegradesGracefully(t *testing.T) {
+	// Offlining 2 of 3 FALCON_CPUs pushes the healthy set below the
+	// floor: Falcon must visibly fall back to the vanilla path and
+	// account degraded time, while still delivering the flow.
+	var offline chaosScenario
+	for _, sc := range chaosScenarios() {
+		if sc.key == "cpu-offline" {
+			offline = sc
+		}
+	}
+	out := runChaosScenario(workload.ModeFalcon, quick, offline)
+	if out.Fallbacks == 0 {
+		t.Fatal("no fallback placements during below-floor window")
+	}
+	if out.DegradedMs <= 0 {
+		t.Fatal("no degraded-mode time accounted")
+	}
+	none := runChaosScenario(workload.ModeFalcon, quick, chaosScenarios()[0])
+	if out.Res.PPS < 0.98*none.Res.PPS {
+		t.Fatalf("offline run lost throughput: %.0f vs healthy %.0f",
+			out.Res.PPS, none.Res.PPS)
+	}
+}
+
+func TestChaosExperimentDeterministic(t *testing.T) {
+	// Same seed, same plans: two full renders of the experiment must be
+	// byte-identical (the chaos layer draws only from engine-seeded
+	// RNGs).
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	render := func() string {
+		var b strings.Builder
+		for _, tbl := range ablChaos(quick) {
+			b.WriteString(tbl.String())
+		}
+		return b.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("abl-chaos diverged between identical runs:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
+func TestChaosVerdictTableAllOK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tables := ablChaos(quick)
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tables))
+	}
+	verdict := tables[1]
+	for _, row := range verdict.Rows {
+		if row[len(row)-1] != "OK" {
+			t.Fatalf("scenario %s verdict %s", row[0], row[len(row)-1])
+		}
+	}
+}

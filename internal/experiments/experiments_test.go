@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2a", "fig2b", "fig2c", "fig2d", "fig4", "fig5", "fig6",
 		"fig9a", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19",
-		"abl-grosplit", "abl-locality", "abl-stages",
+		"abl-grosplit", "abl-locality", "abl-stages", "abl-chaos",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

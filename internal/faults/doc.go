@@ -1,0 +1,49 @@
+// Package faults is the deterministic chaos harness for the Falcon
+// datapath: seeded, time-windowed fault injection that plugs into the
+// discrete-event simulation without perturbing healthy runs.
+//
+// # Fault-plan format
+//
+// A Plan is a named list of Items. Each Item schedules one Fault over
+// one absolute time window:
+//
+//	plan := faults.Plan{
+//		Name: "stall-then-loss",
+//		Items: []faults.Item{
+//			{At: 20 * sim.Millisecond, For: 5 * sim.Millisecond,
+//				Fault: &faults.CoreStall{M: host.M, Cores: []int{4}}},
+//			{At: 30 * sim.Millisecond, For: 3 * sim.Millisecond,
+//				Fault: &faults.LinkLossBurst{Link: link, Rate: 0.1}},
+//		},
+//	}
+//	faults.NewInjector(engine).Install(plan)
+//
+// Install schedules Apply at each item's At and Revert at At+For, then
+// returns; the engine fires them in virtual time. Every Item must lie
+// in the future when installed. An empty plan schedules nothing — the
+// fault layer is zero-cost when disabled, and a run with an empty plan
+// is byte-identical to a run without the harness.
+//
+// # Shipped faults
+//
+//   - LinkLossBurst / LinkJitterBurst — wire impairments on a
+//     devices.Link; loss and jitter draw from the link's own engine-
+//     seeded RNG, so a given (seed, plan) pair replays exactly.
+//   - RingShrink — caps a pNIC's rx rings far below their real depth,
+//     producing overflow-drop storms under load.
+//   - CoreStall — freezes cores silently (work queues, nothing runs):
+//     the soft-lockup shape a health tracker must *infer*.
+//   - CoreOffline — CPU hotplug: same freeze, but visible through
+//     cpu.Core.Offline so balancers can react immediately.
+//   - KVFlaky — overlay control-plane trouble: every KV lookup pays
+//     extra latency and transiently fails with a given probability,
+//     driving the overlay's retry/backoff and negative-cache paths.
+//   - NoisyNeighbor — a softirq-context antagonist burning a fixed
+//     utilization on victim cores, the colocated-tenant interference
+//     case for Falcon's load gate.
+//
+// Determinism: all randomness is drawn from generators forked off the
+// simulation engine's seeded root RNG at install time, in plan order.
+// Two runs with the same engine seed and the same plan produce
+// identical event sequences, counters and tables.
+package faults

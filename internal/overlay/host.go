@@ -66,9 +66,20 @@ type Host struct {
 	containers []*Container
 	handlers   map[SockKey]L4Handler
 	links      map[proto.IPv4Addr]*devices.Link // by peer host IP
+	negCache   map[proto.IPv4Addr]sim.Time      // KV miss → suppress-until
 
 	// L4Drops counts packets with no bound endpoint.
 	L4Drops stats.Counter
+
+	// TxResolveDrops counts transmissions abandoned because the
+	// destination could not be resolved (KV miss / exhausted retries /
+	// no route) — previously a silent error discard in the tx path.
+	TxResolveDrops stats.Counter
+	// KVRetries counts backoff retries of transiently failed KV
+	// lookups; NegCacheHits counts sends suppressed by the negative
+	// cache.
+	KVRetries   stats.Counter
+	NegCacheHits stats.Counter
 
 	txSeq uint16 // IPv4 identification counter
 }
@@ -108,6 +119,7 @@ func newHost(n *Network, cfg HostConfig, hostID uint64) *Host {
 		St:       st,
 		handlers: make(map[SockKey]L4Handler),
 		links:    make(map[proto.IPv4Addr]*devices.Link),
+		negCache: make(map[proto.IPv4Addr]sim.Time),
 	}
 	h.NIC = devices.NewPNIC(st, cfg.Name+"-eth0", steering.RSS{QueueCores: cfg.RSSCores}, cfg.GRO)
 	vxlanIf := st.RegisterDevice(cfg.Name + "-vxlan0")
@@ -221,4 +233,7 @@ func (h *Host) ResetMeasurement() {
 	h.NIC.HardIRQs.Reset()
 	h.St.Drops.Reset()
 	h.L4Drops.Reset()
+	h.TxResolveDrops.Reset()
+	h.KVRetries.Reset()
+	h.NegCacheHits.Reset()
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"falcon/internal/proto"
+	"falcon/internal/sim"
 )
 
 // EndpointInfo is what the overlay control plane knows about a container
@@ -27,7 +28,24 @@ type EndpointInfo struct {
 // effectively provides).
 type KVStore struct {
 	entries map[proto.IPv4Addr]EndpointInfo
+	fault   LookupFault
 }
+
+// LookupFault models control-plane misbehaviour on the lookup path
+// (internal/faults installs implementations): each consulted lookup may
+// be delayed and/or transiently fail. A nil fault keeps Get purely
+// local and synchronous — the healthy Docker-gossip behaviour.
+type LookupFault interface {
+	// Lookup is consulted once per resolution attempt and returns the
+	// extra latency the attempt pays and whether it transiently fails.
+	Lookup(containerIP proto.IPv4Addr) (delay sim.Time, fail bool)
+}
+
+// SetFault installs (or, with nil, removes) a lookup fault.
+func (kv *KVStore) SetFault(f LookupFault) { kv.fault = f }
+
+// Fault returns the installed lookup fault, nil when healthy.
+func (kv *KVStore) Fault() LookupFault { return kv.fault }
 
 // NewKVStore returns an empty store.
 func NewKVStore() *KVStore {

@@ -65,43 +65,128 @@ func (h *Host) sendL4(p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
 		steps = append(steps, netdev.Step{Fn: costmodel.FnVethXmit}, netdev.Step{Fn: costmodel.FnBridge})
 	}
 	netdev.RunChain(core, ctx, steps, func() {
-		inner, info, err := h.buildInner(p, ipProto, tcp)
-		if err != nil {
-			finish(false)
-			return
-		}
-		s := skb.New(inner)
-		s.FlowID = p.FlowID
-		s.Seq = p.Seq
-		if err := s.SetFlowHash(); err != nil {
-			finish(false)
-			return
-		}
-		if p.From == nil {
-			// Host networking: straight out the NIC.
-			core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
-				finish(h.sendWire(core, ctx, s, p.DstIP))
-			})
-			return
-		}
-		if info.HostIP == h.IP {
-			// Same-host container: the bridge forwards locally; the frame
-			// enters the destination's veth backlog without encapsulation.
-			s.WireTime = h.Net.E.Now()
-			finish(h.Rx.InjectLocal(nil, p.Core, s))
-			return
-		}
-		// Cross-host: encapsulate and transmit.
-		core.Exec(ctx, costmodel.FnVXLANXmit, len(inner), func() {
-			entropy := uint16(49152 + (s.Hash % 16384))
-			outer := proto.Encapsulate(inner, h.MAC, info.HostMAC, h.IP, info.HostIP,
-				entropy, h.Net.VNI, h.nextIPID())
-			s.Data = outer
-			core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
-				finish(h.sendWire(core, ctx, s, info.HostIP))
+		h.resolve(p, func(info EndpointInfo, ok bool) {
+			if !ok {
+				h.TxResolveDrops.Inc()
+				finish(false)
+				return
+			}
+			inner, err := h.buildInner(p, ipProto, tcp, info)
+			if err != nil {
+				finish(false)
+				return
+			}
+			s := skb.New(inner)
+			s.FlowID = p.FlowID
+			s.Seq = p.Seq
+			if err := s.SetFlowHash(); err != nil {
+				finish(false)
+				return
+			}
+			if p.From == nil {
+				// Host networking: straight out the NIC.
+				core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
+					finish(h.sendWire(core, ctx, s, p.DstIP))
+				})
+				return
+			}
+			if info.HostIP == h.IP {
+				// Same-host container: the bridge forwards locally; the frame
+				// enters the destination's veth backlog without encapsulation.
+				s.WireTime = h.Net.E.Now()
+				finish(h.Rx.InjectLocal(nil, p.Core, s))
+				return
+			}
+			// Cross-host: encapsulate and transmit.
+			core.Exec(ctx, costmodel.FnVXLANXmit, len(inner), func() {
+				entropy := uint16(49152 + (s.Hash % 16384))
+				outer := proto.Encapsulate(inner, h.MAC, info.HostMAC, h.IP, info.HostIP,
+					entropy, h.Net.VNI, h.nextIPID())
+				s.Data = outer
+				core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
+					finish(h.sendWire(core, ctx, s, info.HostIP))
+				})
 			})
 		})
 	})
+}
+
+// KV-resolution resilience parameters: transiently failed lookups retry
+// with exponential backoff; definitive misses enter a negative cache so
+// a burst toward an unknown IP does not hammer the control plane.
+const (
+	// kvRetryBase is the first retry's backoff; each further attempt
+	// doubles it.
+	kvRetryBase = 20 * sim.Microsecond
+	// kvMaxRetries bounds resolution attempts per packet.
+	kvMaxRetries = 4
+	// NegCacheTTL is how long a definitive KV miss suppresses further
+	// lookups of the same IP.
+	NegCacheTTL = 2 * sim.Millisecond
+)
+
+// resolve produces the EndpointInfo for p's destination and calls cont
+// exactly once. On the healthy path it is fully synchronous (cont runs
+// inline, zero extra simulation events). With a KV lookup fault
+// installed, container resolutions pay the injected latency, retry
+// transient failures with exponential backoff, and negative-cache
+// definitive misses instead of erroring straight out.
+func (h *Host) resolve(p SendParams, cont func(EndpointInfo, bool)) {
+	if p.From == nil {
+		// Host networking: resolve the peer host's MAC via the link map.
+		peer := h.Net.hostByIP(p.DstIP)
+		if peer == nil {
+			cont(EndpointInfo{}, false)
+			return
+		}
+		cont(EndpointInfo{HostIP: p.DstIP, HostMAC: peer.MAC}, true)
+		return
+	}
+	flt := h.Net.KV.Fault()
+	if flt == nil {
+		info, err := h.Net.KV.Get(p.DstIP)
+		cont(info, err == nil)
+		return
+	}
+	if exp, ok := h.negCache[p.DstIP]; ok {
+		if h.Net.E.Now() < exp {
+			h.NegCacheHits.Inc()
+			cont(EndpointInfo{}, false)
+			return
+		}
+		delete(h.negCache, p.DstIP)
+	}
+	attempt := 0
+	var try func()
+	try = func() {
+		delay, fail := flt.Lookup(p.DstIP)
+		after := func() {
+			if fail {
+				if attempt >= kvMaxRetries {
+					cont(EndpointInfo{}, false)
+					return
+				}
+				backoff := kvRetryBase << attempt
+				attempt++
+				h.KVRetries.Inc()
+				h.Net.E.After(backoff, try)
+				return
+			}
+			info, err := h.Net.KV.Get(p.DstIP)
+			if err != nil {
+				h.negCache[p.DstIP] = h.Net.E.Now() + NegCacheTTL
+				cont(EndpointInfo{}, false)
+				return
+			}
+			cont(info, true)
+		}
+		if delay > 0 {
+			h.Net.E.After(delay, after)
+		} else {
+			after()
+		}
+	}
+	try()
 }
 
 // MaxOverlayPayload is the largest L4 payload a container can send in
@@ -114,46 +199,29 @@ const MaxOverlayPayload = 65535 - proto.IPv4Len - proto.UDPLen - proto.OverlayOv
 // MaxHostPayload is the host-network equivalent.
 const MaxHostPayload = 65535 - proto.IPv4Len - proto.UDPLen
 
-// buildInner constructs the L2–L4 frame and resolves the destination.
-// For container senders it also computes the flow hash used as VXLAN
-// source-port entropy.
-func (h *Host) buildInner(p SendParams, ipProto uint8, tcp *proto.TCPHdr) ([]byte, EndpointInfo, error) {
+// buildInner constructs the L2–L4 frame for an already-resolved
+// destination. For container senders the inner MACs come from the KV
+// entry; for host networking from the peer host.
+func (h *Host) buildInner(p SendParams, ipProto uint8, tcp *proto.TCPHdr, info EndpointInfo) ([]byte, error) {
 	limit := MaxHostPayload
 	if p.From != nil {
 		limit = MaxOverlayPayload
 	}
 	if p.Payload > limit {
-		return nil, EndpointInfo{}, fmt.Errorf("overlay: payload %d exceeds frame limit %d", p.Payload, limit)
+		return nil, fmt.Errorf("overlay: payload %d exceeds frame limit %d", p.Payload, limit)
 	}
 	payload := make([]byte, p.Payload)
+	srcMAC, srcIP := h.MAC, h.IP
+	dstMAC := info.HostMAC
 	if p.From != nil {
-		info, err := h.Net.KV.Get(p.DstIP)
-		if err != nil {
-			return nil, EndpointInfo{}, err
-		}
-		var frame []byte
-		if ipProto == proto.ProtoTCP {
-			frame = proto.BuildTCPFrame(p.From.MAC, info.ContainerMAC, p.From.IP, p.DstIP,
-				*tcp, h.nextIPID(), payload)
-		} else {
-			frame = proto.BuildUDPFrame(p.From.MAC, info.ContainerMAC, p.From.IP, p.DstIP,
-				p.SrcPort, p.DstPort, h.nextIPID(), payload)
-		}
-		return frame, info, nil
+		srcMAC, srcIP = p.From.MAC, p.From.IP
+		dstMAC = info.ContainerMAC
 	}
-	// Host networking: resolve the peer host's MAC through the link map.
-	peer := h.Net.hostByIP(p.DstIP)
-	if peer == nil {
-		return nil, EndpointInfo{}, errNoRoute(p.DstIP)
-	}
-	var frame []byte
 	if ipProto == proto.ProtoTCP {
-		frame = proto.BuildTCPFrame(h.MAC, peer.MAC, h.IP, p.DstIP, *tcp, h.nextIPID(), payload)
-	} else {
-		frame = proto.BuildUDPFrame(h.MAC, peer.MAC, h.IP, p.DstIP,
-			p.SrcPort, p.DstPort, h.nextIPID(), payload)
+		return proto.BuildTCPFrame(srcMAC, dstMAC, srcIP, p.DstIP, *tcp, h.nextIPID(), payload), nil
 	}
-	return frame, EndpointInfo{HostIP: p.DstIP, HostMAC: peer.MAC}, nil
+	return proto.BuildUDPFrame(srcMAC, dstMAC, srcIP, p.DstIP,
+		p.SrcPort, p.DstPort, h.nextIPID(), payload), nil
 }
 
 // sendWire puts the frame on the link toward dstHostIP, fragmenting to
@@ -196,10 +264,4 @@ func (h *Host) sendWire(core *cpu.Core, ctx stats.CPUContext, s *skb.SKB, dstHos
 func (h *Host) nextIPID() uint16 {
 	h.txSeq++
 	return h.txSeq
-}
-
-type errNoRoute proto.IPv4Addr
-
-func (e errNoRoute) Error() string {
-	return "overlay: no route to host " + proto.IPv4Addr(e).String()
 }

@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"testing"
+
+	"falcon/internal/devices"
+	"falcon/internal/faults"
+	"falcon/internal/sim"
+)
+
+// RTO clamping and backoff coverage, driven through chaos-plan loss
+// bursts rather than static link state: the timer must double per
+// timeout, clamp to [MinRTO, MaxRTO], and re-converge from a fresh
+// RTT sample once ACKs flow again.
+
+func TestRTOBackoffDoublesAndClampsAtMax(t *testing.T) {
+	b := newBed(t, 100*devices.Gbps, 0)
+	c := dialOverlay(t, b, 1024)
+	// Total blackout from the start: no data segment ever arrives, so
+	// recovery is pure RTO backoff from DefaultRTO.
+	faults.NewInjector(b.e).Install(faults.Plan{Items: []faults.Item{
+		{At: 0, For: 10 * sim.Second,
+			Fault: &faults.LinkLossBurst{Link: b.client.LinkTo(serverIP), Rate: 1.0}},
+	}})
+	c.Send(1)
+	b.e.RunUntil(5 * sim.Second)
+
+	if c.rto != MaxRTO {
+		t.Fatalf("rto = %v after sustained blackout, want clamp at %v", c.rto, MaxRTO)
+	}
+	// Exponential schedule: timeouts at 10,30,70,150,310,630,1270ms and
+	// then every MaxRTO — ~10 in 5s. A linear (non-doubling) timer would
+	// fire hundreds of times.
+	if n := c.Timeouts.Value(); n < 8 || n > 12 {
+		t.Fatalf("timeouts = %d in 5s, want ~10 (exponential backoff)", n)
+	}
+	if c.Socket().Delivered.Value() != 0 {
+		t.Fatal("data delivered through a 100% lossy link")
+	}
+}
+
+func TestRTOMinClampOnFastPath(t *testing.T) {
+	// On a microsecond-RTT link srtt+4*rttvar is far below MinRTO: the
+	// recomputed timer must clamp up, never dip below the floor.
+	b := newBed(t, 100*devices.Gbps, 0)
+	c := dialOverlay(t, b, 1024)
+	c.Send(50)
+	b.e.RunUntil(50 * sim.Millisecond)
+	if c.Socket().Delivered.Value() != 50 {
+		t.Fatalf("delivered %d/50", c.Socket().Delivered.Value())
+	}
+	if c.SRTT() <= 0 {
+		t.Fatal("no RTT sample taken")
+	}
+	if c.rto != MinRTO {
+		t.Fatalf("rto = %v on fast path, want MinRTO %v", c.rto, MinRTO)
+	}
+}
+
+func TestRTOResetsAfterLossBurstClears(t *testing.T) {
+	// A mid-stream blackout escalates the timer; once the burst clears,
+	// the next ACK's RTT sample must collapse it back to the floor and
+	// the transfer must finish.
+	b := newBed(t, 100*devices.Gbps, 0)
+	c := dialOverlay(t, b, 1024)
+	faults.NewInjector(b.e).Install(faults.Plan{Items: []faults.Item{
+		{At: 5 * sim.Millisecond, For: 40 * sim.Millisecond,
+			Fault: &faults.LinkLossBurst{Link: b.client.LinkTo(serverIP), Rate: 1.0}},
+	}})
+	c.StartContinuous()
+
+	b.e.RunUntil(40 * sim.Millisecond)
+	if c.Timeouts.Value() == 0 {
+		t.Fatal("blackout triggered no timeouts")
+	}
+	escalated := c.rto
+	if escalated <= DefaultRTO {
+		t.Fatalf("rto = %v mid-blackout, want escalated above %v", escalated, DefaultRTO)
+	}
+
+	b.e.RunUntil(200 * sim.Millisecond)
+	if c.rto != MinRTO {
+		t.Fatalf("rto = %v after recovery, want reset to MinRTO %v", c.rto, MinRTO)
+	}
+	if c.rcvNxt != c.BytesAssembled.Value() || c.rcvNxt == 0 {
+		t.Fatalf("stream state after recovery: rcvNxt=%d assembled=%d",
+			c.rcvNxt, c.BytesAssembled.Value())
+	}
+	if c.Socket().OrderViols != 0 {
+		t.Fatal("app saw reordering across the burst")
+	}
+}
