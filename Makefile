@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke experiments clean
+.PHONY: all build vet test race bench-smoke bench-report bench-baseline experiments clean
 
 all: vet build test
 
@@ -19,6 +19,15 @@ race:
 # One full pass of every experiment benchmark (quick windows).
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Hot-path benchmark report (BENCH_sim.json), guarded against the
+# committed baseline: fails on a >10% allocs/packet regression.
+bench-report:
+	$(GO) run ./cmd/falconsim -bench-report BENCH_sim.json -bench-baseline BENCH_baseline.json
+
+# Regenerate the committed regression baseline (run on a quiet machine).
+bench-baseline:
+	$(GO) run ./cmd/falconsim -bench-report BENCH_baseline.json
 
 # Regenerate every paper table with full measurement windows.
 experiments:

@@ -7,13 +7,22 @@
 //	falconsim -exp fig10,fig13      # run several
 //	falconsim -all                  # run everything
 //	falconsim -all -quick           # shorter measurement windows
+//	falconsim -all -parallel 8      # run experiments concurrently
 //	falconsim -exp fig10 -kernel 5.4
+//	falconsim -bench-report BENCH_sim.json
+//
+// Tables always print to stdout in the order the experiments were
+// requested, whatever the parallelism; per-experiment timing goes to
+// stderr so stdout is byte-deterministic for a given seed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,12 +31,15 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiments and exit")
-		expIDs = flag.String("exp", "", "comma-separated experiment ids to run")
-		all    = flag.Bool("all", false, "run every experiment")
-		quick  = flag.Bool("quick", false, "short measurement windows")
-		kernel = flag.String("kernel", "", `kernel cost profile ("4.19" default, "5.4")`)
-		seed   = flag.Uint64("seed", 1, "simulation seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		expIDs   = flag.String("exp", "", "comma-separated experiment ids to run")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "short measurement windows")
+		kernel   = flag.String("kernel", "", `kernel cost profile ("4.19" default, "5.4")`)
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 1, "experiments run concurrently (each on its own engine)")
+		report   = flag.String("bench-report", "", "write a hot-path benchmark report to this JSON file and exit")
+		baseline = flag.String("bench-baseline", "", "with -bench-report: fail if allocs/packet regresses >10% over this baseline JSON")
 	)
 	flag.Parse()
 
@@ -38,30 +50,158 @@ func main() {
 		return
 	}
 
-	var ids []string
+	if *report != "" {
+		os.Exit(benchReport(*report, *baseline, *parallel, experiments.Options{Kernel: *kernel, Seed: *seed}))
+	}
+
+	var exps []experiments.Experiment
 	if *all {
-		for _, e := range experiments.All() {
-			ids = append(ids, e.ID)
-		}
+		exps = experiments.All()
 	} else if *expIDs != "" {
-		ids = strings.Split(*expIDs, ",")
+		for _, id := range strings.Split(*expIDs, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "falconsim: unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			exps = append(exps, e)
+		}
 	} else {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	opt := experiments.Options{Quick: *quick, Kernel: *kernel, Seed: *seed}
-	for _, id := range ids {
-		e, ok := experiments.ByID(strings.TrimSpace(id))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "falconsim: unknown experiment %q (use -list)\n", id)
-			os.Exit(1)
-		}
-		start := time.Now()
-		tables := e.Run(opt)
-		fmt.Printf("### %s — %s  [%.1fs]\n\n", e.ID, e.Title, time.Since(start).Seconds())
-		for _, t := range tables {
-			fmt.Println(t)
+	runExperiments(exps, opt, *parallel, os.Stdout)
+}
+
+// runExperiments runs every experiment, up to `workers` concurrently
+// (each builds its own engine, so runs share nothing but buffer pools),
+// and streams rendered tables to out in request order.
+func runExperiments(exps []experiments.Experiment, opt experiments.Options, workers int, out io.Writer) {
+	if workers < 1 {
+		workers = 1
+	}
+	done := make([]chan string, len(exps))
+	for i := range done {
+		done[i] = make(chan string, 1)
+	}
+	sem := make(chan struct{}, workers)
+	for i, e := range exps {
+		go func(i int, e experiments.Experiment) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			tables := e.Run(opt)
+			var b strings.Builder
+			fmt.Fprintf(&b, "### %s — %s\n\n", e.ID, e.Title)
+			for _, t := range tables {
+				fmt.Fprintln(&b, t)
+			}
+			fmt.Fprintf(os.Stderr, "falconsim: %s  [%.1fs]\n", e.ID, time.Since(start).Seconds())
+			done[i] <- b.String()
+		}(i, e)
+	}
+	for i := range exps {
+		fmt.Fprint(out, <-done[i])
+	}
+}
+
+// parallelBench records the -all wall-clock comparison between a serial
+// run and a worker-pool run (quick windows keep the double run cheap).
+type parallelBench struct {
+	Workers         int     `json:"workers"`
+	Quick           bool    `json:"quick"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
+type benchReportFile struct {
+	HotPath  experiments.HotPathBench `json:"hot_path"`
+	Parallel parallelBench            `json:"parallel"`
+}
+
+// benchReport produces BENCH_sim.json: full-window hot-path metrics plus
+// the parallel-runner speedup, optionally guarded against a committed
+// baseline. Returns the process exit code.
+func benchReport(path, baselinePath string, workers int, opt experiments.Options) int {
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			// Still exercise the pool on single-core machines; the
+			// recorded speedup is then honestly ~1.0x (hardware-bound).
+			workers = 2
 		}
 	}
+	fmt.Fprintf(os.Stderr, "falconsim: bench: hot path (full windows)...\n")
+	hot := experiments.BenchHotPath(opt)
+
+	qopt := opt
+	qopt.Quick = true
+	exps := experiments.All()
+	fmt.Fprintf(os.Stderr, "falconsim: bench: -all serial (quick)...\n")
+	serial := timeAll(exps, qopt, 1)
+	fmt.Fprintf(os.Stderr, "falconsim: bench: -all -parallel %d (quick)...\n", workers)
+	par := timeAll(exps, qopt, workers)
+
+	rep := benchReportFile{
+		HotPath: hot,
+		Parallel: parallelBench{
+			Workers: workers, Quick: true,
+			SerialSeconds: serial, ParallelSeconds: par,
+			Speedup: serial / par,
+		},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr,
+		"falconsim: bench: %.0f events/s, %.0f ns/pkt, %.1f allocs/pkt, -all speedup %.2fx (%d workers)\n",
+		hot.EventsPerSec, hot.NsPerPacket, hot.AllocsPerPacket, rep.Parallel.Speedup, workers)
+
+	if baselinePath != "" {
+		return guardBaseline(baselinePath, hot)
+	}
+	return 0
+}
+
+// timeAll runs every experiment with the given worker count, discarding
+// output, and returns wall-clock seconds.
+func timeAll(exps []experiments.Experiment, opt experiments.Options, workers int) float64 {
+	start := time.Now()
+	runExperiments(exps, opt, workers, io.Discard)
+	return time.Since(start).Seconds()
+}
+
+// guardBaseline fails (exit 1) when allocs/packet regressed more than
+// 10% over the committed baseline report.
+func guardBaseline(path string, hot experiments.HotPathBench) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "falconsim: baseline: %v\n", err)
+		return 1
+	}
+	var base benchReportFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "falconsim: baseline: %v\n", err)
+		return 1
+	}
+	limit := base.HotPath.AllocsPerPacket * 1.10
+	if hot.AllocsPerPacket > limit {
+		fmt.Fprintf(os.Stderr,
+			"falconsim: ALLOC REGRESSION: %.2f allocs/pkt > %.2f (baseline %.2f +10%%)\n",
+			hot.AllocsPerPacket, limit, base.HotPath.AllocsPerPacket)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "falconsim: allocs/pkt %.2f within baseline %.2f +10%%\n",
+		hot.AllocsPerPacket, base.HotPath.AllocsPerPacket)
+	return 0
 }

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"falcon/internal/experiments"
+)
+
+// TestParallelOutputIdentical pins the parallel runner's contract:
+// stdout is byte-identical between -parallel 1 and -parallel 8, in
+// request order, because each experiment runs on its own engine and
+// rendering is buffered per experiment.
+func TestParallelOutputIdentical(t *testing.T) {
+	var exps []experiments.Experiment
+	for _, id := range []string{"fig4", "fig2d", "fig5"} {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	opt := experiments.Options{Quick: true, Seed: 1}
+	var serial, parallel bytes.Buffer
+	runExperiments(exps, opt, 1, &serial)
+	runExperiments(exps, opt, 8, &parallel)
+	if serial.Len() == 0 {
+		t.Fatal("no output")
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("-parallel 8 output differs from serial run:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}

@@ -32,7 +32,7 @@ type Machine struct {
 	cores      []*Core
 	tickPeriod sim.Time
 	onTick     []func(now sim.Time)
-	ticker     *sim.Timer
+	ticker     sim.Timer
 }
 
 // NewMachine builds a machine with n cores on engine e using the given
@@ -80,7 +80,7 @@ func (m *Machine) OnTick(fn func(now sim.Time)) {
 // load meter and counts a TIMER interrupt on core 0 (where the global
 // timer lands).
 func (m *Machine) StartTicker() {
-	if m.ticker != nil {
+	if m.ticker.Pending() {
 		return
 	}
 	var tick func()
@@ -98,10 +98,7 @@ func (m *Machine) StartTicker() {
 
 // StopTicker cancels the periodic tick (so Engine.Run can drain).
 func (m *Machine) StopTicker() {
-	if m.ticker != nil {
-		m.ticker.Stop()
-		m.ticker = nil
-	}
+	m.ticker.Stop()
 }
 
 // ResetMeasurement clears accounting, profile and IRQ counters at the
@@ -142,6 +139,11 @@ type Core struct {
 	// stalled progress.
 	stalled bool
 	offline bool
+
+	// cur is the in-flight work item, held here (instead of in a per-item
+	// closure) so dispatch can schedule completion with AfterArg and keep
+	// the per-slice hot path allocation-free. Valid only while busy.
+	cur workItem
 }
 
 // ID returns the core index.
@@ -268,13 +270,22 @@ func (c *Core) dispatch() {
 		return
 	}
 	c.busy = true
-	c.m.E.After(item.cost, func() {
-		end := int64(c.m.E.Now())
-		c.m.Acct.Charge(c.id, item.ctx, int64(item.cost), end)
-		c.m.Prof.Charge(c.id, item.fn, int64(item.cost))
-		if item.run != nil {
-			item.run()
-		}
-		c.dispatch()
-	})
+	c.cur = item
+	c.m.E.AfterArg(item.cost, coreComplete, c)
+}
+
+// coreComplete finishes the core's in-flight slice: charge accounting,
+// run the completion, dispatch the next item. Package-level so dispatch
+// needs no per-slice closure.
+func coreComplete(v any) {
+	c := v.(*Core)
+	item := c.cur
+	c.cur = workItem{} // release the completion closure for reuse
+	end := int64(c.m.E.Now())
+	c.m.Acct.Charge(c.id, item.ctx, int64(item.cost), end)
+	c.m.Prof.Charge(c.id, item.fn, int64(item.cost))
+	if item.run != nil {
+		item.run()
+	}
+	c.dispatch()
 }

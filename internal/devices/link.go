@@ -57,6 +57,15 @@ type Link struct {
 	queued      int
 	rng         *sim.Rand
 
+	// inflight is the FIFO of frames on the wire. Arrival times are
+	// monotone (serialization order, and jitter is monotonized), and the
+	// engine fires equal-time events in schedule order, so the head of
+	// this ring is always the frame whose delivery event fires next —
+	// letting delivery run through one shared AtArg trampoline instead of
+	// a per-frame closure.
+	inflight []wireFrame
+	head     int
+
 	Sent    stats.Counter
 	Dropped stats.Counter
 	// Lost counts frames destroyed by injected loss (distinct from
@@ -113,17 +122,36 @@ func (l *Link) Send(s *skb.SKB) bool {
 		l.lastArrival = arrival
 	}
 	lost := l.LossRate > 0 && l.rng.Float64() < l.LossRate
-	l.E.At(arrival, func() {
-		l.queued--
-		if lost {
-			l.Lost.Inc()
-			return
-		}
-		if l.Deliver != nil {
-			l.Deliver(s)
-		}
-	})
+	l.inflight = append(l.inflight, wireFrame{s: s, lost: lost})
+	l.E.AtArg(arrival, linkDeliver, l)
 	return true
+}
+
+// wireFrame is one frame in flight on a link.
+type wireFrame struct {
+	s    *skb.SKB
+	lost bool
+}
+
+// linkDeliver fires when the head-of-wire frame arrives.
+func linkDeliver(v any) {
+	l := v.(*Link)
+	f := l.inflight[l.head]
+	l.inflight[l.head] = wireFrame{}
+	l.head++
+	if l.head == len(l.inflight) {
+		l.inflight = l.inflight[:0]
+		l.head = 0
+	}
+	l.queued--
+	if f.lost {
+		l.Lost.Inc()
+		f.s.Free()
+		return
+	}
+	if l.Deliver != nil {
+		l.Deliver(f.s)
+	}
 }
 
 // Utilization returns the fraction of time [since, now] the wire was busy

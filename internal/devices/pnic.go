@@ -67,6 +67,22 @@ type nicQueue struct {
 	gro          *gro.Engine
 	lastComplete sim.Time // when the previous NAPI cycle finished
 	irqArmed     bool     // a delayed (moderated) hardirq is scheduled
+
+	// Per-cycle poll state, held on the queue (instead of per-packet
+	// closures) so the cached continuations below drive the whole NAPI
+	// loop allocation-free.
+	budget  int
+	cur     *skb.SKB
+	flushed []*skb.SKB
+	fi      int
+	more    bool
+
+	fire       func() // (possibly moderated) hardirq entry
+	raiseFn    func() // softirq raise after the hardirq charge
+	pollStart  func() // fresh activation: reset budget, start polling
+	afterAlloc func() // continue cur after poll+alloc charges
+	pollNext   func() // next poll iteration
+	deliverNxt func() // next flushed super-packet delivery
 }
 
 // NewPNIC builds a NIC registered on stack st.
@@ -87,6 +103,52 @@ func (n *PNIC) queue(core int) *nicQueue {
 	q, ok := n.queues[core]
 	if !ok {
 		q = &nicQueue{core: core, ring: skb.NewQueue(n.RingSize), gro: gro.New()}
+		q.fire = func() {
+			q.irqArmed = false
+			if q.active || q.ring.Len() == 0 {
+				return
+			}
+			q.active = true
+			n.HardIRQs.Inc()
+			n.St.M.IRQ.Inc(q.core, stats.IRQHard)
+			n.St.M.Core(q.core).Exec(stats.CtxHardIRQ, costmodel.FnHardIRQ, 0, q.raiseFn)
+		}
+		q.raiseFn = func() { n.raiseNetRX(q) }
+		q.pollStart = func() {
+			q.budget = n.Budget
+			n.poll(q)
+		}
+		q.afterAlloc = func() {
+			s := q.cur
+			q.cur = nil
+			q.budget--
+			out := s
+			if n.GROEnabled {
+				out = q.gro.Push(s)
+			}
+			if out != nil {
+				n.OnReceive(n.St.M.Core(q.core), out, q.pollNext)
+				return
+			}
+			n.poll(q)
+		}
+		q.pollNext = func() { n.poll(q) }
+		q.deliverNxt = func() {
+			if q.fi < len(q.flushed) {
+				s := q.flushed[q.fi]
+				q.fi++
+				n.OnReceive(n.St.M.Core(q.core), s, q.deliverNxt)
+				return
+			}
+			q.flushed = nil
+			if q.more || q.ring.Len() > 0 {
+				n.raiseNetRX(q)
+				return
+			}
+			// napi_complete: re-enable the (moderated) hardirq.
+			q.active = false
+			q.lastComplete = n.St.M.E.Now()
+		}
 		n.queues[core] = q
 	}
 	return q
@@ -115,16 +177,19 @@ func (n *PNIC) Arrive(s *skb.SKB) {
 	s.Migrations = 0
 	if err := s.SetFlowHash(); err != nil {
 		n.Drops.Inc()
+		s.Free()
 		return
 	}
 	s.IfIndex = n.Ifindex
 	q := n.queue(n.RSS.CoreFor(s.Hash))
 	if n.ringLimit > 0 && q.ring.Len() >= n.ringLimit {
 		n.Drops.Inc()
+		s.Free()
 		return
 	}
 	if !q.ring.Enqueue(s) {
 		n.Drops.Inc()
+		s.Free()
 		return
 	}
 	if q.active || q.irqArmed {
@@ -135,86 +200,46 @@ func (n *PNIC) Arrive(s *skb.SKB) {
 		mod = DefaultModeration
 	}
 	now := n.St.M.E.Now()
-	fire := func() {
-		q.irqArmed = false
-		if q.active || q.ring.Len() == 0 {
-			return
-		}
-		q.active = true
-		n.HardIRQs.Inc()
-		core := n.St.M.Core(q.core)
-		n.St.M.IRQ.Inc(q.core, stats.IRQHard)
-		core.Exec(stats.CtxHardIRQ, costmodel.FnHardIRQ, 0, func() {
-			n.raiseNetRX(q)
-		})
-	}
 	if hold := q.lastComplete + mod - now; mod > 0 && hold > 0 {
 		q.irqArmed = true
-		n.St.M.E.After(hold, fire)
+		n.St.M.E.After(hold, q.fire)
 		return
 	}
-	fire()
+	q.fire()
 }
 
 // raiseNetRX schedules one softirq activation of the poll loop.
 func (n *PNIC) raiseNetRX(q *nicQueue) {
 	n.St.M.IRQ.Inc(q.core, stats.IRQNetRX)
 	core := n.St.M.Core(q.core)
-	core.Exec(stats.CtxSoftIRQ, costmodel.FnSoftIRQEntry, 0, func() {
-		n.poll(q, n.Budget)
-	})
+	core.Exec(stats.CtxSoftIRQ, costmodel.FnSoftIRQEntry, 0, q.pollStart)
 }
 
-// poll drains up to budget packets: per packet it charges the poll and
-// skb-allocation costs, then feeds GRO. When the ring empties or the
-// budget runs out, held GRO super-packets flush and the batch is handed
-// to OnReceive in order.
-func (n *PNIC) poll(q *nicQueue, budget int) {
-	core := n.St.M.Core(q.core)
-	if budget == 0 || q.ring.Len() == 0 {
+// poll drains up to the queue's remaining budget: per packet it charges
+// the poll and skb-allocation costs, then feeds GRO. When the ring
+// empties or the budget runs out, held GRO super-packets flush and the
+// batch is handed to OnReceive in order.
+func (n *PNIC) poll(q *nicQueue) {
+	if q.budget == 0 || q.ring.Len() == 0 {
 		n.flushAndDeliver(q, q.ring.Len() > 0)
 		return
 	}
 	s := q.ring.Dequeue()
 	s.Touch(q.core)
-	steps := []netdev.Step{
+	q.cur = s
+	core := n.St.M.Core(q.core)
+	netdev.RunChain(core, stats.CtxSoftIRQ, []netdev.Step{
 		{Fn: costmodel.FnNAPIPoll},
 		{Fn: costmodel.FnSKBAlloc, Bytes: s.Len()},
-	}
-	netdev.RunChain(core, stats.CtxSoftIRQ, steps, func() {
-		var out *skb.SKB
-		if n.GROEnabled {
-			out = q.gro.Push(s)
-		} else {
-			out = s
-		}
-		if out != nil {
-			n.OnReceive(core, out, func() { n.poll(q, budget-1) })
-			return
-		}
-		n.poll(q, budget-1)
-	})
+	}, q.afterAlloc)
 }
 
 // flushAndDeliver releases GRO state and either re-arms the poll (budget
 // exhausted with work remaining → a fresh NET_RX activation) or
 // completes the NAPI cycle, re-enabling the hardirq.
 func (n *PNIC) flushAndDeliver(q *nicQueue, more bool) {
-	core := n.St.M.Core(q.core)
-	flushed := q.gro.Flush()
-	var deliver func(i int)
-	deliver = func(i int) {
-		if i < len(flushed) {
-			n.OnReceive(core, flushed[i], func() { deliver(i + 1) })
-			return
-		}
-		if more || q.ring.Len() > 0 {
-			n.raiseNetRX(q)
-			return
-		}
-		// napi_complete: re-enable the (moderated) hardirq.
-		q.active = false
-		q.lastComplete = n.St.M.E.Now()
-	}
-	deliver(0)
+	q.flushed = q.gro.Flush()
+	q.fi = 0
+	q.more = more
+	q.deliverNxt()
 }

@@ -86,7 +86,7 @@ func (rx *RxPath) Install() {
 // packets would pay the hop for nothing (the paper's Section 6.4
 // observation that GRO splitting "does not take effect" for UDP).
 func (rx *RxPath) afterAlloc(c *cpu.Core, s *skb.SKB, done func()) {
-	if rx.Falcon != nil && rx.Falcon.GROSplitOn() && gro.TCPBytes(s.Data) > 0 {
+	if rx.Falcon != nil && rx.Falcon.GROSplitOn() && gro.TCPBytes(s) > 0 {
 		if target, ok := rx.Falcon.GetCPU(s, rx.NIC.Ifindex); ok && target != c.ID() {
 			// A full backlog is already counted by the stack's drop
 			// counter; nothing extra to account here.
@@ -102,7 +102,7 @@ func (rx *RxPath) afterAlloc(c *cpu.Core, s *skb.SKB, done func()) {
 // TCP frames (segment folding + checksum); UDP and VXLAN-in-UDP outer
 // frames only pay the base lookup.
 func (rx *RxPath) groStage(c *cpu.Core, s *skb.SKB, done func()) {
-	bytes := gro.TCPBytes(s.Data)
+	bytes := gro.TCPBytes(s)
 	segs := s.Segs
 	if segs < 1 {
 		segs = 1
@@ -148,7 +148,7 @@ func (rx *RxPath) l3Stage(c *cpu.Core, s *skb.SKB, done func()) {
 			rx.reassemble(c, s, done)
 			return
 		}
-		if rx.Bridge != nil && proto.IsVXLAN(s.Data) {
+		if rx.Bridge != nil && s.IsVXLAN() {
 			rx.vxlanRcv(c, s, done)
 			return
 		}
@@ -167,14 +167,19 @@ func (rx *RxPath) reassemble(c *cpu.Core, s *skb.SKB, done func()) {
 	whole, err := rx.Reasm.Add(s.Data, rx.St.M.E.Now())
 	if err != nil {
 		rx.PathDrops.Inc()
+		s.Free()
 		done()
 		return
 	}
 	if whole == nil {
-		done() // datagram incomplete; fragment absorbed
+		// Datagram incomplete: the reassembler retained the fragment's
+		// payload bytes, so the buffer must not be recycled with the skb.
+		s.DisownBuf()
+		s.Free()
+		done()
 		return
 	}
-	s.Data = whole
+	s.SetData(whole)
 	// The linearization copy of the completed datagram.
 	c.Exec(stats.CtxSoftIRQ, costmodel.FnSKBAlloc, len(whole), func() {
 		rx.l3Stage(c, s, done)
@@ -199,13 +204,12 @@ func (rx *RxPath) vxlanRcv(c *cpu.Core, s *skb.SKB, done func()) {
 		{Fn: costmodel.FnVXLANRcv, Bytes: s.Len()},
 	}
 	netdev.RunChain(c, stats.CtxSoftIRQ, steps, func() {
-		inner, _, err := proto.Decapsulate(s.Data)
-		if err != nil {
+		if !s.DecapVXLAN() {
 			rx.PathDrops.Inc()
+			s.Free()
 			done()
 			return
 		}
-		s.Data = inner
 		s.IfIndex = rx.VXLANIf
 		rx.Decapped.Inc()
 		rx.transition(c, s, rx.VXLANIf, rx.vxlanBacklog, done)
@@ -269,16 +273,25 @@ func (rx *RxPath) bridgeStage(c *cpu.Core, s *skb.SKB, done func()) {
 		{Fn: costmodel.FnBridge},
 	}
 	netdev.RunChain(c, stats.CtxSoftIRQ, steps, func() {
-		eth, err := proto.ParseEthernet(s.Data)
-		if err != nil {
+		// The FDB lookup needs only the destination MAC: take it from the
+		// cached dissect when available, falling back to the 14-byte
+		// Ethernet parse for frames that don't dissect through L4.
+		var dst proto.MAC
+		if f, err := s.Frame(); err == nil {
+			dst = f.Eth.Dst
+		} else if eth, err := proto.ParseEthernet(s.Data); err == nil {
+			dst = eth.Dst
+		} else {
 			rx.PathDrops.Inc()
+			s.Free()
 			done()
 			return
 		}
-		veth, ok := rx.VethByMAC[eth.Dst]
+		veth, ok := rx.VethByMAC[dst]
 		if !ok {
 			rx.Bridge.Flooded.Inc()
 			rx.PathDrops.Inc()
+			s.Free()
 			done()
 			return
 		}

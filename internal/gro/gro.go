@@ -54,7 +54,7 @@ func (e *Engine) HeldCount() int { return len(e.order) }
 // is returned when s starts a new non-contiguous run for the same flow
 // or when the held packet reached the size cap.
 func (e *Engine) Push(s *skb.SKB) *skb.SKB {
-	gi, ok := dissect(s.Data)
+	gi, ok := dissect(s)
 	if !ok {
 		return s
 	}
@@ -77,6 +77,9 @@ func (e *Engine) Push(s *skb.SKB) *skb.SKB {
 	h.s.Segs += s.Segs
 	h.nextSeq += uint32(len(gi.payload))
 	e.Merged++
+	// The absorbed segment's payload was copied into the super-packet;
+	// recycle it (the kernel frees merged skbs in gro_pull_from_frag0).
+	s.Free()
 	return nil
 }
 

@@ -22,8 +22,8 @@ type groInfo struct {
 	innerOff int // offset of the inner IPv4 header (VXLAN); -1 for plain
 }
 
-func dissect(frame []byte) (groInfo, bool) {
-	f, err := proto.ParseFrame(frame)
+func dissect(s *skb.SKB) (groInfo, bool) {
+	f, err := s.Frame()
 	if err != nil || f.IP.IsFragment() {
 		return groInfo{}, false
 	}
@@ -38,12 +38,8 @@ func dissect(frame []byte) (groInfo, bool) {
 			seq: f.TCP.Seq, payload: f.Payload, innerOff: -1,
 		}, true
 	case f.IP.Protocol == proto.ProtoUDP && f.UDP.DstPort == proto.VXLANPort:
-		inner, _, err := proto.Decapsulate(frame)
-		if err != nil {
-			return groInfo{}, false
-		}
-		fi, err := proto.ParseFrame(inner)
-		if err != nil || fi.IP.Protocol != proto.ProtoTCP {
+		fi, ok := s.VXLANInner()
+		if !ok || fi.IP.Protocol != proto.ProtoTCP {
 			return groInfo{}, false
 		}
 		if fi.TCP.Flags&(proto.TCPSyn|proto.TCPFin|proto.TCPRst) != 0 || len(fi.Payload) == 0 {
@@ -60,13 +56,14 @@ func dissect(frame []byte) (groInfo, bool) {
 	}
 }
 
-// TCPBytes reports the GRO-chargeable bytes of a frame: its length when
+// TCPBytes reports the GRO-chargeable bytes of a packet: its length when
 // it is a plain or VXLAN-encapsulated TCP segment, else zero. The
 // receive path uses this to decide napi_gro_receive's per-byte cost and
-// whether Falcon's GRO split applies.
-func TCPBytes(frame []byte) int {
-	if _, ok := dissect(frame); ok {
-		return len(frame)
+// whether Falcon's GRO split applies. It runs off the skb's cached
+// dissect, so repeated stage checks cost nothing.
+func TCPBytes(s *skb.SKB) int {
+	if _, ok := dissect(s); ok {
+		return s.Len()
 	}
 	return 0
 }
@@ -75,7 +72,7 @@ func TCPBytes(frame []byte) int {
 // and checksum on the path to it: for plain TCP the single IPv4 header;
 // for VXLAN both the outer IPv4/UDP and the inner IPv4.
 func mergeAt(dst *skb.SKB, payload []byte, innerOff int) {
-	dst.Data = append(dst.Data, payload...)
+	dst.SetData(append(dst.Data, payload...))
 	n := uint16(len(payload))
 	patchIPv4 := func(off int) {
 		ip := dst.Data[off:]

@@ -22,7 +22,7 @@ func vxlanSeg(srcPort uint16, seq uint32, payload []byte, entropy uint16) *skb.S
 func seq16(v uint32) uint16 { return uint16(v%65000) + 1 }
 
 func TestVXLANTCPBytesEligibility(t *testing.T) {
-	if TCPBytes(vxlanSeg(5000, 0, []byte("data"), 49152).Data) == 0 {
+	if TCPBytes(vxlanSeg(5000, 0, []byte("data"), 49152)) == 0 {
 		t.Fatal("VXLAN-encapsulated TCP not GRO-eligible")
 	}
 	// Encapsulated UDP is not eligible.
@@ -30,11 +30,11 @@ func TestVXLANTCPBytesEligibility(t *testing.T) {
 		proto.IP4(10, 32, 0, 1), proto.IP4(10, 32, 0, 2), 7000, 5001, 1, []byte("u"))
 	outer := proto.Encapsulate(innerUDP, proto.MACFromUint64(20), proto.MACFromUint64(21),
 		proto.IP4(192, 168, 1, 1), proto.IP4(192, 168, 1, 2), 49152, 42, 9)
-	if TCPBytes(outer) != 0 {
+	if TCPBytes(skb.New(outer)) != 0 {
 		t.Fatal("VXLAN-encapsulated UDP marked GRO-eligible")
 	}
 	// Plain UDP is not eligible.
-	if TCPBytes(innerUDP) != 0 {
+	if TCPBytes(skb.New(innerUDP)) != 0 {
 		t.Fatal("plain UDP marked GRO-eligible")
 	}
 }
@@ -124,7 +124,7 @@ func TestFragmentNotEligible(t *testing.T) {
 		Protocol: proto.ProtoTCP, Src: proto.IP4(10, 0, 0, 1), Dst: proto.IP4(10, 0, 0, 2),
 		MoreFrags: true}
 	proto.PutIPv4(big[proto.EthLen:], ip)
-	if TCPBytes(big) != 0 {
+	if TCPBytes(skb.New(big)) != 0 {
 		t.Fatal("IP fragment marked GRO-eligible")
 	}
 	e := New()

@@ -14,6 +14,7 @@ package netdev
 
 import (
 	"fmt"
+	"sync"
 
 	"falcon/internal/costmodel"
 	"falcon/internal/cpu"
@@ -36,6 +37,47 @@ type Step struct {
 	Bytes int
 }
 
+// chain is the pooled state of one RunChain invocation. Steps are copied
+// into the inline array (the datapath's chains are at most 2–3 steps), so
+// caller step-slice literals never escape, and the continuation passed to
+// Exec is the cached self method value — the whole multi-step charge
+// sequence costs zero allocations per packet.
+type chain struct {
+	c    *cpu.Core
+	ctx  stats.CPUContext
+	buf  [4]Step
+	n, i int
+	then func()
+	self func() // cached ch.step method value
+}
+
+var chainPool sync.Pool
+
+func init() {
+	// Assigned in init: a composite-literal New would form an
+	// initialization cycle through ch.step's use of the pool.
+	chainPool.New = func() any {
+		ch := new(chain)
+		ch.self = ch.step
+		return ch
+	}
+}
+
+func (ch *chain) step() {
+	if ch.i >= ch.n {
+		then := ch.then
+		ch.c, ch.then = nil, nil
+		chainPool.Put(ch)
+		if then != nil {
+			then()
+		}
+		return
+	}
+	s := ch.buf[ch.i]
+	ch.i++
+	ch.c.Exec(ch.ctx, s.Fn, s.Bytes, ch.self)
+}
+
 // RunChain executes steps sequentially on c in context ctx, charging each
 // through the machine's cost model, then calls then (which may be nil).
 func RunChain(c *cpu.Core, ctx stats.CPUContext, steps []Step, then func()) {
@@ -45,9 +87,18 @@ func RunChain(c *cpu.Core, ctx stats.CPUContext, steps []Step, then func()) {
 		}
 		return
 	}
-	c.Exec(ctx, steps[0].Fn, steps[0].Bytes, func() {
-		RunChain(c, ctx, steps[1:], then)
-	})
+	if len(steps) > len(chain{}.buf) {
+		// Long chains fall back to the recursive form (none exist on the
+		// datapath today).
+		c.Exec(ctx, steps[0].Fn, steps[0].Bytes, func() {
+			RunChain(c, ctx, steps[1:], then)
+		})
+		return
+	}
+	ch := chainPool.Get().(*chain)
+	ch.c, ch.ctx, ch.then = c, ctx, then
+	ch.n, ch.i = copy(ch.buf[:], steps), 0
+	ch.step()
 }
 
 type backlogEntry struct {
@@ -88,17 +139,27 @@ type Stack struct {
 	backlogs []perCPUBacklog
 	devices  []string // index = ifindex-1
 
+	// drainDone caches one drain continuation per core so the per-packet
+	// handler invocation in drain does not allocate a closure.
+	drainDone []func()
+
 	// Drops counts packets rejected by full backlogs.
 	Drops stats.Counter
 }
 
 // NewStack returns a stack over machine m.
 func NewStack(m *cpu.Machine) *Stack {
-	return &Stack{
+	st := &Stack{
 		M:          m,
 		MaxBacklog: DefaultMaxBacklog,
 		backlogs:   make([]perCPUBacklog, m.NumCores()),
 	}
+	st.drainDone = make([]func(), m.NumCores())
+	for i := range st.drainDone {
+		core := m.Core(i)
+		st.drainDone[i] = func() { st.drain(core) }
+	}
+	return st
 }
 
 // RegisterDevice assigns the next ifindex (1-based, as in Linux) to a
@@ -155,6 +216,7 @@ func (st *Stack) NetifRx(from *cpu.Core, target int, s *skb.SKB, h Handler) bool
 	if len(b.remote) >= st.MaxBacklog {
 		b.dropped++
 		st.Drops.Inc()
+		s.Free()
 		return false
 	}
 	if from != nil {
@@ -226,7 +288,7 @@ func (st *Stack) drain(core *cpu.Core) {
 		return
 	}
 	st.chargeMigration(core, e.s)
-	e.h(core, e.s, func() { st.drain(core) })
+	e.h(core, e.s, st.drainDone[core.ID()])
 }
 
 // chargeMigration applies the cache-locality penalty when a packet

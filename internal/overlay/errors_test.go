@@ -48,7 +48,7 @@ func TestSendTCPBuildsValidSegments(t *testing.T) {
 	b := newBed(t, "", 100*devices.Gbps)
 	var got []*skb.SKB
 	b.server.Bind(SockKey{IP: srvCtrIP, Port: 443, Proto: proto.ProtoTCP},
-		func(c *cpu.Core, s *skb.SKB, f proto.Frame, done func()) {
+		func(c *cpu.Core, s *skb.SKB, f *proto.Frame, done func()) {
 			got = append(got, s)
 			if f.TCP.Seq != 1000 || f.TCP.Flags&proto.TCPPsh == 0 {
 				t.Errorf("tcp header mangled: %+v", f.TCP)

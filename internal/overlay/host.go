@@ -25,8 +25,10 @@ type SockKey struct {
 
 // L4Handler terminates the receive path for one bound endpoint. It runs
 // in softirq context and must call done exactly once. The L4 protocol
-// cost (udp_rcv / tcp_v4_rcv) has already been charged.
-type L4Handler func(c *cpu.Core, s *skb.SKB, f proto.Frame, done func())
+// cost (udp_rcv / tcp_v4_rcv) has already been charged. f points into
+// s's parsed-header cache and is valid only until s is freed or its
+// data replaced.
+type L4Handler func(c *cpu.Core, s *skb.SKB, f *proto.Frame, done func())
 
 // HostConfig sizes a host.
 type HostConfig struct {
@@ -67,6 +69,7 @@ type Host struct {
 	handlers   map[SockKey]L4Handler
 	links      map[proto.IPv4Addr]*devices.Link // by peer host IP
 	negCache   map[proto.IPv4Addr]sim.Time      // KV miss → suppress-until
+	flowCache  map[txFlowKey]*txFlowEntry       // tx fast-path flow table
 
 	// L4Drops counts packets with no bound endpoint.
 	L4Drops stats.Counter
@@ -117,9 +120,10 @@ func newHost(n *Network, cfg HostConfig, hostID uint64) *Host {
 		MAC:      proto.MACFromUint64(0xA0000 + hostID),
 		M:        m,
 		St:       st,
-		handlers: make(map[SockKey]L4Handler),
-		links:    make(map[proto.IPv4Addr]*devices.Link),
-		negCache: make(map[proto.IPv4Addr]sim.Time),
+		handlers:  make(map[SockKey]L4Handler),
+		links:     make(map[proto.IPv4Addr]*devices.Link),
+		negCache:  make(map[proto.IPv4Addr]sim.Time),
+		flowCache: make(map[txFlowKey]*txFlowEntry),
 	}
 	h.NIC = devices.NewPNIC(st, cfg.Name+"-eth0", steering.RSS{QueueCores: cfg.RSSCores}, cfg.GRO)
 	vxlanIf := st.RegisterDevice(cfg.Name + "-vxlan0")
@@ -189,7 +193,7 @@ func (h *Host) Unbind(key SockKey) { delete(h.handlers, key) }
 func (h *Host) OpenUDP(ip proto.IPv4Addr, port uint16, appCore int) *socket.Socket {
 	sk := socket.New(h.M, appCore)
 	h.Bind(SockKey{IP: ip, Port: port, Proto: proto.ProtoUDP},
-		func(c *cpu.Core, s *skb.SKB, f proto.Frame, done func()) {
+		func(c *cpu.Core, s *skb.SKB, f *proto.Frame, done func()) {
 			c.Exec(stats.CtxSoftIRQ, costmodel.FnSocketDeliver, 0, func() {
 				sk.Deliver(c, s)
 				done()
@@ -201,9 +205,10 @@ func (h *Host) OpenUDP(ip proto.IPv4Addr, port uint16, appCore int) *socket.Sock
 // deliverL4 terminates the receive path: it parses the (inner) frame,
 // charges the L4 receive cost, and dispatches to the bound handler.
 func (h *Host) deliverL4(c *cpu.Core, s *skb.SKB, done func()) {
-	f, err := proto.ParseFrame(s.Data)
+	f, err := s.Frame()
 	if err != nil {
 		h.L4Drops.Inc()
+		s.Free()
 		done()
 		return
 	}
@@ -219,6 +224,7 @@ func (h *Host) deliverL4(c *cpu.Core, s *skb.SKB, done func()) {
 		fn, ok := h.handlers[key]
 		if !ok {
 			h.L4Drops.Inc()
+			s.Free()
 			done()
 			return
 		}

@@ -29,7 +29,13 @@ type EndpointInfo struct {
 type KVStore struct {
 	entries map[proto.IPv4Addr]EndpointInfo
 	fault   LookupFault
+	// version counts mutations; cached resolutions (the tx flow cache)
+	// revalidate against it so a Put/Delete invalidates them all.
+	version uint64
 }
+
+// Version returns the store's mutation counter.
+func (kv *KVStore) Version() uint64 { return kv.version }
 
 // LookupFault models control-plane misbehaviour on the lookup path
 // (internal/faults installs implementations): each consulted lookup may
@@ -55,6 +61,7 @@ func NewKVStore() *KVStore {
 // Put registers (or updates) a container IP mapping.
 func (kv *KVStore) Put(containerIP proto.IPv4Addr, info EndpointInfo) {
 	kv.entries[containerIP] = info
+	kv.version++
 }
 
 // Get resolves a container IP.
@@ -69,6 +76,7 @@ func (kv *KVStore) Get(containerIP proto.IPv4Addr) (EndpointInfo, error) {
 // Delete removes a mapping (container teardown).
 func (kv *KVStore) Delete(containerIP proto.IPv4Addr) {
 	delete(kv.entries, containerIP)
+	kv.version++
 }
 
 // Len returns the number of registered containers.

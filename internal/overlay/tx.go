@@ -47,6 +47,36 @@ func (h *Host) SendTCP(p SendParams, hdr proto.TCPHdr) {
 	h.sendL4(p, proto.ProtoTCP, &hdr)
 }
 
+// txFlowKey identifies one transmit flow shape: everything that
+// determines the frame bytes except the per-packet IP ID and TCP header.
+type txFlowKey struct {
+	from             *Container
+	dstIP            proto.IPv4Addr
+	srcPort, dstPort uint16
+	ipProto          uint8
+	payload          int
+}
+
+// txFlowEntry is the cached result of resolving and building one flow's
+// frames — the simulation analogue of an ONCache/flow-table entry that
+// amortizes the per-packet vxlan_xmit work (FIB/neighbor lookup + header
+// construction) across a flow. The inner template carries IP ID 0 (and a
+// zero TCP header); each packet copies the template and patches only the
+// ID (+ TCP header), which produces byte-identical frames to a from-
+// scratch build. Entries revalidate against the KV store's version so
+// endpoint moves invalidate them, and the cache is bypassed entirely
+// while a KV fault is installed (the degraded path draws RNG per lookup;
+// skipping those draws would change deterministic schedules).
+type txFlowEntry struct {
+	kvVersion uint64
+	info      EndpointInfo
+	sameHost  bool
+	hostNet   bool
+	hash      uint32
+	inner     []byte // inner frame template (IP ID 0, TCP header zero)
+	outer     []byte // outer VXLAN header template (cross-host only)
+}
+
 // sendL4 is the shared transmit machinery. For TCP, hdr carries the
 // prebuilt TCP header (ports in hdr override p's).
 func (h *Host) sendL4(p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
@@ -55,57 +85,200 @@ func (h *Host) sendL4(p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
 	if p.FromSoftirq {
 		ctx = stats.CtxSoftIRQ
 	}
-	finish := func(ok bool) {
-		if p.Done != nil {
-			p.Done(ok)
-		}
-	}
 	steps := []netdev.Step{{Fn: costmodel.FnTxStack, Bytes: p.Payload}}
 	if p.From != nil {
 		steps = append(steps, netdev.Step{Fn: costmodel.FnVethXmit}, netdev.Step{Fn: costmodel.FnBridge})
 	}
 	netdev.RunChain(core, ctx, steps, func() {
-		h.resolve(p, func(info EndpointInfo, ok bool) {
-			if !ok {
-				h.TxResolveDrops.Inc()
-				finish(false)
-				return
+		if h.Net.KV.Fault() != nil {
+			h.sendSlow(core, ctx, p, ipProto, tcp)
+			return
+		}
+		h.sendFast(core, ctx, p, ipProto, tcp)
+	})
+}
+
+// sendFast is the healthy-path transmit: flow-cached resolution and
+// template-built frames in a pooled skb with VXLAN headroom.
+func (h *Host) sendFast(core *cpu.Core, ctx stats.CPUContext, p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
+	e, resolved := h.txFlow(p, ipProto, tcp)
+	if !resolved {
+		h.TxResolveDrops.Inc()
+		if p.Done != nil {
+			p.Done(false)
+		}
+		return
+	}
+	if e == nil {
+		// Resolved but unbuildable (payload exceeds the frame limit).
+		if p.Done != nil {
+			p.Done(false)
+		}
+		return
+	}
+	headroom := 0
+	if !e.sameHost && !e.hostNet {
+		headroom = proto.OverlayOverhead
+	}
+	s := skb.NewTx(len(e.inner), headroom)
+	copy(s.Data, e.inner)
+	if tcp != nil {
+		proto.PutTCP(s.Data[proto.EthLen+proto.IPv4Len:], *tcp)
+	}
+	proto.PatchIPv4ID(s.Data, h.nextIPID())
+	s.FlowID = p.FlowID
+	s.Seq = p.Seq
+	s.Hash = e.hash
+	s.HashValid = true
+	if e.hostNet {
+		// Host networking: straight out the NIC.
+		core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
+			ok := h.sendWire(core, ctx, s, p.DstIP)
+			if p.Done != nil {
+				p.Done(ok)
 			}
-			inner, err := h.buildInner(p, ipProto, tcp, info)
-			if err != nil {
-				finish(false)
-				return
+		})
+		return
+	}
+	if e.sameHost {
+		// Same-host container: the bridge forwards locally; the frame
+		// enters the destination's veth backlog without encapsulation.
+		s.WireTime = h.Net.E.Now()
+		ok := h.Rx.InjectLocal(nil, p.Core, s)
+		if p.Done != nil {
+			p.Done(ok)
+		}
+		return
+	}
+	// Cross-host: encapsulate in place (skb_push into the headroom) and
+	// transmit.
+	core.Exec(ctx, costmodel.FnVXLANXmit, len(s.Data), func() {
+		s.Push(proto.OverlayOverhead)
+		copy(s.Data[:proto.OverlayOverhead], e.outer)
+		proto.PatchIPv4ID(s.Data, h.nextIPID())
+		core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
+			ok := h.sendWire(core, ctx, s, e.info.HostIP)
+			if p.Done != nil {
+				p.Done(ok)
 			}
-			s := skb.New(inner)
-			s.FlowID = p.FlowID
-			s.Seq = p.Seq
-			if err := s.SetFlowHash(); err != nil {
-				finish(false)
-				return
-			}
-			if p.From == nil {
-				// Host networking: straight out the NIC.
-				core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
-					finish(h.sendWire(core, ctx, s, p.DstIP))
-				})
-				return
-			}
-			if info.HostIP == h.IP {
-				// Same-host container: the bridge forwards locally; the frame
-				// enters the destination's veth backlog without encapsulation.
-				s.WireTime = h.Net.E.Now()
-				finish(h.Rx.InjectLocal(nil, p.Core, s))
-				return
-			}
-			// Cross-host: encapsulate and transmit.
-			core.Exec(ctx, costmodel.FnVXLANXmit, len(inner), func() {
-				entropy := uint16(49152 + (s.Hash % 16384))
-				outer := proto.Encapsulate(inner, h.MAC, info.HostMAC, h.IP, info.HostIP,
-					entropy, h.Net.VNI, h.nextIPID())
-				s.Data = outer
-				core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
-					finish(h.sendWire(core, ctx, s, info.HostIP))
-				})
+		})
+	})
+}
+
+// txFlow returns the flow-cache entry for p, building and caching it on
+// first use or after a KV mutation. resolved is false when the
+// destination cannot be resolved (the caller counts the drop); a nil
+// entry with resolved true means the flow is resolvable but unbuildable.
+func (h *Host) txFlow(p SendParams, ipProto uint8, tcp *proto.TCPHdr) (e *txFlowEntry, resolved bool) {
+	key := txFlowKey{from: p.From, dstIP: p.DstIP, ipProto: ipProto, payload: p.Payload}
+	if tcp != nil {
+		key.srcPort, key.dstPort = tcp.SrcPort, tcp.DstPort
+	} else {
+		key.srcPort, key.dstPort = p.SrcPort, p.DstPort
+	}
+	ver := h.Net.KV.Version()
+	if e, ok := h.flowCache[key]; ok && e.kvVersion == ver {
+		return e, true
+	}
+	e = &txFlowEntry{kvVersion: ver}
+	if p.From == nil {
+		peer := h.Net.hostByIP(p.DstIP)
+		if peer == nil {
+			return nil, false
+		}
+		e.info = EndpointInfo{HostIP: p.DstIP, HostMAC: peer.MAC}
+		e.hostNet = true
+	} else {
+		info, err := h.Net.KV.Get(p.DstIP)
+		if err != nil {
+			return nil, false
+		}
+		e.info = info
+		e.sameHost = info.HostIP == h.IP
+	}
+	limit := MaxHostPayload
+	if p.From != nil {
+		limit = MaxOverlayPayload
+	}
+	if p.Payload > limit {
+		return nil, true
+	}
+	payload := make([]byte, key.payload)
+	srcMAC, srcIP := h.MAC, h.IP
+	dstMAC := e.info.HostMAC
+	if p.From != nil {
+		srcMAC, srcIP = p.From.MAC, p.From.IP
+		dstMAC = e.info.ContainerMAC
+	}
+	if ipProto == proto.ProtoTCP {
+		e.inner = proto.BuildTCPFrame(srcMAC, dstMAC, srcIP, p.DstIP, proto.TCPHdr{}, 0, payload)
+	} else {
+		e.inner = proto.BuildUDPFrame(srcMAC, dstMAC, srcIP, p.DstIP, key.srcPort, key.dstPort, 0, payload)
+	}
+	e.hash = skb.FlowKey{SrcIP: srcIP, DstIP: p.DstIP,
+		SrcPort: key.srcPort, DstPort: key.dstPort, Proto: ipProto}.Hash()
+	if !e.sameHost && !e.hostNet {
+		entropy := uint16(49152 + (e.hash % 16384))
+		e.outer = make([]byte, proto.OverlayOverhead)
+		proto.PutEncapHeaders(e.outer, h.MAC, e.info.HostMAC, h.IP, e.info.HostIP,
+			entropy, h.Net.VNI, 0, len(e.inner))
+	}
+	h.flowCache[key] = e
+	return e, true
+}
+
+// sendSlow is the degraded-path transmit, taken while a KV lookup fault
+// is installed: per-packet resolution with backoff retries and negative
+// caching, frames built from scratch. It deliberately bypasses the flow
+// cache in both directions — reads would skip the fault's RNG draws and
+// writes would survive past the fault window — so chaos schedules stay
+// byte-identical to the pre-cache simulator.
+func (h *Host) sendSlow(core *cpu.Core, ctx stats.CPUContext, p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
+	finish := func(ok bool) {
+		if p.Done != nil {
+			p.Done(ok)
+		}
+	}
+	h.resolve(p, func(info EndpointInfo, ok bool) {
+		if !ok {
+			h.TxResolveDrops.Inc()
+			finish(false)
+			return
+		}
+		inner, err := h.buildInner(p, ipProto, tcp, info)
+		if err != nil {
+			finish(false)
+			return
+		}
+		s := skb.New(inner)
+		s.FlowID = p.FlowID
+		s.Seq = p.Seq
+		if err := s.SetFlowHash(); err != nil {
+			finish(false)
+			return
+		}
+		if p.From == nil {
+			// Host networking: straight out the NIC.
+			core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
+				finish(h.sendWire(core, ctx, s, p.DstIP))
+			})
+			return
+		}
+		if info.HostIP == h.IP {
+			// Same-host container: the bridge forwards locally; the frame
+			// enters the destination's veth backlog without encapsulation.
+			s.WireTime = h.Net.E.Now()
+			finish(h.Rx.InjectLocal(nil, p.Core, s))
+			return
+		}
+		// Cross-host: encapsulate and transmit.
+		core.Exec(ctx, costmodel.FnVXLANXmit, len(inner), func() {
+			entropy := uint16(49152 + (s.Hash % 16384))
+			outer := proto.Encapsulate(inner, h.MAC, info.HostMAC, h.IP, info.HostIP,
+				entropy, h.Net.VNI, h.nextIPID())
+			s.SetData(outer)
+			core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
+				finish(h.sendWire(core, ctx, s, info.HostIP))
 			})
 		})
 	})
@@ -230,6 +403,7 @@ func (h *Host) buildInner(p SendParams, ipProto uint8, tcp *proto.TCPHdr, info E
 func (h *Host) sendWire(core *cpu.Core, ctx stats.CPUContext, s *skb.SKB, dstHostIP proto.IPv4Addr) bool {
 	l := h.links[dstHostIP]
 	if l == nil {
+		s.Free()
 		return false
 	}
 	if l.MTU <= 0 {
@@ -237,6 +411,7 @@ func (h *Host) sendWire(core *cpu.Core, ctx stats.CPUContext, s *skb.SKB, dstHos
 	}
 	parts, err := ipfrag.Fragment(s.Data, l.MTU)
 	if err != nil {
+		s.Free()
 		return false
 	}
 	if len(parts) > 1 {
@@ -257,6 +432,10 @@ func (h *Host) sendWire(core *cpu.Core, ctx stats.CPUContext, s *skb.SKB, dstHos
 		if !l.Send(fs) {
 			ok = false
 		}
+	}
+	if len(parts) > 1 {
+		// Fragment copies are on the wire; the original frame is done.
+		s.Free()
 	}
 	return ok
 }

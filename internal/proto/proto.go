@@ -154,6 +154,17 @@ func PutIPv4(b []byte, h IPv4Hdr) {
 	binary.BigEndian.PutUint16(b[10:12], csum)
 }
 
+// PatchIPv4ID rewrites the identification field of the IPv4 header that
+// starts at b[EthLen:] and fixes the header checksum — the only per-packet
+// mutation a cached encapsulation template needs.
+func PatchIPv4ID(b []byte, id uint16) {
+	ip := b[EthLen : EthLen+IPv4Len]
+	binary.BigEndian.PutUint16(ip[4:6], id)
+	ip[10], ip[11] = 0, 0
+	csum := Checksum(ip)
+	binary.BigEndian.PutUint16(ip[10:12], csum)
+}
+
 // ParseIPv4 reads and validates an IPv4 header from b.
 func ParseIPv4(b []byte) (IPv4Hdr, error) {
 	if len(b) < IPv4Len {

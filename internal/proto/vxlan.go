@@ -59,6 +59,28 @@ func Encapsulate(inner []byte, srcMAC, dstMAC MAC, srcIP, dstIP IPv4Addr, srcPor
 	return b
 }
 
+// PutEncapHeaders writes the OverlayOverhead bytes of outer
+// Ethernet+IPv4+UDP+VXLAN headers into b, in front of an inner frame of
+// innerLen bytes — the in-place variant of Encapsulate used when the skb
+// has headroom (the kernel's skb_push path in vxlan_xmit).
+func PutEncapHeaders(b []byte, srcMAC, dstMAC MAC, srcIP, dstIP IPv4Addr, srcPort uint16, vni uint32, ipID uint16, innerLen int) {
+	PutEthernet(b, EthernetHdr{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4})
+	PutIPv4(b[EthLen:], IPv4Hdr{
+		TotalLen: uint16(IPv4Len + UDPLen + VXLANLen + innerLen),
+		ID:       ipID,
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      srcIP,
+		Dst:      dstIP,
+	})
+	PutUDP(b[EthLen+IPv4Len:], UDPHdr{
+		SrcPort: srcPort,
+		DstPort: VXLANPort,
+		Length:  uint16(UDPLen + VXLANLen + innerLen),
+	})
+	PutVXLAN(b[EthLen+IPv4Len+UDPLen:], VXLANHdr{VNI: vni})
+}
+
 // Decapsulate validates the outer headers of a VXLAN frame and returns
 // the inner Ethernet frame and the VNI — what vxlan_rcv does on receive.
 // The returned slice aliases the input buffer (zero copy, like the

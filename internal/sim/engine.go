@@ -1,78 +1,161 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
+	"math/bits"
 )
 
-// event is a scheduled callback. Events fire in (at, seq) order; seq breaks
-// ties deterministically in FIFO scheduling order.
+// The scheduler is a hierarchical timing wheel in front of an overflow
+// heap (DESIGN.md §2 "Engine internals"). Nearly all events in the
+// simulation are scheduled a short delay ahead (per-function CPU costs,
+// interrupt moderation windows, timer ticks), so they land in the wheel
+// and cost O(1) to schedule, cancel and fire; events beyond the wheel
+// horizon (~4.3 s) park in a binary heap and fire directly from it.
+//
+// Events are pooled on a free list and recycled immediately after they
+// fire or are cancelled. A Timer handle therefore carries a generation
+// stamp: Stop on a handle whose event has been recycled (and possibly
+// rescheduled for an unrelated purpose) is a safe no-op.
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits // 256
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+	// wheelHorizon is the first delta that no longer fits the wheel.
+	wheelHorizon = uint64(1) << (wheelBits * wheelLevels)
+)
+
+// event is a scheduled callback. Events fire in (at, seq) order; seq
+// breaks ties deterministically in FIFO scheduling order.
 type event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	cancel *Timer
-	index  int
+	at  Time
+	seq uint64
+	gen uint64 // bumped on every recycle; stale Timer handles mismatch
+	eng *Engine
+
+	// Exactly one of fn / afn is set while live. afn avoids a closure
+	// allocation on hot paths: the argument rides in arg.
+	fn  func()
+	afn func(any)
+	arg any
+
+	// Intrusive doubly-linked list node while in a wheel bucket or the
+	// due list (in != nil), or heap index while in the overflow heap
+	// (heapIdx >= 0, in == nil). Free events link through next.
+	next, prev *event
+	in         *bucket
+	heapIdx    int32
+	dead       bool // cancelled while in the heap (lazily removed)
 }
 
-type eventHeap []*event
+func (ev *event) live() bool { return !ev.dead && (ev.fn != nil || ev.afn != nil) }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// bucket is one seq-ordered event list: a wheel slot or the due list.
+type bucket struct {
+	head, tail *event
+	level      int8 // wheel level, or -1 for the due list
+	slot       int16
+}
+
+// insert places ev keeping the bucket sorted by seq. Schedule-time
+// inserts always hit the O(1) tail fast path (seq is monotonic);
+// cascades and heap merges may walk backward, which is rare.
+func (b *bucket) insert(ev *event) {
+	ev.in = b
+	if b.tail == nil {
+		ev.prev, ev.next = nil, nil
+		b.head, b.tail = ev, ev
+		return
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	p := b.tail
+	for p != nil && p.seq > ev.seq {
+		p = p.prev
+	}
+	if p == nil { // new head
+		ev.prev, ev.next = nil, b.head
+		b.head.prev = ev
+		b.head = ev
+		return
+	}
+	ev.prev, ev.next = p, p.next
+	if p.next != nil {
+		p.next.prev = ev
+	} else {
+		b.tail = ev
+	}
+	p.next = ev
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// unlink removes ev from the bucket. O(1).
+func (b *bucket) unlink(ev *event) {
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		b.head = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	} else {
+		b.tail = ev.prev
+	}
+	ev.next, ev.prev, ev.in = nil, nil, nil
+}
+
+// Timer is a generation-stamped handle to a scheduled event. The zero
+// Timer is valid and inert. Handles stay safe after their event fires:
+// the pooled event's generation is bumped on recycle, so Stop and
+// Pending on a stale handle are no-ops.
 type Timer struct {
-	ev      *event
-	stopped bool
+	ev  *event
+	gen uint64
+}
+
+// Pending reports whether the timer is scheduled and not yet fired or
+// stopped.
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.live()
 }
 
 // Stop cancels the timer. It reports whether the callback was prevented
-// from running (false when it already fired or was already stopped).
+// from running (false when it already fired, was already stopped, or the
+// handle is stale).
 func (t *Timer) Stop() bool {
-	if t == nil || t.stopped || t.ev == nil || t.ev.fn == nil {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || !ev.live() {
 		return false
 	}
-	t.stopped = true
-	t.ev.fn = nil
+	ev.eng.cancel(ev)
 	return true
 }
 
 // Engine is the discrete-event simulation core.
 type Engine struct {
 	now     Time
+	cur     uint64 // wheel cursor; now >= Time(cur) always
 	seq     uint64
-	events  eventHeap
+	live    int // scheduled, uncancelled events (all structures)
 	rng     *Rand
 	stopped bool
 	fired   uint64
+
+	due bucket // events at exactly cur, ready to fire, seq-ordered
+
+	levels     [wheelLevels][wheelSlots]bucket
+	occ        [wheelLevels][wheelSlots / 64]uint64
+	levelCount [wheelLevels]int
+
+	heap     []*event // overflow: at - cur >= wheelHorizon when added
+	heapDead int      // cancelled events still in heap (lazily compacted)
+
+	free *event // recycled event free list, linked via next
 }
 
 // New returns an engine with its clock at zero, seeded with seed.
 func New(seed uint64) *Engine {
-	return &Engine{rng: NewRand(seed)}
+	e := &Engine{rng: NewRand(seed)}
+	e.due.level = -1
+	return e
 }
 
 // Now returns the current virtual time.
@@ -84,35 +167,129 @@ func (e *Engine) Rand() *Rand { return e.rng }
 // Fired returns the number of events executed so far (for diagnostics).
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of scheduled, uncancelled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if ev.fn != nil {
-			n++
-		}
+// Pending returns the number of scheduled, uncancelled events. O(1):
+// a live counter is maintained on schedule, cancel and fire.
+func (e *Engine) Pending() int { return e.live }
+
+func (e *Engine) alloc() *event {
+	ev := e.free
+	if ev == nil {
+		ev = &event{eng: e, heapIdx: -1}
+		return ev
 	}
-	return n
+	e.free = ev.next
+	ev.next = nil
+	return ev
 }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it is always a simulation bug.
-func (e *Engine) At(t Time, fn func()) *Timer {
+// recycle returns a dead, unlinked event to the pool, invalidating all
+// outstanding Timer handles to it.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	ev.in, ev.prev = nil, nil
+	ev.heapIdx = -1
+	ev.dead = false
+	ev.next = e.free
+	e.free = ev
+}
+
+// schedule places a freshly allocated event into the due list, wheel or
+// overflow heap according to its delay.
+func (e *Engine) schedule(ev *event) {
+	e.live++
+	x := uint64(ev.at) ^ e.cur
+	if x == 0 {
+		e.due.insert(ev)
+		return
+	}
+	// Place by the highest digit in which the event time differs from the
+	// cursor: its slot at that level is strictly ahead of the cursor, and
+	// the cascade at each window boundary re-places it one level down
+	// until it reaches the due list at exactly its firing time.
+	l := (bits.Len64(x) - 1) / wheelBits
+	if l >= wheelLevels {
+		e.heapPush(ev)
+		return
+	}
+	slot := int(uint64(ev.at)>>(wheelBits*l)) & wheelMask
+	b := &e.levels[l][slot]
+	if b.head == nil {
+		b.level, b.slot = int8(l), int16(slot)
+		e.occ[l][slot>>6] |= 1 << (slot & 63)
+	}
+	b.insert(ev)
+	e.levelCount[l]++
+}
+
+// cancel removes a live event: O(1) unlink for wheel/due events, lazy
+// mark-dead for heap events (compacted when the dead fraction passes
+// one half, so long runs with heavy timer churn don't grow the heap
+// unboundedly).
+func (e *Engine) cancel(ev *event) {
+	e.live--
+	if ev.in != nil {
+		b := ev.in
+		b.unlink(ev)
+		if b.level >= 0 {
+			e.levelCount[b.level]--
+			if b.head == nil {
+				e.occ[b.level][b.slot>>6] &^= 1 << (b.slot & 63)
+			}
+		}
+		e.recycle(ev)
+		return
+	}
+	// In the overflow heap: mark dead, remove lazily.
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	ev.dead = true
+	e.heapDead++
+	if e.heapDead >= 64 && e.heapDead*2 > len(e.heap) {
+		e.compactHeap()
+	}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it is always a simulation bug.
+func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	e.schedule(ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// AtArg schedules fn(arg) at absolute time t. Unlike At it needs no
+// closure: hot paths pass a package-level function and carry their state
+// in arg, making the schedule allocation-free.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.afn, ev.arg = t, e.seq, fn, arg
+	e.seq++
+	e.schedule(ev)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, fn func()) *Timer {
+func (e *Engine) After(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
+}
+
+// AfterArg schedules fn(arg) d nanoseconds from now, without a closure.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtArg(e.now+d, fn, arg)
 }
 
 // Stop halts the run loop after the current event returns.
@@ -121,8 +298,14 @@ func (e *Engine) Stop() { e.stopped = true }
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		e.step()
+	for e.live > 0 && !e.stopped {
+		if e.due.head == nil {
+			if !e.advance(math.MaxUint64) {
+				return
+			}
+			continue
+		}
+		e.fireOne()
 	}
 }
 
@@ -130,22 +313,246 @@ func (e *Engine) Run() {
 // deadline. Events scheduled beyond the deadline remain pending.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped && e.events[0].at <= deadline {
-		e.step()
+	for e.live > 0 && !e.stopped {
+		if e.due.head == nil {
+			if !e.advance(uint64(deadline)) {
+				break
+			}
+			continue
+		}
+		e.fireOne()
 	}
 	if !e.stopped && e.now < deadline {
 		e.now = deadline
 	}
 }
 
-func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(*event)
-	if ev.fn == nil { // cancelled
+// fireOne pops the head of the due list and runs it. The event is
+// recycled before the callback executes, so callbacks can schedule new
+// work that reuses it, and stale Stop calls are already no-ops.
+func (e *Engine) fireOne() {
+	ev := e.due.head
+	e.due.unlink(ev)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	e.recycle(ev)
+	e.live--
+	e.fired++
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
+}
+
+// nextOccupied returns the circular distance (1..255) from slot `from`
+// to the next occupied slot in bm, or 0 when the level is empty. The
+// caller guarantees slot `from` itself holds no pending events.
+func nextOccupied(bm *[wheelSlots / 64]uint64, from int) int {
+	for step := 1; step <= wheelMask; {
+		idx := (from + step) & wheelMask
+		rem := bm[idx>>6] >> (idx & 63)
+		if rem != 0 {
+			d := step + bits.TrailingZeros64(rem)
+			if d > wheelMask {
+				return 0
+			}
+			return d
+		}
+		step += 64 - (idx & 63)
+	}
+	return 0
+}
+
+// advance jumps the wheel cursor to the next event time (or cascade
+// boundary on the way to it) at or before deadline, filling the due
+// list. It reports false when nothing fires at or before the deadline.
+func (e *Engine) advance(deadline uint64) bool {
+	for e.due.head == nil {
+		m := uint64(math.MaxUint64)
+		if e.levelCount[0] > 0 {
+			if d := nextOccupied(&e.occ[0], int(e.cur&wheelMask)); d > 0 {
+				m = e.cur + uint64(d)
+			}
+		}
+		for l := 1; l < wheelLevels; l++ {
+			if e.levelCount[l] == 0 {
+				continue
+			}
+			shift := uint(wheelBits * l)
+			if d := nextOccupied(&e.occ[l], int((e.cur>>shift)&wheelMask)); d > 0 {
+				if b := ((e.cur >> shift) + uint64(d)) << shift; b < m {
+					m = b
+				}
+			}
+		}
+		if hm, ok := e.heapMin(); ok && hm < m {
+			m = hm
+		}
+		if m == math.MaxUint64 || m > deadline {
+			return false
+		}
+		e.cur = m
+		if t := Time(m); t > e.now {
+			e.now = t
+		}
+		// Cascade every level whose window boundary we just landed on,
+		// highest first so freshly cascaded events redistribute in turn.
+		for l := wheelLevels - 1; l >= 1; l-- {
+			shift := uint(wheelBits * l)
+			if e.cur&((1<<shift)-1) == 0 {
+				e.cascade(l, int((e.cur>>shift)&wheelMask))
+			}
+		}
+		// Collect the level-0 slot: every event in it is due exactly now.
+		slot := int(e.cur & wheelMask)
+		if b := &e.levels[0][slot]; b.head != nil {
+			for ev := b.head; ev != nil; {
+				next := ev.next
+				ev.next, ev.prev, ev.in = nil, nil, nil
+				e.levelCount[0]--
+				e.due.insert(ev)
+				ev = next
+			}
+			b.head, b.tail = nil, nil
+			e.occ[0][slot>>6] &^= 1 << (slot & 63)
+		}
+		// Merge overflow-heap events due exactly now.
+		for len(e.heap) > 0 && uint64(e.heap[0].at) == e.cur {
+			ev := e.heapPop()
+			if ev.dead {
+				e.heapDead--
+				e.recycle(ev)
+				continue
+			}
+			e.due.insert(ev)
+		}
+	}
+	return true
+}
+
+// cascade redistributes one upper-level slot into the levels below (or
+// the due list, for events landing exactly on the boundary).
+func (e *Engine) cascade(l, slot int) {
+	b := &e.levels[l][slot]
+	if b.head == nil {
 		return
 	}
-	e.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
-	e.fired++
-	fn()
+	e.occ[l][slot>>6] &^= 1 << (slot & 63)
+	ev := b.head
+	b.head, b.tail = nil, nil
+	for ev != nil {
+		next := ev.next
+		ev.next, ev.prev, ev.in = nil, nil, nil
+		e.levelCount[l]--
+		e.live-- // schedule re-increments
+		e.schedule(ev)
+		ev = next
+	}
+}
+
+// Overflow heap: a plain binary min-heap on (at, seq).
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev *event) {
+	ev.heapIdx = int32(len(e.heap))
+	e.heap = append(e.heap, ev)
+	e.heapUp(len(e.heap) - 1)
+}
+
+func (e *Engine) heapPop() *event {
+	ev := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap[0].heapIdx = 0
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heapDown(0)
+	}
+	ev.heapIdx = -1
+	return ev
+}
+
+func (e *Engine) heapUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(e.heap[i], e.heap[p]) {
+			break
+		}
+		e.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (e *Engine) heapDown(i int) {
+	n := len(e.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if r := c + 1; r < n && eventLess(e.heap[r], e.heap[c]) {
+			c = r
+		}
+		if !eventLess(e.heap[c], e.heap[i]) {
+			return
+		}
+		e.heapSwap(i, c)
+		i = c
+	}
+}
+
+func (e *Engine) heapSwap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].heapIdx = int32(i)
+	e.heap[j].heapIdx = int32(j)
+}
+
+// heapMin returns the earliest live heap event's time, lazily discarding
+// cancelled events off the top.
+func (e *Engine) heapMin() (uint64, bool) {
+	for len(e.heap) > 0 {
+		if ev := e.heap[0]; ev.dead {
+			e.heapPop()
+			e.heapDead--
+			e.recycle(ev)
+			continue
+		}
+		return uint64(e.heap[0].at), true
+	}
+	return 0, false
+}
+
+// compactHeap rebuilds the heap without its dead entries — called when
+// more than half the heap is cancelled timers, so heavy Stop churn
+// (e.g. per-segment TCP retransmit timers) cannot grow it unboundedly.
+func (e *Engine) compactHeap() {
+	alive := e.heap[:0]
+	for _, ev := range e.heap {
+		if ev.dead {
+			e.recycle(ev)
+			continue
+		}
+		alive = append(alive, ev)
+	}
+	for i := len(alive); i < len(e.heap); i++ {
+		e.heap[i] = nil
+	}
+	e.heap = alive
+	e.heapDead = 0
+	for i := len(e.heap)/2 - 1; i >= 0; i-- {
+		e.heapDown(i)
+	}
+	for i, ev := range e.heap {
+		ev.heapIdx = int32(i)
+	}
 }

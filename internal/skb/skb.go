@@ -6,7 +6,9 @@
 package skb
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"falcon/internal/proto"
 	"falcon/internal/sim"
@@ -97,6 +99,177 @@ type SKB struct {
 
 	// next links skbs inside intrusive queues (rx rings, backlogs).
 	next *SKB
+
+	// Buffer ownership. buf is the pooled backing buffer (nil when Data
+	// wraps externally owned bytes); back is the full backing slice
+	// including unused headroom, with Data starting at back[off]. Push
+	// grows Data into the headroom (the kernel's skb_push, used for
+	// in-place VXLAN encapsulation).
+	buf  *[pooledBufCap]byte
+	back []byte
+	off  int
+
+	// Parsed-header cache: the flow dissector output for the current
+	// Data, carried across device stages so each hop does not re-parse
+	// the frame, plus the VXLAN inner dissect for tunnel GRO. Both are
+	// invalidated whenever Data changes (SetData / Push).
+	frame      proto.Frame
+	frameState uint8 // 0 unparsed, 1 valid, 2 unparsable
+	inner      proto.Frame
+	innerState uint8 // 0 unknown, 1 VXLAN inner valid, 2 not VXLAN TCP-carrying
+}
+
+// pooledBufCap is the frame-buffer pool's size class: an MTU frame plus
+// VXLAN overhead and headroom with room to spare. Larger frames (jumbo,
+// GRO super-packets) fall back to plain allocation.
+const pooledBufCap = 2048
+
+// ErrBadFrame is returned by Frame for unparsable frames.
+var ErrBadFrame = errors.New("skb: unparsable frame")
+
+var (
+	skbPool = sync.Pool{New: func() any { return new(SKB) }}
+	bufPool = sync.Pool{New: func() any { return new([pooledBufCap]byte) }}
+)
+
+func getSKB() *SKB {
+	s := skbPool.Get().(*SKB)
+	s.Segs = 1
+	s.LastCore = -1
+	return s
+}
+
+// NewTx returns an SKB with a writable frame buffer of size bytes and
+// the given headroom in front of it (for later in-place encapsulation).
+// The buffer comes from a pool when it fits; callers MUST overwrite all
+// size bytes — the buffer is not zeroed.
+func NewTx(size, headroom int) *SKB {
+	s := getSKB()
+	total := size + headroom
+	if total <= pooledBufCap {
+		s.buf = bufPool.Get().(*[pooledBufCap]byte)
+		s.back = s.buf[:]
+	} else {
+		s.back = make([]byte, total)
+	}
+	s.off = headroom
+	s.Data = s.back[headroom : headroom+size]
+	return s
+}
+
+// Push extends Data n bytes backward into the headroom and reports
+// whether there was room. The parse caches are invalidated.
+func (s *SKB) Push(n int) bool {
+	if s.back == nil || s.off < n {
+		return false
+	}
+	s.off -= n
+	s.Data = s.back[s.off : s.off+n+len(s.Data)]
+	s.frameState, s.innerState = 0, 0
+	return true
+}
+
+// SetData replaces the frame bytes and invalidates the parse caches.
+// Buffer ownership is retained (Free still recycles the pooled buffer),
+// but headroom is gone: the new bytes need not alias the old buffer.
+func (s *SKB) SetData(b []byte) {
+	s.Data = b
+	s.back = nil
+	s.frameState, s.innerState = 0, 0
+}
+
+// DisownBuf releases the SKB's claim on its backing buffer without
+// recycling it — for frames whose payload bytes were retained by a
+// longer-lived structure (e.g. the IP reassembler).
+func (s *SKB) DisownBuf() {
+	s.buf = nil
+	s.back = nil
+}
+
+// Free returns the SKB (and its owned buffer, if pooled) for reuse.
+// Callers must hold no references to the SKB or its Data afterwards.
+// Terminal points on the datapath — application consume, drops, loss,
+// GRO absorption — free their packets so steady flows recycle a small
+// working set instead of allocating per packet.
+func (s *SKB) Free() {
+	if s.buf != nil {
+		bufPool.Put(s.buf)
+	}
+	*s = SKB{}
+	skbPool.Put(s)
+}
+
+// Frame returns the parsed headers of the current Data, dissecting on
+// first use and serving the cached result on every later stage.
+func (s *SKB) Frame() (*proto.Frame, error) {
+	switch s.frameState {
+	case 1:
+		return &s.frame, nil
+	case 2:
+		return nil, ErrBadFrame
+	}
+	f, err := proto.ParseFrame(s.Data)
+	if err != nil {
+		s.frameState = 2
+		return nil, ErrBadFrame
+	}
+	s.frame = f
+	s.frameState = 1
+	return &s.frame, nil
+}
+
+// IsVXLAN reports whether the frame is VXLAN-in-UDP, using the cached
+// dissect (the check udp_rcv performs before vxlan_rcv).
+func (s *SKB) IsVXLAN() bool {
+	f, err := s.Frame()
+	return err == nil && !f.IP.IsFragment() &&
+		f.IP.Protocol == proto.ProtoUDP && f.UDP.DstPort == proto.VXLANPort
+}
+
+// VXLANInner returns the parsed inner frame of a VXLAN packet (cached).
+// ok is false for non-VXLAN frames or invalid encapsulations.
+func (s *SKB) VXLANInner() (*proto.Frame, bool) {
+	switch s.innerState {
+	case 1:
+		return &s.inner, true
+	case 2:
+		return nil, false
+	}
+	if !s.IsVXLAN() {
+		s.innerState = 2
+		return nil, false
+	}
+	f, _ := s.Frame()
+	if _, err := proto.ParseVXLAN(f.Payload); err != nil {
+		s.innerState = 2
+		return nil, false
+	}
+	fi, err := proto.ParseFrame(f.Payload[proto.VXLANLen:])
+	if err != nil {
+		s.innerState = 2
+		return nil, false
+	}
+	s.inner = fi
+	s.innerState = 1
+	return &s.inner, true
+}
+
+// DecapVXLAN strips the outer headers in place (vxlan_rcv): Data becomes
+// the inner frame and the already-parsed inner dissect becomes the
+// current frame cache, so downstream stages skip the re-parse. Reports
+// false when the frame is not a valid VXLAN packet.
+func (s *SKB) DecapVXLAN() bool {
+	fi, ok := s.VXLANInner()
+	if !ok {
+		return false
+	}
+	f, _ := s.Frame()
+	s.Data = f.Payload[proto.VXLANLen:]
+	s.back = nil // headroom is gone; buffer ownership retained
+	s.frame = *fi
+	s.frameState = 1
+	s.innerState = 0
+	return true
 }
 
 // Touch records that core is about to process the packet and reports
@@ -115,9 +288,12 @@ func (s *SKB) Touch(core int) bool {
 }
 
 // New returns an SKB wrapping the given frame bytes, with one segment
-// and no core affinity yet.
+// and no core affinity yet. The bytes are externally owned (never
+// recycled by Free).
 func New(data []byte) *SKB {
-	return &SKB{Data: data, Segs: 1, LastCore: -1}
+	s := getSKB()
+	s.Data = data
+	return s
 }
 
 // Len returns the frame length in bytes.
@@ -131,9 +307,14 @@ func (s *SKB) SetFlowHash() error {
 	if s.HashValid {
 		return nil
 	}
-	k, err := FlowKeyOf(s.Data)
+	f, err := s.Frame()
 	if err != nil {
 		return err
+	}
+	k := FlowKey{SrcIP: f.IP.Src, DstIP: f.IP.Dst, Proto: f.IP.Protocol}
+	if !f.IP.IsFragment() {
+		k.SrcPort = f.SrcPort()
+		k.DstPort = f.DstPort()
 	}
 	s.Hash = k.Hash()
 	s.HashValid = true

@@ -55,7 +55,7 @@ func TestSetFlowHashOnce(t *testing.T) {
 	}
 	h := s.Hash
 	// Change the frame; hash must stay pinned until reset.
-	s.Data = udpFrame(300, 400)
+	s.SetData(udpFrame(300, 400))
 	if err := s.SetFlowHash(); err != nil {
 		t.Fatal(err)
 	}

@@ -36,6 +36,13 @@ type Socket struct {
 	rcvQ      *skb.Queue
 	appActive bool
 
+	// cur is the message currently being copied/processed by the app
+	// thread; copyDone/workDone are the cached consume-loop continuations
+	// (built once in New) so steady-state consumption allocates nothing.
+	cur      *skb.SKB
+	copyDone func()
+	workDone func()
+
 	// Measurements.
 	Latency     *stats.Histogram // wire-to-application per original packet
 	Delivered   stats.Counter    // original packets (GRO segments) consumed
@@ -49,13 +56,29 @@ type Socket struct {
 
 // New returns a socket on machine m consumed by a thread on appCore.
 func New(m *cpu.Machine, appCore int) *Socket {
-	return &Socket{
+	sk := &Socket{
 		m:       m,
 		AppCore: appCore,
 		rcvQ:    skb.NewQueue(DefaultRcvBuf),
 		Latency: stats.NewHistogram(),
 		lastSeq: make(map[uint64]uint64),
 	}
+	core := m.Core(appCore)
+	sk.copyDone = func() {
+		work := sk.m.Model.Cost(costmodel.FnAppWork, 0) + sk.AppWork
+		core.Submit(stats.CtxTask, costmodel.FnAppWork, work, sk.workDone)
+	}
+	sk.workDone = func() {
+		s := sk.cur
+		sk.cur = nil
+		sk.account(s)
+		if sk.OnDeliver != nil {
+			sk.OnDeliver(s)
+		}
+		s.Free()
+		sk.consumeNext()
+	}
+	return sk
 }
 
 // QueueLen returns the current receive-queue depth.
@@ -68,6 +91,7 @@ func (sk *Socket) QueueLen() int { return sk.rcvQ.Len() }
 func (sk *Socket) Deliver(c *cpu.Core, s *skb.SKB) bool {
 	if !sk.rcvQ.Enqueue(s) {
 		sk.SocketDrops.Inc()
+		s.Free()
 		return false
 	}
 	sk.wakeApp(c)
@@ -104,16 +128,8 @@ func (sk *Socket) consumeNext() {
 		// cores handled the packet before the copy (paper Section 6.3).
 		copyCost += sim.Time(s.Migrations) * sk.m.Model.Migration()
 	}
-	core.Submit(stats.CtxTask, costmodel.FnUserCopy, copyCost, func() {
-		work := sk.m.Model.Cost(costmodel.FnAppWork, 0) + sk.AppWork
-		core.Submit(stats.CtxTask, costmodel.FnAppWork, work, func() {
-			sk.account(s)
-			if sk.OnDeliver != nil {
-				sk.OnDeliver(s)
-			}
-			sk.consumeNext()
-		})
-	})
+	sk.cur = s
+	core.Submit(stats.CtxTask, costmodel.FnUserCopy, copyCost, sk.copyDone)
 }
 
 func (sk *Socket) account(s *skb.SKB) {

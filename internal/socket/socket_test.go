@@ -39,9 +39,8 @@ func TestDeliverAndConsume(t *testing.T) {
 	if sk.Latency.Count() != 1 || sk.Latency.Max() <= 0 {
 		t.Fatal("latency not recorded")
 	}
-	if s.Delivered == 0 {
-		t.Fatal("delivery timestamp not set")
-	}
+	// s is owned (and recycled) by the socket once consumed; the recorded
+	// latency above is the observable proof the timestamp was set.
 }
 
 func TestConsumeRunsOnAppCore(t *testing.T) {

@@ -77,7 +77,7 @@ type Conn struct {
 	dupAcks   int
 	inFastRec bool
 	recover   uint64
-	rtoTimer  *sim.Timer
+	rtoTimer  sim.Timer
 	rto       sim.Time
 
 	// RTT estimation (Jacobson/Karn): one timed segment at a time,
@@ -96,7 +96,7 @@ type Conn struct {
 	rcvNxt   uint64
 	oooSegs  map[uint64]*skb.SKB // seq → buffered out-of-order segment
 	ackEvery int                 // delayed-ACK segment counter
-	ackTimer *sim.Timer
+	ackTimer sim.Timer
 	sock     *socket.Socket
 
 	// Diagnostics.
@@ -169,12 +169,8 @@ func (c *Conn) Close() {
 	c.closed = true
 	c.continuous = false
 	c.pendingMsgs = 0
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
-	if c.ackTimer != nil {
-		c.ackTimer.Stop()
-	}
+	c.rtoTimer.Stop()
+	c.ackTimer.Stop()
 	c.cfg.ReceiverHost.Unbind(overlay.SockKey{IP: c.dstIP, Port: c.cfg.DstPort, Proto: proto.ProtoTCP})
 	c.cfg.SenderHost.Unbind(overlay.SockKey{IP: c.srcIP, Port: c.cfg.SrcPort, Proto: proto.ProtoTCP})
 }
@@ -262,13 +258,15 @@ func (c *Conn) transmit(seq uint64, isRetrans bool, done func()) {
 	}
 }
 
-// armRTO (re)starts the retransmission timer.
+// armRTO (re)starts the retransmission timer. This runs once per
+// transmitted segment, so it schedules through AfterArg with a
+// package-level trampoline instead of allocating a method-value closure.
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
-	c.rtoTimer = c.cfg.Net.E.After(c.rto, c.onRTO)
+	c.rtoTimer.Stop()
+	c.rtoTimer = c.cfg.Net.E.AfterArg(c.rto, connRTO, c)
 }
+
+func connRTO(v any) { v.(*Conn).onRTO() }
 
 // onRTO fires when the oldest segment went unacknowledged too long:
 // collapse the window and go-back-N from sndUna.

@@ -11,8 +11,9 @@ import (
 // a GRO super-segment) reaches tcp_v4_rcv. It reassembles the byte
 // stream, delivers in-order data to the socket, and emits ACKs: delayed
 // for in-order arrivals, immediate duplicates for out-of-order ones.
-func (c *Conn) onData(core *cpu.Core, s *skb.SKB, f proto.Frame, done func()) {
+func (c *Conn) onData(core *cpu.Core, s *skb.SKB, f *proto.Frame, done func()) {
 	if c.closed {
+		s.Free()
 		done()
 		return
 	}
@@ -24,6 +25,8 @@ func (c *Conn) onData(core *cpu.Core, s *skb.SKB, f proto.Frame, done func()) {
 
 	switch {
 	case seq == c.rcvNxt:
+		// The socket owns s once delivered; read Segs first.
+		segs := s.Segs
 		c.rcvNxt += segLen
 		c.deliver(core, s, segLen)
 		// Drain any buffered continuation.
@@ -33,14 +36,14 @@ func (c *Conn) onData(core *cpu.Core, s *skb.SKB, f proto.Frame, done func()) {
 				break
 			}
 			delete(c.oooSegs, c.rcvNxt)
-			nf, err := proto.ParseFrame(nxt.Data)
+			nf, err := nxt.Frame()
 			if err != nil {
 				break
 			}
 			c.rcvNxt += uint64(len(nf.Payload))
 			c.deliver(core, nxt, uint64(len(nf.Payload)))
 		}
-		c.ackEvery += s.Segs
+		c.ackEvery += segs
 		if c.ackEvery >= 2 {
 			c.sendAck(core, false)
 		} else {
@@ -50,11 +53,14 @@ func (c *Conn) onData(core *cpu.Core, s *skb.SKB, f proto.Frame, done func()) {
 		// Out of order: buffer and signal the gap with a duplicate ACK.
 		if _, dup := c.oooSegs[seq]; !dup {
 			c.oooSegs[seq] = s
+		} else {
+			s.Free()
 		}
 		c.sendAck(core, true)
 	default:
 		// Duplicate of already-received data (spurious retransmit):
 		// re-ACK so the sender advances.
+		s.Free()
 		c.sendAck(core, true)
 	}
 	done()
@@ -73,12 +79,11 @@ func (c *Conn) deliver(core *cpu.Core, s *skb.SKB, payload uint64) {
 // armDelayedAck schedules a flush ACK so a lone segment is still
 // acknowledged promptly (the kernel's delayed-ACK timer).
 func (c *Conn) armDelayedAck(core *cpu.Core) {
-	if c.ackTimer != nil {
+	if c.ackTimer.Pending() {
 		return
 	}
 	coreID := core.ID()
 	c.ackTimer = c.cfg.Net.E.After(delayedAckTimeout, func() {
-		c.ackTimer = nil
 		if c.ackEvery > 0 && !c.closed {
 			c.sendAck(c.cfg.ReceiverHost.M.Core(coreID), false)
 		}
@@ -90,10 +95,7 @@ func (c *Conn) armDelayedAck(core *cpu.Core) {
 // sender.
 func (c *Conn) sendAck(core *cpu.Core, immediate bool) {
 	c.ackEvery = 0
-	if c.ackTimer != nil {
-		c.ackTimer.Stop()
-		c.ackTimer = nil
-	}
+	c.ackTimer.Stop()
 	c.AcksSent.Inc()
 	hdr := proto.TCPHdr{
 		SrcPort: c.cfg.DstPort,
@@ -117,12 +119,14 @@ func (c *Conn) sendAck(core *cpu.Core, immediate bool) {
 // Congestion control follows Reno: slow start below ssthresh, additive
 // increase above it, fast retransmit + window halving on the third
 // duplicate ACK.
-func (c *Conn) onAck(core *cpu.Core, s *skb.SKB, f proto.Frame, done func()) {
+func (c *Conn) onAck(core *cpu.Core, s *skb.SKB, f *proto.Frame, done func()) {
 	if c.closed {
+		s.Free()
 		done()
 		return
 	}
 	ack := c.reconstructAck(uint64(f.TCP.Ack))
+	s.Free() // pure ACK: nothing downstream holds the frame
 	switch {
 	case ack > c.sndUna:
 		c.sndUna = ack
@@ -153,7 +157,7 @@ func (c *Conn) onAck(core *cpu.Core, s *skb.SKB, f proto.Frame, done func()) {
 				c.cwnd = float64(c.cfg.MaxCwnd)
 			}
 		}
-		if c.sndUna == c.sndNxt && c.rtoTimer != nil {
+		if c.sndUna == c.sndNxt {
 			c.rtoTimer.Stop() // everything acknowledged
 		} else if c.sndUna < c.sndNxt {
 			c.armRTO()
