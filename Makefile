@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-report bench-baseline experiments clean
+.PHONY: all build vet test race audit bench-smoke bench-report bench-baseline experiments clean
 
 all: vet build test
 
@@ -15,6 +15,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Full self-audit: fig10 and abl-chaos with runtime verification on
+# (SKB ledger, conservation invariants, watchdog), through the parallel
+# runner, fenced by wall-clock and event budgets. Any invariant breach
+# aborts nonzero and leaves a falcon-audit-*.dump for -replay.
+audit:
+	$(GO) run -race ./cmd/falconsim -exp fig10,abl-chaos -audit -parallel 2 \
+		-deadline 20m -max-events 2000000000
 
 # One full pass of every experiment benchmark (quick windows).
 bench-smoke:

@@ -15,12 +15,15 @@ import (
 )
 
 func benchExperiment(b *testing.B, id string) {
+	benchExperimentOpt(b, id, falcon.ExperimentOptions{Quick: true})
+}
+
+func benchExperimentOpt(b *testing.B, id string, opt falcon.ExperimentOptions) {
 	b.Helper()
 	e, ok := falcon.ExperimentByID(id)
 	if !ok {
 		b.Fatalf("experiment %q not registered", id)
 	}
-	opt := falcon.ExperimentOptions{Quick: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tables := e.Run(opt)
@@ -41,6 +44,15 @@ func BenchmarkFig5(b *testing.B)  { benchExperiment(b, "fig5") }
 func BenchmarkFig6(b *testing.B)  { benchExperiment(b, "fig6") }
 func BenchmarkFig9a(b *testing.B) { benchExperiment(b, "fig9a") }
 func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig10Audit is fig10 with full runtime verification on (SKB
+// ledger, conservation sweeps, watchdog, trace ring) — run against
+// BenchmarkFig10 to measure the audit subsystem's overhead. Audit-off
+// cost is a nil-check per lifecycle hook and is covered by the
+// bench-report allocation guard.
+func BenchmarkFig10Audit(b *testing.B) {
+	benchExperimentOpt(b, "fig10", falcon.ExperimentOptions{Quick: true, Audit: true})
+}
 func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
 func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
 func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }

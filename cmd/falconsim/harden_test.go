@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"falcon/internal/experiments"
+)
+
+// chdirTemp moves the test into a temp dir (worker panics drop dump
+// files into the cwd) and restores the original on cleanup.
+func chdirTemp(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+	return dir
+}
+
+// TestParallelSurvivesWorkerPanic pins the hardened pool contract: a
+// panicking shard (here an audit selftest that aborts by design) must
+// not take down the process or the other shards — its failure is
+// counted, its dump written, and every healthy experiment still renders.
+func TestParallelSurvivesWorkerPanic(t *testing.T) {
+	chdirTemp(t)
+	var exps []experiments.Experiment
+	for _, id := range []string{"audit-leak", "fig4"} {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	var out bytes.Buffer
+	failures := runExperiments(exps, experiments.Options{Quick: true, Seed: 1}, 2, &out)
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1", failures)
+	}
+	if !strings.Contains(out.String(), "### fig4") {
+		t.Fatal("healthy shard's output lost when a sibling panicked")
+	}
+	if strings.Contains(out.String(), "audit-leak —") {
+		t.Fatal("failed shard still rendered tables")
+	}
+	if _, err := os.Stat("falcon-audit-audit-leak.dump"); err != nil {
+		t.Fatalf("audit abort did not write its replay dump: %v", err)
+	}
+}
+
+// TestReplayReproducesDump closes the loop the dump header promises:
+// -replay on a just-written dump re-runs the exact experiment and exits
+// nonzero because the deterministic failure fires again.
+func TestReplayReproducesDump(t *testing.T) {
+	chdirTemp(t)
+	e, _ := experiments.ByID("audit-double-free")
+	var out bytes.Buffer
+	if f := runExperiments([]experiments.Experiment{e}, experiments.Options{Quick: true, Seed: 1}, 1, &out); f != 1 {
+		t.Fatalf("selftest did not fail (failures=%d)", f)
+	}
+	if code := runReplay("falcon-audit-audit-double-free.dump", 0); code != 1 {
+		t.Fatalf("replay exit %d, want 1 (reproduced)", code)
+	}
+}
+
+// TestReplayRejectsGarbage keeps -replay's error paths crisp: a missing
+// file and a non-dump file both exit 2 without running anything.
+func TestReplayRejectsGarbage(t *testing.T) {
+	dir := chdirTemp(t)
+	if code := runReplay("does-not-exist.dump", 0); code != 2 {
+		t.Fatalf("missing dump: exit %d, want 2", code)
+	}
+	bad := dir + "/not-a-dump"
+	os.WriteFile(bad, []byte("hello\n"), 0o644)
+	if code := runReplay(bad, 0); code != 2 {
+		t.Fatalf("garbage dump: exit %d, want 2", code)
+	}
+}

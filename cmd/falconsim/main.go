@@ -24,22 +24,30 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"falcon/internal/audit"
 	"falcon/internal/experiments"
+	"falcon/internal/sim"
+	"falcon/internal/skb"
 )
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiments and exit")
-		expIDs   = flag.String("exp", "", "comma-separated experiment ids to run")
-		all      = flag.Bool("all", false, "run every experiment")
-		quick    = flag.Bool("quick", false, "short measurement windows")
-		kernel   = flag.String("kernel", "", `kernel cost profile ("4.19" default, "5.4")`)
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		parallel = flag.Int("parallel", 1, "experiments run concurrently (each on its own engine)")
-		report   = flag.String("bench-report", "", "write a hot-path benchmark report to this JSON file and exit")
-		baseline = flag.String("bench-baseline", "", "with -bench-report: fail if allocs/packet regresses >10% over this baseline JSON")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		expIDs    = flag.String("exp", "", "comma-separated experiment ids to run")
+		all       = flag.Bool("all", false, "run every experiment")
+		quick     = flag.Bool("quick", false, "short measurement windows")
+		kernel    = flag.String("kernel", "", `kernel cost profile ("4.19" default, "5.4")`)
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		parallel  = flag.Int("parallel", 1, "experiments run concurrently (each on its own engine)")
+		report    = flag.String("bench-report", "", "write a hot-path benchmark report to this JSON file and exit")
+		baseline  = flag.String("bench-baseline", "", "with -bench-report: fail if allocs/packet regresses >10% over this baseline JSON")
+		auditOn   = flag.Bool("audit", false, "enable runtime verification (SKB ledger, conservation invariants, watchdog); breaches abort with a replayable dump")
+		deadline  = flag.Duration("deadline", 0, "abort the whole run after this wall-clock duration (0 = no limit)")
+		maxEvents = flag.Uint64("max-events", 0, "abort any single experiment after firing this many engine events (0 = no limit)")
+		replay    = flag.String("replay", "", "re-run the exact experiment/seed/config named in an audit dump's header and exit")
 	)
 	flag.Parse()
 
@@ -48,6 +56,14 @@ func main() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if *deadline > 0 {
+		armDeadline(*deadline)
+	}
+
+	if *replay != "" {
+		os.Exit(runReplay(*replay, *maxEvents))
 	}
 
 	if *report != "" {
@@ -71,17 +87,83 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := experiments.Options{Quick: *quick, Kernel: *kernel, Seed: *seed}
-	runExperiments(exps, opt, *parallel, os.Stdout)
+	opt := experiments.Options{
+		Quick: *quick, Kernel: *kernel, Seed: *seed,
+		Audit: *auditOn, MaxEvents: *maxEvents,
+	}
+	failures := runExperiments(exps, opt, *parallel, os.Stdout)
+	if n := skb.PoolMisuses(); n > 0 {
+		fmt.Fprintf(os.Stderr, "falconsim: WARNING: %d SKB pool misuses (double-free or stale-generation free) were dropped; run with -audit for attribution\n", n)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "falconsim: %d experiment(s) failed\n", failures)
+		os.Exit(1)
+	}
+}
+
+// armDeadline aborts the process (exit 3) if it outlives d — the guard
+// against a hung simulation wedging CI forever.
+func armDeadline(d time.Duration) {
+	time.AfterFunc(d, func() {
+		fmt.Fprintf(os.Stderr, "falconsim: DEADLINE EXCEEDED after %v; aborting\n", d)
+		os.Exit(3)
+	})
+}
+
+// runReplay re-runs the run recorded in an audit dump header, with
+// auditing on, and reports whether the failure reproduces: exit 1 with
+// the violation when it does (the expected outcome for a genuine dump),
+// exit 0 when the run now passes.
+func runReplay(path string, maxEvents uint64) int {
+	info, err := audit.ParseDumpFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
+		return 2
+	}
+	e, ok := experiments.ByID(info.Exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "falconsim: dump names unknown experiment %q\n", info.Exp)
+		return 2
+	}
+	opt := experiments.Options{
+		Quick: info.Quick, Kernel: info.Kernel, Seed: uint64(info.Seed),
+		Audit: true, MaxEvents: maxEvents,
+	}
+	fmt.Fprintf(os.Stderr, "falconsim: replaying %s (seed %d, kernel %q, quick %t)\n",
+		info.Exp, info.Seed, info.Kernel, info.Quick)
+	code := 0
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				code = 1
+				if ab, isAudit := r.(*audit.Abort); isAudit {
+					fmt.Fprintf(os.Stderr, "falconsim: REPRODUCED: %s\n", ab.V)
+					audit.WriteDump(os.Stderr, info, ab.V, ab.A)
+				} else {
+					fmt.Fprintf(os.Stderr, "falconsim: REPRODUCED (panic): %v\n", r)
+				}
+			}
+		}()
+		e.Run(opt)
+	}()
+	if code == 0 {
+		fmt.Fprintf(os.Stderr, "falconsim: replay completed clean — failure did not reproduce\n")
+	}
+	return code
 }
 
 // runExperiments runs every experiment, up to `workers` concurrently
 // (each builds its own engine, so runs share nothing but buffer pools),
-// and streams rendered tables to out in request order.
-func runExperiments(exps []experiments.Experiment, opt experiments.Options, workers int, out io.Writer) {
+// and streams rendered tables to out in request order. A worker panic
+// (audit abort, event-budget breach, or a genuine bug) is recovered and
+// reported on stderr with the failing experiment/seed — audit aborts
+// additionally write a replayable dump — and the failure count is
+// returned instead of crashing the pool mid-run.
+func runExperiments(exps []experiments.Experiment, opt experiments.Options, workers int, out io.Writer) int {
 	if workers < 1 {
 		workers = 1
 	}
+	var failures atomic.Int64
 	done := make([]chan string, len(exps))
 	for i := range done {
 		done[i] = make(chan string, 1)
@@ -91,6 +173,13 @@ func runExperiments(exps []experiments.Experiment, opt experiments.Options, work
 		go func(i int, e experiments.Experiment) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					failures.Add(1)
+					reportWorkerPanic(e, opt, i, len(exps), r)
+					done[i] <- ""
+				}
+			}()
 			start := time.Now()
 			tables := e.Run(opt)
 			var b strings.Builder
@@ -104,6 +193,31 @@ func runExperiments(exps []experiments.Experiment, opt experiments.Options, work
 	}
 	for i := range exps {
 		fmt.Fprint(out, <-done[i])
+	}
+	return int(failures.Load())
+}
+
+// reportWorkerPanic renders one recovered worker failure: the failing
+// experiment, seed and shard on stderr, plus a replayable dump file for
+// audit aborts and a state dump for event-budget breaches.
+func reportWorkerPanic(e experiments.Experiment, opt experiments.Options, shard, total int, r any) {
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	fmt.Fprintf(os.Stderr, "falconsim: PANIC in %s (seed %d, shard %d/%d): %v\n",
+		e.ID, seed, shard+1, total, r)
+	info := audit.RunInfo{Exp: e.ID, Seed: int64(seed), Kernel: opt.Kernel, Quick: opt.Quick}
+	switch v := r.(type) {
+	case *audit.Abort:
+		path := fmt.Sprintf("falcon-audit-%s.dump", e.ID)
+		if err := audit.WriteDumpFile(path, info, v.V, v.A); err != nil {
+			fmt.Fprintf(os.Stderr, "falconsim: writing dump: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "falconsim: audit dump written to %s (reproduce: falconsim -replay %s)\n", path, path)
+	case *sim.BudgetExceeded:
+		fmt.Fprintf(os.Stderr, "falconsim: event budget exhausted: %v (runaway simulation? raise -max-events)\n", v)
 	}
 }
 

@@ -1,0 +1,252 @@
+// Package audit is the datapath's opt-in runtime verification
+// subsystem: an SKB lifecycle ledger over the pooled hot path,
+// packet-conservation invariants checked on a sim-time cadence, a
+// softirq/NAPI watchdog mirroring the kernel's hung-softirq detection,
+// and a fixed-size trace ring dumped on any breach for deterministic
+// seed replay (falconsim -replay).
+//
+// The auditor is a pure observer: it reads counters and queue state,
+// draws no randomness, and mutates nothing on the datapath, so enabling
+// it leaves a run's stdout byte-identical. With auditing off the entire
+// subsystem costs one nil-check per lifecycle hook (see skb.Auditor).
+package audit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"falcon/internal/sim"
+	"falcon/internal/skb"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultCheckEvery     = sim.Millisecond
+	DefaultWatchdogWindow = 5 * sim.Millisecond
+	DefaultRingSize       = 256
+)
+
+// Config tunes one auditor.
+type Config struct {
+	// CheckEvery is the sim-time cadence of the periodic invariant
+	// sweep (conservation balances, queue validation, watchdog scan).
+	CheckEvery sim.Time
+	// WatchdogWindow is how long a watch may hold queued work without
+	// progress before the watchdog aborts the run.
+	WatchdogWindow sim.Time
+	// RingSize bounds the trace ring (recent lifecycle events kept for
+	// the failure dump).
+	RingSize int
+	// WatchFrozen includes cores that fault injection deliberately
+	// froze (Stalled/Offline) in watchdog stall detection. Off by
+	// default: the chaos harness stalls cores on purpose and the
+	// simulator's ground truth exempts them.
+	WatchFrozen bool
+	// OnViolation, when non-nil, collects violations instead of
+	// aborting the run — negative tests use it to assert attribution.
+	// When nil, the first violation panics with *Abort.
+	OnViolation func(*Violation)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = DefaultCheckEvery
+	}
+	if c.WatchdogWindow <= 0 {
+		c.WatchdogWindow = DefaultWatchdogWindow
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = DefaultRingSize
+	}
+	return c
+}
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	// Kind classifies the breach: "leak", "double-free", "stale-free",
+	// "use-after-free", "conservation", "queue", "watchdog", "ledger".
+	Kind   string
+	At     sim.Time
+	Detail string
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("audit: [%s] at %v: %s", v.Kind, v.At, v.Detail)
+}
+
+// Abort is the panic value raised on a violation when no collector is
+// installed. It carries the auditor so the recovery site (falconsim)
+// can write the full diagnostic dump for -replay.
+type Abort struct {
+	V *Violation
+	A *Auditor
+}
+
+func (ab *Abort) Error() string { return ab.V.String() }
+
+// Auditor verifies one simulation run. It implements skb.Auditor (the
+// lifecycle ledger) and drives the conservation, queue and watchdog
+// sweeps off a periodic engine timer. One auditor audits one engine;
+// concurrent experiment runs each build their own.
+type Auditor struct {
+	E   *sim.Engine
+	cfg Config
+
+	// Ledger state (ledger.go).
+	live     map[*skb.SKB]*record
+	recent   []*record // ring of recently freed records, newest last
+	recentAt int
+	freeRecs []*record // record pool
+	seq      uint64
+	created  uint64
+	freedCnt uint64
+	sites    map[string]uint64 // allocations per site
+	disposed map[string]uint64 // frees per terminal stage
+
+	// Invariants (balance.go) and watchdog (watchdog.go).
+	balances   []*Balance
+	queues     []queueSrc
+	lazyQueues []func(yield func(name string, q *skb.Queue))
+	watches    []*watch
+	dumps      []func(w io.Writer)
+	rebase     bool
+
+	// Trace ring (trace.go).
+	ring    []traceEv
+	ringAt  int
+	ringLen int
+
+	violations []Violation
+	timer      sim.Timer
+	finalized  bool
+}
+
+// New builds an auditor over engine e. Call the registration methods
+// (Balance, AddQueue(s), Watch, AddDump), then Start.
+func New(e *sim.Engine, cfg Config) *Auditor {
+	return &Auditor{
+		E:        e,
+		cfg:      cfg.withDefaults(),
+		live:     make(map[*skb.SKB]*record),
+		sites:    make(map[string]uint64),
+		disposed: make(map[string]uint64),
+	}
+}
+
+// Start arms the periodic invariant sweep.
+func (a *Auditor) Start() {
+	a.timer = a.E.AfterArg(a.cfg.CheckEvery, auditTick, a)
+}
+
+func auditTick(v any) {
+	a := v.(*Auditor)
+	if a.finalized {
+		return
+	}
+	a.runChecks()
+	a.timer = a.E.AfterArg(a.cfg.CheckEvery, auditTick, a)
+}
+
+// NoteReset tells the auditor that external measurement counters are
+// being reset (MeasureWindow / Host.ResetMeasurement). The next sweep
+// re-bases every balance instead of comparing across the discontinuity.
+func (a *Auditor) NoteReset() {
+	a.rebase = true
+	a.traceNote("external-reset")
+}
+
+// runChecks is one periodic sweep: queue validation, conservation
+// balances (or a re-base after an external counter reset), then the
+// watchdog scan.
+func (a *Auditor) runChecks() {
+	a.traceNote("check")
+	a.checkQueues()
+	if a.rebase {
+		a.rebase = false
+		for _, b := range a.balances {
+			b.prime()
+		}
+	} else {
+		for _, b := range a.balances {
+			if msg := b.check(); msg != "" {
+				a.violate("conservation", "%s", msg)
+			}
+		}
+	}
+	a.scanWatches()
+}
+
+// Final stops the sweep and runs the teardown checks: a last sweep, the
+// ledger's structural conservation, and the end-of-run leak check (every
+// SKB still live in the ledger is a leak, reported in allocation order
+// with its full stage history). It returns all collected violations; in
+// abort mode the first teardown violation panics.
+func (a *Auditor) Final() []Violation {
+	a.finalized = true
+	a.timer.Stop()
+	a.runChecks()
+	if a.created != a.freedCnt+uint64(len(a.live)) {
+		a.violate("ledger", "created %d != freed %d + live %d", a.created, a.freedCnt, len(a.live))
+	}
+	if len(a.live) > 0 {
+		recs := make([]*record, 0, len(a.live))
+		for _, r := range a.live {
+			recs = append(recs, r)
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+		for _, r := range recs {
+			a.violate("leak", "skb#%d (alloc %q at %v, gen %d) never freed; age %v; history: %s",
+				r.seq, r.site, r.at, r.gen, a.E.Now()-r.at, r.history())
+		}
+	}
+	return a.violations
+}
+
+// Violations returns everything collected so far (collect mode).
+func (a *Auditor) Violations() []Violation { return a.violations }
+
+// LiveCount returns the number of SKBs currently tracked as live — the
+// teardown drain loop polls it before running the leak check.
+func (a *Auditor) LiveCount() int { return len(a.live) }
+
+// Created returns lifetime SKB attachments to the ledger.
+func (a *Auditor) Created() uint64 { return a.created }
+
+func (a *Auditor) violate(kind, format string, args ...any) {
+	v := Violation{Kind: kind, At: a.E.Now(), Detail: fmt.Sprintf(format, args...)}
+	a.violations = append(a.violations, v)
+	if a.cfg.OnViolation != nil {
+		a.cfg.OnViolation(&v)
+		return
+	}
+	panic(&Abort{V: &v, A: a})
+}
+
+// WriteState renders the auditor's full diagnostic state: ledger
+// counters, dispositions, registered dump callbacks (per-core state)
+// and the trace ring. It is the body of every failure dump.
+func (a *Auditor) WriteState(w io.Writer) {
+	fmt.Fprintf(w, "ledger: created=%d freed=%d live=%d pool-misuses=%d\n",
+		a.created, a.freedCnt, len(a.live), skb.PoolMisuses())
+	keys := make([]string, 0, len(a.disposed))
+	for k := range a.disposed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "  disposed %-20s %d\n", k, a.disposed[k])
+	}
+	for _, fn := range a.dumps {
+		fn(w)
+	}
+	a.writeRing(w)
+}
+
+// stateString is WriteState into a string (for panic messages).
+func (a *Auditor) stateString() string {
+	var b strings.Builder
+	a.WriteState(&b)
+	return b.String()
+}

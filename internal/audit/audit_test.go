@@ -1,0 +1,284 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"falcon/internal/sim"
+	"falcon/internal/skb"
+)
+
+// collector builds an auditor in collect mode over a fresh engine and
+// returns both plus the violation slice (filled as they happen).
+func collector(t *testing.T, cfg Config) (*sim.Engine, *Auditor, *[]Violation) {
+	t.Helper()
+	e := sim.New(1)
+	var got []Violation
+	cfg.OnViolation = func(v *Violation) { got = append(got, *v) }
+	a := New(e, cfg)
+	a.Start()
+	return e, a, &got
+}
+
+func kinds(vs []Violation) []string {
+	out := make([]string, len(vs))
+	for i := range vs {
+		out[i] = vs[i].Kind
+	}
+	return out
+}
+
+func TestLeakDetectedAtFinal(t *testing.T) {
+	e, a, got := collector(t, Config{})
+	s := skb.NewTx(64, 0)
+	s.Audit(a, "test:leak-site")
+	s.Stage("test:limbo")
+	e.RunUntil(3 * sim.Millisecond)
+	if len(*got) != 0 {
+		t.Fatalf("violations before Final: %v", *got)
+	}
+	a.Final()
+	if len(*got) != 1 || (*got)[0].Kind != "leak" {
+		t.Fatalf("want one leak violation, got %v", kinds(*got))
+	}
+	d := (*got)[0].Detail
+	if !strings.Contains(d, "test:leak-site") || !strings.Contains(d, "test:limbo") {
+		t.Fatalf("leak violation lacks site/history attribution: %s", d)
+	}
+	s.Free() // unpoison the pool for other tests
+}
+
+func TestDoubleFreeAttribution(t *testing.T) {
+	_, a, got := collector(t, Config{})
+	s := skb.NewTx(64, 0)
+	s.Audit(a, "test:df-site")
+	s.Stage("test:df-stage")
+	s.Free()
+	s.Free()
+	if len(*got) != 1 || (*got)[0].Kind != "double-free" {
+		t.Fatalf("want one double-free violation, got %v", kinds(*got))
+	}
+	d := (*got)[0].Detail
+	if !strings.Contains(d, "test:df-site") || !strings.Contains(d, "test:df-stage") {
+		t.Fatalf("double-free lacks alloc-site/history attribution: %s", d)
+	}
+}
+
+func TestStaleHandleFree(t *testing.T) {
+	_, a, got := collector(t, Config{})
+	s := skb.NewTx(64, 0)
+	s.Audit(a, "test:stale-site")
+	h := s.Handle()
+	s.Free()
+	if h.Valid() || h.Get() != nil {
+		t.Fatal("handle still valid after free")
+	}
+	if h.Free() {
+		t.Fatal("stale handle free reported success")
+	}
+	if len(*got) != 1 || (*got)[0].Kind != "stale-free" {
+		t.Fatalf("want one stale-free violation, got %v", kinds(*got))
+	}
+	if !strings.Contains((*got)[0].Detail, "test:stale-site") {
+		t.Fatalf("stale-free lacks alloc-site attribution: %s", (*got)[0].Detail)
+	}
+}
+
+func TestStageAfterFreeIsUseAfterFree(t *testing.T) {
+	_, a, got := collector(t, Config{})
+	s := skb.NewTx(64, 0)
+	s.Audit(a, "test:uaf")
+	s.Free()
+	s.Stage("test:too-late")
+	if len(*got) != 1 || (*got)[0].Kind != "use-after-free" {
+		t.Fatalf("want one use-after-free violation, got %v", kinds(*got))
+	}
+}
+
+func TestConservationBreachNamesTerms(t *testing.T) {
+	e, a, got := collector(t, Config{})
+	var injected, delivered uint64
+	a.Balance("pkts",
+		[]Term{T("injected", func() uint64 { return injected })},
+		[]Term{T("delivered", func() uint64 { return delivered })})
+	// First sweep primes; matched increments stay silent.
+	e.RunUntil(sim.Millisecond)
+	injected, delivered = 10, 10
+	e.RunUntil(2 * sim.Millisecond)
+	if len(*got) != 0 {
+		t.Fatalf("balanced counters violated: %v", *got)
+	}
+	injected = 15 // 5 packets vanish
+	e.RunUntil(3 * sim.Millisecond)
+	if len(*got) == 0 || (*got)[0].Kind != "conservation" {
+		t.Fatalf("want conservation violation, got %v", kinds(*got))
+	}
+	d := (*got)[0].Detail
+	if !strings.Contains(d, `balance "pkts"`) || !strings.Contains(d, "missing 5") ||
+		!strings.Contains(d, "injected=") {
+		t.Fatalf("conservation breach not attributed per-term: %s", d)
+	}
+}
+
+func TestNoteResetRebasesInsteadOfComparing(t *testing.T) {
+	e, a, got := collector(t, Config{})
+	var injected, delivered uint64
+	a.Balance("pkts",
+		[]Term{T("injected", func() uint64 { return injected })},
+		[]Term{T("delivered", func() uint64 { return delivered })})
+	e.RunUntil(sim.Millisecond)
+	// External measurement reset: one side rewinds to zero mid-run.
+	injected, delivered = 7, 7
+	delivered = 0
+	a.NoteReset()
+	e.RunUntil(2 * sim.Millisecond)
+	if len(*got) != 0 {
+		t.Fatalf("rebase sweep still compared across the reset: %v", *got)
+	}
+	// After the rebase the equation must hold again from the new base.
+	injected, delivered = 9, 2
+	e.RunUntil(3 * sim.Millisecond)
+	if len(*got) != 0 {
+		t.Fatalf("post-rebase balanced deltas violated: %v", *got)
+	}
+}
+
+func TestWatchdogFiresOnStall(t *testing.T) {
+	e, a, got := collector(t, Config{})
+	a.Watch("core7", func() WatchState {
+		return WatchState{Queued: 12, Progress: 42} // work queued, frozen progress
+	})
+	e.RunUntil(4 * sim.Millisecond) // armed at 1ms; window is 5ms
+	if len(*got) != 0 {
+		t.Fatalf("watchdog fired before the window elapsed: %v", *got)
+	}
+	e.RunUntil(7 * sim.Millisecond)
+	if len(*got) == 0 || (*got)[0].Kind != "watchdog" {
+		t.Fatalf("want watchdog violation, got %v", kinds(*got))
+	}
+	d := (*got)[0].Detail
+	if !strings.Contains(d, "core7") || !strings.Contains(d, "12 queued") {
+		t.Fatalf("watchdog violation lacks per-core state: %s", d)
+	}
+}
+
+func TestWatchdogProgressAndDrainSuppress(t *testing.T) {
+	e, a, got := collector(t, Config{})
+	var progress uint64
+	a.Watch("busy", func() WatchState {
+		progress++ // advances every sweep: never hung
+		return WatchState{Queued: 5, Progress: progress}
+	})
+	queued := 100
+	a.Watch("draining", func() WatchState {
+		queued-- // queue shrinking counts as progress too
+		return WatchState{Queued: queued, Progress: 1}
+	})
+	e.RunUntil(20 * sim.Millisecond)
+	if len(*got) != 0 {
+		t.Fatalf("watchdog fired on units making progress: %v", *got)
+	}
+}
+
+func TestWatchdogExemptsFrozenUnlessConfigured(t *testing.T) {
+	e, a, got := collector(t, Config{})
+	a.Watch("chaos-core", func() WatchState {
+		return WatchState{Queued: 9, Progress: 1, Frozen: true}
+	})
+	e.RunUntil(20 * sim.Millisecond)
+	if len(*got) != 0 {
+		t.Fatalf("watchdog fired on a deliberately frozen core: %v", *got)
+	}
+
+	e2 := sim.New(1)
+	var got2 []Violation
+	a2 := New(e2, Config{WatchFrozen: true, OnViolation: func(v *Violation) { got2 = append(got2, *v) }})
+	a2.Start()
+	a2.Watch("chaos-core", func() WatchState {
+		return WatchState{Queued: 9, Progress: 1, Frozen: true}
+	})
+	e2.RunUntil(20 * sim.Millisecond)
+	if len(got2) == 0 || got2[0].Kind != "watchdog" {
+		t.Fatalf("WatchFrozen did not include frozen cores: %v", kinds(got2))
+	}
+}
+
+func TestQueueValidationCleanAndLedgerCoherence(t *testing.T) {
+	e, a, got := collector(t, Config{})
+	q := skb.NewQueue(8)
+	a.AddQueue("test-ring", q)
+	for i := 0; i < 4; i++ {
+		s := skb.NewTx(64, 0)
+		s.Audit(a, "test:q")
+		q.Enqueue(s)
+	}
+	e.RunUntil(2 * sim.Millisecond)
+	for q.Len() > 0 {
+		q.Dequeue().Free()
+	}
+	a.Final()
+	if len(*got) != 0 {
+		t.Fatalf("clean queue/ledger produced violations: %v", *got)
+	}
+	if a.Created() != 4 || a.LiveCount() != 0 {
+		t.Fatalf("ledger miscounted: created=%d live=%d", a.Created(), a.LiveCount())
+	}
+}
+
+func TestAbortPanicsWithoutCollector(t *testing.T) {
+	e := sim.New(1)
+	a := New(e, Config{}) // no OnViolation: violations abort
+	a.Start()
+	s := skb.NewTx(64, 0)
+	s.Audit(a, "test:abort")
+	s.Free()
+	defer func() {
+		r := recover()
+		ab, ok := r.(*Abort)
+		if !ok {
+			t.Fatalf("want *Abort panic, got %T (%v)", r, r)
+		}
+		if ab.V.Kind != "double-free" || ab.A != a {
+			t.Fatalf("abort carries wrong violation/auditor: %v", ab.V)
+		}
+	}()
+	s.Free()
+}
+
+func TestDumpHeaderRoundTrip(t *testing.T) {
+	for _, info := range []RunInfo{
+		{Exp: "fig10", Seed: 1, Kernel: "", Quick: true},
+		{Exp: "abl-chaos", Seed: 99, Kernel: "5.4", Quick: false},
+	} {
+		var b strings.Builder
+		WriteDump(&b, info, &Violation{Kind: "leak", Detail: "x"}, nil)
+		parsed, err := ParseDumpHeader(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("parse %+v: %v", info, err)
+		}
+		if parsed != info {
+			t.Fatalf("round trip mangled RunInfo: want %+v got %+v", info, parsed)
+		}
+	}
+	if _, err := ParseDumpHeader(strings.NewReader("not a dump\n")); err == nil {
+		t.Fatal("foreign file parsed as an audit dump")
+	}
+}
+
+func TestDumpIncludesStateAndRing(t *testing.T) {
+	e, a, _ := collector(t, Config{})
+	s := skb.NewTx(64, 0)
+	s.Audit(a, "test:dump")
+	s.Stage("test:stage-a")
+	s.Free()
+	e.RunUntil(sim.Millisecond)
+	var b strings.Builder
+	WriteDump(&b, RunInfo{Exp: "x", Seed: 1}, nil, a)
+	out := b.String()
+	for _, want := range []string{"ledger: created=1 freed=1 live=0",
+		"disposed test:stage-a", "trace ring", "test:dump"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"falcon/internal/sim"
+	"falcon/internal/skb"
+)
+
+// historyDepth is the per-SKB stage ring: the last historyDepth stages
+// an SKB visited, enough to reconstruct a full datapath traversal
+// (tx → wire → nic-ring → napi-poll → backlog → decap → bridge →
+// sock-queue → delivered is 9 hops).
+const historyDepth = 16
+
+// record is the ledger entry for one SKB incarnation (one Get..Free
+// span). Records are pooled; a fixed ring of recently freed records is
+// retained so double-free and stale-free violations can report the
+// victim's full stage history.
+type record struct {
+	seq    uint64 // allocation sequence number, 1-based
+	gen    uint32 // skb generation at allocation
+	site   string // allocation site ("tx:fast", "tx:frag", ...)
+	at     sim.Time
+	freeAt sim.Time
+	n      int // stages recorded (may exceed historyDepth)
+	stages [historyDepth]string
+	times  [historyDepth]sim.Time
+}
+
+func (r *record) push(stage string, at sim.Time) {
+	r.stages[r.n%historyDepth] = stage
+	r.times[r.n%historyDepth] = at
+	r.n++
+}
+
+func (r *record) last() string {
+	if r.n == 0 {
+		return r.site
+	}
+	return r.stages[(r.n-1)%historyDepth]
+}
+
+// history renders the stage trail oldest-first; a truncated ring is
+// prefixed with the count of elided stages.
+func (r *record) history() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%v", r.site, r.at)
+	start, elided := 0, 0
+	if r.n > historyDepth {
+		start = r.n - historyDepth
+		elided = start
+	}
+	if elided > 0 {
+		fmt.Fprintf(&b, " ..(%d elided)..", elided)
+	}
+	for i := start; i < r.n; i++ {
+		fmt.Fprintf(&b, " -> %s@%v", r.stages[i%historyDepth], r.times[i%historyDepth])
+	}
+	return b.String()
+}
+
+func (a *Auditor) getRecord() *record {
+	if n := len(a.freeRecs); n > 0 {
+		r := a.freeRecs[n-1]
+		a.freeRecs = a.freeRecs[:n-1]
+		*r = record{}
+		return r
+	}
+	return &record{}
+}
+
+// retire moves a freed record into the recently-freed ring, recycling
+// whatever it displaces.
+func (a *Auditor) retire(r *record) {
+	if a.recent == nil {
+		a.recent = make([]*record, a.cfg.RingSize)
+	}
+	if old := a.recent[a.recentAt]; old != nil {
+		a.freeRecs = append(a.freeRecs, old)
+	}
+	a.recent[a.recentAt] = r
+	a.recentAt = (a.recentAt + 1) % len(a.recent)
+}
+
+// recentFor finds the newest retired record for s (by pointer identity
+// and generation), for misuse attribution.
+func (a *Auditor) recentFor(s *skb.SKB) *record {
+	if a.recent == nil {
+		return nil
+	}
+	n := len(a.recent)
+	for i := 1; i <= n; i++ {
+		r := a.recent[(a.recentAt-i+n)%n]
+		if r == nil {
+			return nil
+		}
+		if r.gen == s.Gen()-1 || r.gen == s.Gen() {
+			if _, live := a.live[s]; !live {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// SKBGet implements skb.Auditor: a fresh SKB entered the datapath.
+func (a *Auditor) SKBGet(s *skb.SKB, site string) {
+	if prev, ok := a.live[s]; ok {
+		a.violate("ledger", "skb#%d re-issued while live (alloc %q at %v); history: %s",
+			prev.seq, prev.site, prev.at, prev.history())
+		delete(a.live, s)
+		a.freedCnt++ // keep created == freed + live coherent in collect mode
+	}
+	a.seq++
+	a.created++
+	r := a.getRecord()
+	r.seq, r.gen, r.site, r.at = a.seq, s.Gen(), site, a.E.Now()
+	a.live[s] = r
+	a.sites[site]++
+	a.trace('G', site, r.seq, s.Gen())
+}
+
+// SKBStage implements skb.Auditor: a live SKB crossed a device stage.
+func (a *Auditor) SKBStage(s *skb.SKB, stage string) {
+	r, ok := a.live[s]
+	if !ok {
+		a.violate("use-after-free", "stage %q on untracked/freed skb (gen %d)", stage, s.Gen())
+		return
+	}
+	r.push(stage, a.E.Now())
+	a.trace('S', stage, r.seq, s.Gen())
+}
+
+// SKBFree implements skb.Auditor: a live SKB left the datapath. Its
+// last stamped stage becomes the disposition bucket the conservation
+// balances count against.
+func (a *Auditor) SKBFree(s *skb.SKB) {
+	r, ok := a.live[s]
+	if !ok {
+		a.violate("double-free", "free of untracked skb (gen %d) — never issued or already freed", s.Gen())
+		return
+	}
+	delete(a.live, s)
+	a.freedCnt++
+	r.freeAt = a.E.Now()
+	a.disposed[r.last()]++
+	a.trace('F', r.last(), r.seq, s.Gen())
+	a.retire(r)
+}
+
+// SKBMisuse implements skb.Auditor: the pool itself rejected an
+// operation (double-free or stale-generation free caught by skb.Free /
+// Handle.Free). The retired record, if still in the ring, pins the
+// misuse to the allocation site and full stage trail of the victim.
+func (a *Auditor) SKBMisuse(s *skb.SKB, kind string) {
+	a.trace('M', kind, 0, s.Gen())
+	if r := a.recentFor(s); r != nil {
+		a.violate(kind, "%s of skb#%d (alloc %q at %v, gen %d, freed at %v); history: %s",
+			kind, r.seq, r.site, r.at, r.gen, r.freeAt, r.history())
+		return
+	}
+	a.violate(kind, "%s of skb gen %d (record evicted from ring; raise Config.RingSize to retain history)",
+		kind, s.Gen())
+}
+
+// Disposed returns a closure summing the frees whose terminal stage was
+// any of stages — the RHS terms of conservation balances.
+func (a *Auditor) Disposed(stages ...string) func() uint64 {
+	return func() uint64 {
+		var n uint64
+		for _, st := range stages {
+			n += a.disposed[st]
+		}
+		return n
+	}
+}
+
+// CreatedAt returns a closure summing allocations at the given sites —
+// the LHS "injected" terms of conservation balances.
+func (a *Auditor) CreatedAt(sites ...string) func() uint64 {
+	return func() uint64 {
+		var n uint64
+		for _, s := range sites {
+			n += a.sites[s]
+		}
+		return n
+	}
+}

@@ -1,0 +1,137 @@
+package audit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"falcon/internal/sim"
+)
+
+// traceEv is one entry in the fixed-size ring of recent lifecycle
+// events. Labels are the static stage/site strings the datapath already
+// interns, so recording is allocation-free in steady state.
+type traceEv struct {
+	at    sim.Time
+	kind  byte // 'G'et, 'S'tage, 'F'ree, 'M'isuse, 'N'ote
+	label string
+	seq   uint64
+	gen   uint32
+}
+
+func (a *Auditor) trace(kind byte, label string, seq uint64, gen uint32) {
+	if a.ring == nil {
+		a.ring = make([]traceEv, a.cfg.RingSize)
+	}
+	a.ring[a.ringAt] = traceEv{at: a.E.Now(), kind: kind, label: label, seq: seq, gen: gen}
+	a.ringAt = (a.ringAt + 1) % len(a.ring)
+	if a.ringLen < len(a.ring) {
+		a.ringLen++
+	}
+}
+
+func (a *Auditor) traceNote(label string) { a.trace('N', label, 0, 0) }
+
+// writeRing renders the trace ring oldest-first.
+func (a *Auditor) writeRing(w io.Writer) {
+	fmt.Fprintf(w, "trace ring (%d most recent events):\n", a.ringLen)
+	n := len(a.ring)
+	for i := a.ringLen; i >= 1; i-- {
+		ev := a.ring[(a.ringAt-i+n)%n]
+		switch ev.kind {
+		case 'N':
+			fmt.Fprintf(w, "  %12v %c %s\n", ev.at, ev.kind, ev.label)
+		default:
+			fmt.Fprintf(w, "  %12v %c skb#%d gen=%d %s\n", ev.at, ev.kind, ev.seq, ev.gen, ev.label)
+		}
+	}
+}
+
+// RunInfo identifies the exact run a dump came from; the header line it
+// renders is everything -replay needs to reproduce the failure.
+type RunInfo struct {
+	Exp    string
+	Seed   int64
+	Kernel string
+	Quick  bool
+}
+
+const dumpMagic = "FALCON-AUDIT-DUMP v1"
+
+// WriteDump writes a replayable failure dump: a machine-parsable header
+// naming the experiment/seed/config, the violation, and the auditor's
+// full state (ledger, dispositions, per-core dumps, trace ring).
+func WriteDump(w io.Writer, info RunInfo, v *Violation, a *Auditor) {
+	fmt.Fprintf(w, "%s exp=%s seed=%d kernel=%q quick=%t\n", dumpMagic, info.Exp, info.Seed, info.Kernel, info.Quick)
+	if v != nil {
+		fmt.Fprintf(w, "violation: %s\n", v)
+	}
+	if a != nil {
+		a.WriteState(w)
+	}
+}
+
+// WriteDumpFile is WriteDump to a file path.
+func WriteDumpFile(path string, info RunInfo, v *Violation, a *Auditor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	WriteDump(bw, info, v, a)
+	return bw.Flush()
+}
+
+// ParseDumpHeader reads the first line of a dump and recovers the
+// RunInfo, so `falconsim -replay <dump>` can re-run the exact
+// seed/config in one command.
+func ParseDumpHeader(r io.Reader) (RunInfo, error) {
+	var info RunInfo
+	br := bufio.NewReader(r)
+	line, err := br.ReadString('\n')
+	if err != nil && line == "" {
+		return info, fmt.Errorf("audit: reading dump header: %w", err)
+	}
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, dumpMagic+" ") {
+		return info, fmt.Errorf("audit: not an audit dump (want %q header)", dumpMagic)
+	}
+	for _, f := range strings.Fields(strings.TrimPrefix(line, dumpMagic+" ")) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return info, fmt.Errorf("audit: malformed dump header field %q", f)
+		}
+		var err error
+		switch k {
+		case "exp":
+			info.Exp = v
+		case "seed":
+			_, err = fmt.Sscanf(v, "%d", &info.Seed)
+		case "kernel":
+			info.Kernel, err = strconv.Unquote(v)
+		case "quick":
+			info.Quick = v == "true"
+		}
+		if err != nil {
+			return info, fmt.Errorf("audit: malformed dump header field %q: %w", f, err)
+		}
+	}
+	if info.Exp == "" {
+		return info, fmt.Errorf("audit: dump header %q names no experiment", line)
+	}
+	return info, nil
+}
+
+// ParseDumpFile is ParseDumpHeader over a file path.
+func ParseDumpFile(path string) (RunInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return RunInfo{}, err
+	}
+	defer f.Close()
+	return ParseDumpHeader(f)
+}

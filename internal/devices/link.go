@@ -99,6 +99,10 @@ func (l *Link) Send(s *skb.SKB) bool {
 	}
 	if l.queued >= limit {
 		l.Dropped.Inc()
+		// The frame is dropped here, not handed back: no caller retries a
+		// full tx queue, so the SKB's lifetime ends at this stage.
+		s.Stage("drop:link-txq")
+		s.Free()
 		return false
 	}
 	now := l.E.Now()
@@ -113,6 +117,7 @@ func (l *Link) Send(s *skb.SKB) bool {
 		s.WireTime = now
 	}
 	l.Sent.Inc()
+	s.Stage("wire")
 	arrival := txEnd + l.Delay
 	if l.Jitter > 0 {
 		arrival += sim.Time(l.rng.Intn(int(l.Jitter) + 1))
@@ -146,6 +151,7 @@ func linkDeliver(v any) {
 	l.queued--
 	if f.lost {
 		l.Lost.Inc()
+		f.s.Stage("drop:link-loss")
 		f.s.Free()
 		return
 	}

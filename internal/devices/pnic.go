@@ -1,6 +1,8 @@
 package devices
 
 import (
+	"sort"
+
 	"falcon/internal/costmodel"
 	"falcon/internal/gro"
 	"falcon/internal/netdev"
@@ -157,6 +159,40 @@ func (n *PNIC) queue(core int) *nicQueue {
 // RingLen returns the rx ring depth of the queue affined to core.
 func (n *PNIC) RingLen(core int) int { return n.queue(core).ring.Len() }
 
+// QueueState reports the queue affined to core without creating it:
+// ring depth, remaining poll budget, and whether NAPI is active. The
+// audit watchdog probes through here every sweep, so instantiating
+// queues as a side effect would perturb the run.
+func (n *PNIC) QueueState(core int) (ringLen, budget int, active bool) {
+	q, ok := n.queues[core]
+	if !ok {
+		return 0, 0, false
+	}
+	return q.ring.Len(), q.budget, q.active
+}
+
+// EachRing visits every instantiated rx ring in core order.
+func (n *PNIC) EachRing(yield func(core int, ring *skb.Queue)) {
+	cores := make([]int, 0, len(n.queues))
+	for c := range n.queues {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
+		yield(c, n.queues[c].ring)
+	}
+}
+
+// GROMerged sums segments absorbed into held super-packets across every
+// queue's GRO engine.
+func (n *PNIC) GROMerged() uint64 {
+	var total uint64
+	for _, q := range n.queues {
+		total += q.gro.Merged
+	}
+	return total
+}
+
 // SetRingLimit caps (limit > 0) or restores (limit <= 0) the usable rx
 // ring depth. Frames already in a ring beyond a new cap stay queued;
 // only admissions are limited.
@@ -177,6 +213,7 @@ func (n *PNIC) Arrive(s *skb.SKB) {
 	s.Migrations = 0
 	if err := s.SetFlowHash(); err != nil {
 		n.Drops.Inc()
+		s.Stage("drop:nic-frame")
 		s.Free()
 		return
 	}
@@ -184,11 +221,14 @@ func (n *PNIC) Arrive(s *skb.SKB) {
 	q := n.queue(n.RSS.CoreFor(s.Hash))
 	if n.ringLimit > 0 && q.ring.Len() >= n.ringLimit {
 		n.Drops.Inc()
+		s.Stage("drop:nic-ring")
 		s.Free()
 		return
 	}
+	s.Stage("nic-ring")
 	if !q.ring.Enqueue(s) {
 		n.Drops.Inc()
+		s.Stage("drop:nic-ring")
 		s.Free()
 		return
 	}
@@ -225,6 +265,7 @@ func (n *PNIC) poll(q *nicQueue) {
 		return
 	}
 	s := q.ring.Dequeue()
+	s.Stage("napi-poll")
 	s.Touch(q.core)
 	q.cur = s
 	core := n.St.M.Core(q.core)

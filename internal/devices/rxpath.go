@@ -71,6 +71,16 @@ type RxPath struct {
 	innerGRO map[int]*gro.Engine // per-core gro_cells engines
 }
 
+// InnerGROMerged sums segments absorbed by the per-core gro_cells
+// engines (the inner-GRO analogue of PNIC.GROMerged).
+func (rx *RxPath) InnerGROMerged() uint64 {
+	var total uint64
+	for _, e := range rx.innerGRO {
+		total += e.Merged
+	}
+	return total
+}
+
 // Install wires the path into its NIC. Call once after filling fields.
 func (rx *RxPath) Install() {
 	if rx.innerGRO == nil {
@@ -167,6 +177,7 @@ func (rx *RxPath) reassemble(c *cpu.Core, s *skb.SKB, done func()) {
 	whole, err := rx.Reasm.Add(s.Data, rx.St.M.E.Now())
 	if err != nil {
 		rx.PathDrops.Inc()
+		s.Stage("drop:reasm")
 		s.Free()
 		done()
 		return
@@ -175,6 +186,7 @@ func (rx *RxPath) reassemble(c *cpu.Core, s *skb.SKB, done func()) {
 		// Datagram incomplete: the reassembler retained the fragment's
 		// payload bytes, so the buffer must not be recycled with the skb.
 		s.DisownBuf()
+		s.Stage("reasm-absorbed")
 		s.Free()
 		done()
 		return
@@ -206,11 +218,13 @@ func (rx *RxPath) vxlanRcv(c *cpu.Core, s *skb.SKB, done func()) {
 	netdev.RunChain(c, stats.CtxSoftIRQ, steps, func() {
 		if !s.DecapVXLAN() {
 			rx.PathDrops.Inc()
+			s.Stage("drop:decap")
 			s.Free()
 			done()
 			return
 		}
 		s.IfIndex = rx.VXLANIf
+		s.Stage("vxlan-decap")
 		rx.Decapped.Inc()
 		rx.transition(c, s, rx.VXLANIf, rx.vxlanBacklog, done)
 	})
@@ -283,6 +297,7 @@ func (rx *RxPath) bridgeStage(c *cpu.Core, s *skb.SKB, done func()) {
 			dst = eth.Dst
 		} else {
 			rx.PathDrops.Inc()
+			s.Stage("drop:bridge")
 			s.Free()
 			done()
 			return
@@ -291,10 +306,12 @@ func (rx *RxPath) bridgeStage(c *cpu.Core, s *skb.SKB, done func()) {
 		if !ok {
 			rx.Bridge.Flooded.Inc()
 			rx.PathDrops.Inc()
+			s.Stage("drop:fdb")
 			s.Free()
 			done()
 			return
 		}
+		s.Stage("bridge")
 		c.Exec(stats.CtxSoftIRQ, costmodel.FnVethXmit, 0, func() {
 			s.IfIndex = veth.Ifindex
 			rx.transition(c, s, veth.Ifindex, rx.vethBacklog, done)

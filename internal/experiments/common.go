@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"falcon/internal/apps"
+	"falcon/internal/audit"
 	falconcore "falcon/internal/core"
 	"falcon/internal/devices"
 	"falcon/internal/sim"
@@ -29,10 +30,33 @@ func newSingleFlowBed(mode workload.Mode, opt Options, link float64) *workload.T
 		RSSCores: []int{0}, RPSCores: []int{1},
 		GRO: true, InnerGRO: true, Seed: opt.seed(),
 	})
+	if opt.MaxEvents > 0 {
+		tb.E.SetEventBudget(opt.MaxEvents)
+	}
+	if opt.Audit {
+		tb.EnableAudit(audit.Config{})
+	}
 	if mode == workload.ModeFalcon {
 		tb.EnableFalconOnServer(falconcore.DefaultConfig(singleFlowFalconCPUs))
 	}
 	return tb
+}
+
+// finishAudit drains the simulation until every ledgered SKB is freed
+// (bounded: traffic has stopped by `until`, so a handful of extra
+// 2 ms slices flushes stragglers), then runs the auditor's teardown
+// checks — the end-of-run leak check included. No-op without audit.
+func finishAudit(tb *workload.Testbed, until sim.Time) {
+	a := tb.Audit
+	if a == nil {
+		return
+	}
+	deadline := until
+	for i := 0; i < 10 && a.LiveCount() > 0; i++ {
+		deadline += 2 * sim.Millisecond
+		tb.Run(deadline)
+	}
+	a.Final()
 }
 
 // udpStress runs the 3-client single-flow UDP stress (Fig. 10's
@@ -41,7 +65,9 @@ func udpStress(mode workload.Mode, opt Options, link float64, size int) workload
 	tb := newSingleFlowBed(mode, opt, link)
 	until := opt.warmup() + opt.window() + 5*sim.Millisecond
 	sock, _ := tb.StressFlood(mode != workload.ModeHost, 3, size, singleFlowAppCore, until)
-	return workload.MeasureWindow(tb, []*socket.Socket{sock}, opt.warmup(), opt.window())
+	res := workload.MeasureWindow(tb, []*socket.Socket{sock}, opt.warmup(), opt.window())
+	finishAudit(tb, until)
+	return res
 }
 
 // udpFixedRate runs one single flow at a fixed packet rate.
@@ -55,7 +81,9 @@ func udpFixedRate(mode workload.Mode, opt Options, link float64, size int, pps f
 		f = tb.NewUDPFlow(tb.ClientCtrs[0], tb.ServerCtrs[0].IP, 7000, 5001, size, 2, singleFlowAppCore, 1)
 	}
 	f.SendAtRate(pps, until)
-	return workload.MeasureWindow(tb, []*socket.Socket{f.Sock}, opt.warmup(), opt.window())
+	res := workload.MeasureWindow(tb, []*socket.Socket{f.Sock}, opt.warmup(), opt.window())
+	finishAudit(tb, until)
+	return res
 }
 
 // tcpResult is a measured TCP window.

@@ -22,6 +22,13 @@ type Options struct {
 	Quick bool
 	// Seed for determinism (0 → 1).
 	Seed uint64
+	// Audit enables the runtime verification subsystem (internal/audit)
+	// on experiments that support it; an invariant breach aborts the run
+	// with an *audit.Abort panic.
+	Audit bool
+	// MaxEvents, when positive, aborts the run with *sim.BudgetExceeded
+	// after firing that many engine events (a runaway-simulation guard).
+	MaxEvents uint64
 }
 
 func (o Options) seed() uint64 {
@@ -51,6 +58,10 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(Options) []*stats.Table
+	// Hidden experiments are excluded from All() (and thus -all runs):
+	// they deliberately violate invariants to exercise the auditor and
+	// exist so `falconsim -replay` has concrete failures to reproduce.
+	Hidden bool
 }
 
 var registry []Experiment
@@ -59,10 +70,18 @@ func register(id, title string, run func(Options) []*stats.Table) {
 	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
 }
 
-// All returns every experiment, sorted by id.
+func registerHidden(id, title string, run func(Options) []*stats.Table) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run, Hidden: true})
+}
+
+// All returns every non-hidden experiment, sorted by id.
 func All() []Experiment {
-	out := make([]Experiment, len(registry))
-	copy(out, registry)
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		if !e.Hidden {
+			out = append(out, e)
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

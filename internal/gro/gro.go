@@ -79,6 +79,7 @@ func (e *Engine) Push(s *skb.SKB) *skb.SKB {
 	e.Merged++
 	// The absorbed segment's payload was copied into the super-packet;
 	// recycle it (the kernel frees merged skbs in gro_pull_from_frag0).
+	s.Stage("gro-absorbed")
 	s.Free()
 	return nil
 }

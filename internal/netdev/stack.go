@@ -209,6 +209,7 @@ func (st *Stack) NetifRx(from *cpu.Core, target int, s *skb.SKB, h Handler) bool
 			// does in Linux.
 			from.Exec(stats.CtxSoftIRQ, costmodel.FnSoftIRQEntry, 0, nil)
 		}
+		s.Stage("backlog")
 		b.local = append(b.local, backlogEntry{s: s, h: h})
 		st.ensureDraining(target)
 		return true
@@ -216,6 +217,7 @@ func (st *Stack) NetifRx(from *cpu.Core, target int, s *skb.SKB, h Handler) bool
 	if len(b.remote) >= st.MaxBacklog {
 		b.dropped++
 		st.Drops.Inc()
+		s.Stage("drop:backlog")
 		s.Free()
 		return false
 	}
@@ -229,9 +231,17 @@ func (st *Stack) NetifRx(from *cpu.Core, target int, s *skb.SKB, h Handler) bool
 			st.M.IRQ.Inc(target, stats.IRQRES)
 		}
 	}
+	s.Stage("backlog")
 	b.remote = append(b.remote, backlogEntry{s: s, h: h})
 	st.kick(target)
 	return true
+}
+
+// BacklogState reports one core's backlog for the audit watchdog:
+// queue depths plus the pending/draining softirq bits.
+func (st *Stack) BacklogState(core int) (local, remote int, pending, draining bool) {
+	b := &st.backlogs[core]
+	return len(b.local), len(b.remote), b.pending, b.draining
 }
 
 // kick raises NET_RX on the target: set the pending bit (counting one

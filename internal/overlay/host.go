@@ -74,18 +74,44 @@ type Host struct {
 	// L4Drops counts packets with no bound endpoint.
 	L4Drops stats.Counter
 
+	// TxMsgs counts entries into the L4 transmit path (SendUDP/SendTCP
+	// calls), the injected side of the transmit conservation balance.
+	TxMsgs stats.Counter
 	// TxResolveDrops counts transmissions abandoned because the
 	// destination could not be resolved (KV miss / exhausted retries /
 	// no route) — previously a silent error discard in the tx path.
 	TxResolveDrops stats.Counter
+	// TxBuildDrops counts transmissions abandoned after resolution
+	// because no frame could be built (payload over the frame limit) —
+	// previously a silent discard in the tx path.
+	TxBuildDrops stats.Counter
 	// KVRetries counts backoff retries of transiently failed KV
 	// lookups; NegCacheHits counts sends suppressed by the negative
 	// cache.
-	KVRetries   stats.Counter
+	KVRetries    stats.Counter
 	NegCacheHits stats.Counter
+
+	// Audit, when non-nil, attaches every SKB the transmit path creates
+	// to the run's lifecycle ledger (see internal/audit).
+	Audit skb.Auditor
+	// OnSocketOpen observes every OpenUDP socket; the audit harness
+	// uses it to register receive queues and delivery counters.
+	OnSocketOpen func(port uint16, sk *socket.Socket)
+	// OnReset fires when ResetMeasurement clears counters, so external
+	// observers comparing counter deltas can re-base.
+	OnReset func()
+
+	// txPending gauges messages inside sendL4 that have neither
+	// produced an SKB nor been counted as a drop yet (asynchronous KV
+	// resolution keeps a message in flight across sim events).
+	txPending int
 
 	txSeq uint16 // IPv4 identification counter
 }
+
+// TxPending reports messages currently inside the transmit path (not
+// yet an SKB, not yet a counted drop).
+func (h *Host) TxPending() uint64 { return uint64(h.txPending) }
 
 // Container is a container attached to its host's bridge via a veth pair,
 // with a private IP on the overlay network.
@@ -114,12 +140,12 @@ func newHost(n *Network, cfg HostConfig, hostID uint64) *Host {
 	m := cpu.NewMachine(n.E, model, cfg.Cores, cfg.TickPeriod)
 	st := netdev.NewStack(m)
 	h := &Host{
-		Net:      n,
-		Name:     cfg.Name,
-		IP:       cfg.IP,
-		MAC:      proto.MACFromUint64(0xA0000 + hostID),
-		M:        m,
-		St:       st,
+		Net:       n,
+		Name:      cfg.Name,
+		IP:        cfg.IP,
+		MAC:       proto.MACFromUint64(0xA0000 + hostID),
+		M:         m,
+		St:        st,
 		handlers:  make(map[SockKey]L4Handler),
 		links:     make(map[proto.IPv4Addr]*devices.Link),
 		negCache:  make(map[proto.IPv4Addr]sim.Time),
@@ -192,6 +218,9 @@ func (h *Host) Unbind(key SockKey) { delete(h.handlers, key) }
 // ip:port, consumed by an application thread pinned to appCore.
 func (h *Host) OpenUDP(ip proto.IPv4Addr, port uint16, appCore int) *socket.Socket {
 	sk := socket.New(h.M, appCore)
+	if h.OnSocketOpen != nil {
+		h.OnSocketOpen(port, sk)
+	}
 	h.Bind(SockKey{IP: ip, Port: port, Proto: proto.ProtoUDP},
 		func(c *cpu.Core, s *skb.SKB, f *proto.Frame, done func()) {
 			c.Exec(stats.CtxSoftIRQ, costmodel.FnSocketDeliver, 0, func() {
@@ -208,6 +237,7 @@ func (h *Host) deliverL4(c *cpu.Core, s *skb.SKB, done func()) {
 	f, err := s.Frame()
 	if err != nil {
 		h.L4Drops.Inc()
+		s.Stage("drop:l4-frame")
 		s.Free()
 		done()
 		return
@@ -224,6 +254,7 @@ func (h *Host) deliverL4(c *cpu.Core, s *skb.SKB, done func()) {
 		fn, ok := h.handlers[key]
 		if !ok {
 			h.L4Drops.Inc()
+			s.Stage("drop:l4-unbound")
 			s.Free()
 			done()
 			return
@@ -240,6 +271,10 @@ func (h *Host) ResetMeasurement() {
 	h.St.Drops.Reset()
 	h.L4Drops.Reset()
 	h.TxResolveDrops.Reset()
+	h.TxBuildDrops.Reset()
 	h.KVRetries.Reset()
 	h.NegCacheHits.Reset()
+	if h.OnReset != nil {
+		h.OnReset()
+	}
 }

@@ -80,6 +80,8 @@ type txFlowEntry struct {
 // sendL4 is the shared transmit machinery. For TCP, hdr carries the
 // prebuilt TCP header (ports in hdr override p's).
 func (h *Host) sendL4(p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
+	h.TxMsgs.Inc()
+	h.txPending++
 	core := h.M.Core(p.Core)
 	ctx := stats.CtxTask
 	if p.FromSoftirq {
@@ -104,6 +106,7 @@ func (h *Host) sendFast(core *cpu.Core, ctx stats.CPUContext, p SendParams, ipPr
 	e, resolved := h.txFlow(p, ipProto, tcp)
 	if !resolved {
 		h.TxResolveDrops.Inc()
+		h.txPending--
 		if p.Done != nil {
 			p.Done(false)
 		}
@@ -111,6 +114,8 @@ func (h *Host) sendFast(core *cpu.Core, ctx stats.CPUContext, p SendParams, ipPr
 	}
 	if e == nil {
 		// Resolved but unbuildable (payload exceeds the frame limit).
+		h.TxBuildDrops.Inc()
+		h.txPending--
 		if p.Done != nil {
 			p.Done(false)
 		}
@@ -121,6 +126,10 @@ func (h *Host) sendFast(core *cpu.Core, ctx stats.CPUContext, p SendParams, ipPr
 		headroom = proto.OverlayOverhead
 	}
 	s := skb.NewTx(len(e.inner), headroom)
+	if h.Audit != nil {
+		s.Audit(h.Audit, "tx:fast")
+	}
+	h.txPending--
 	copy(s.Data, e.inner)
 	if tcp != nil {
 		proto.PutTCP(s.Data[proto.EthLen+proto.IPv4Len:], *tcp)
@@ -242,18 +251,27 @@ func (h *Host) sendSlow(core *cpu.Core, ctx stats.CPUContext, p SendParams, ipPr
 	h.resolve(p, func(info EndpointInfo, ok bool) {
 		if !ok {
 			h.TxResolveDrops.Inc()
+			h.txPending--
 			finish(false)
 			return
 		}
 		inner, err := h.buildInner(p, ipProto, tcp, info)
 		if err != nil {
+			h.TxBuildDrops.Inc()
+			h.txPending--
 			finish(false)
 			return
 		}
 		s := skb.New(inner)
+		if h.Audit != nil {
+			s.Audit(h.Audit, "tx:slow")
+		}
+		h.txPending--
 		s.FlowID = p.FlowID
 		s.Seq = p.Seq
 		if err := s.SetFlowHash(); err != nil {
+			s.Stage("drop:tx-frame")
+			s.Free()
 			finish(false)
 			return
 		}
@@ -403,6 +421,7 @@ func (h *Host) buildInner(p SendParams, ipProto uint8, tcp *proto.TCPHdr, info E
 func (h *Host) sendWire(core *cpu.Core, ctx stats.CPUContext, s *skb.SKB, dstHostIP proto.IPv4Addr) bool {
 	l := h.links[dstHostIP]
 	if l == nil {
+		s.Stage("drop:tx-route")
 		s.Free()
 		return false
 	}
@@ -411,6 +430,7 @@ func (h *Host) sendWire(core *cpu.Core, ctx stats.CPUContext, s *skb.SKB, dstHos
 	}
 	parts, err := ipfrag.Fragment(s.Data, l.MTU)
 	if err != nil {
+		s.Stage("drop:tx-frag")
 		s.Free()
 		return false
 	}
@@ -425,6 +445,9 @@ func (h *Host) sendWire(core *cpu.Core, ctx stats.CPUContext, s *skb.SKB, dstHos
 		fs := s
 		if i > 0 || len(parts) > 1 {
 			fs = skb.New(part)
+			if h.Audit != nil {
+				fs.Audit(h.Audit, "tx:frag")
+			}
 			fs.FlowID = s.FlowID
 			fs.Seq = s.Seq
 			_ = fs.SetFlowHash()
@@ -435,6 +458,7 @@ func (h *Host) sendWire(core *cpu.Core, ctx stats.CPUContext, s *skb.SKB, dstHos
 	}
 	if len(parts) > 1 {
 		// Fragment copies are on the wire; the original frame is done.
+		s.Stage("tx:fragmented")
 		s.Free()
 	}
 	return ok

@@ -138,6 +138,7 @@ type Engine struct {
 	rng     *Rand
 	stopped bool
 	fired   uint64
+	budget  uint64 // max events to fire; 0 = unlimited
 
 	due bucket // events at exactly cur, ready to fire, seq-ordered
 
@@ -166,6 +167,23 @@ func (e *Engine) Rand() *Rand { return e.rng }
 
 // Fired returns the number of events executed so far (for diagnostics).
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// BudgetExceeded is the panic value raised when an engine passes its
+// event budget — the runaway-simulation backstop behind falconsim's
+// -max-events flag. Callers recover it, report the diagnostic, and exit
+// nonzero instead of spinning forever.
+type BudgetExceeded struct {
+	Limit uint64
+	Now   Time
+}
+
+func (b *BudgetExceeded) Error() string {
+	return fmt.Sprintf("sim: event budget exceeded: %d events fired, sim time %v", b.Limit, b.Now)
+}
+
+// SetEventBudget caps the number of events this engine may fire; firing
+// past the cap panics with *BudgetExceeded. 0 removes the cap.
+func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
 
 // Pending returns the number of scheduled, uncancelled events. O(1):
 // a live counter is maintained on schedule, cancel and fire.
@@ -340,6 +358,9 @@ func (e *Engine) fireOne() {
 	e.recycle(ev)
 	e.live--
 	e.fired++
+	if e.budget > 0 && e.fired > e.budget {
+		panic(&BudgetExceeded{Limit: e.budget, Now: e.now})
+	}
 	if fn != nil {
 		fn()
 	} else {

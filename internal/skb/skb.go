@@ -9,10 +9,28 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"falcon/internal/proto"
 	"falcon/internal/sim"
 )
+
+// Auditor observes SKB lifecycle events. The datapath never depends on a
+// concrete implementation (internal/audit provides one); when no auditor
+// is attached every hook is a single nil-check, so the audit-off hot path
+// stays allocation- and branch-predictable.
+type Auditor interface {
+	// SKBGet records that s entered the auditor's scope at the named
+	// allocation site.
+	SKBGet(s *SKB, site string)
+	// SKBStage records that s reached the named device stage.
+	SKBStage(s *SKB, stage string)
+	// SKBFree records that s was legitimately freed.
+	SKBFree(s *SKB)
+	// SKBMisuse reports a pool-misuse attempt ("double-free" or
+	// "stale-free") that the pool suppressed.
+	SKBMisuse(s *SKB, kind string)
+}
 
 // FlowKey identifies a network flow — the kernel's struct flow_keys
 // reduced to the fields the hash uses: the 5-tuple.
@@ -117,6 +135,17 @@ type SKB struct {
 	frameState uint8 // 0 unparsed, 1 valid, 2 unparsable
 	inner      proto.Frame
 	innerState uint8 // 0 unknown, 1 VXLAN inner valid, 2 not VXLAN TCP-carrying
+
+	// Lifecycle state. gen counts pool recycles of this SKB (a Handle
+	// taken on one incarnation goes stale on the next); freed marks an
+	// SKB sitting in the pool, letting Free reject double-frees instead
+	// of corrupting the free list. aud, when non-nil, observes the
+	// lifecycle; it survives Free (so misuse after free is still
+	// attributed to the run that owned the SKB) and is cleared when the
+	// pool re-issues the SKB.
+	gen   uint32
+	freed bool
+	aud   Auditor
 }
 
 // pooledBufCap is the frame-buffer pool's size class: an MTU frame plus
@@ -136,8 +165,42 @@ func getSKB() *SKB {
 	s := skbPool.Get().(*SKB)
 	s.Segs = 1
 	s.LastCore = -1
+	s.freed = false
+	s.aud = nil
 	return s
 }
+
+// poolMisuses counts Free calls the pool rejected (double-free or
+// stale-generation free). Process-global and atomic: the SKB pool is
+// shared across concurrently running simulations.
+var poolMisuses atomic.Uint64
+
+// PoolMisuses returns the number of pool-misuse attempts (double-frees
+// and stale-generation frees) suppressed since process start.
+func PoolMisuses() uint64 { return poolMisuses.Load() }
+
+// Audit attaches auditor a to the SKB and records site as its allocation
+// site. Call immediately after New/NewTx, before the SKB enters the
+// datapath.
+func (s *SKB) Audit(a Auditor, site string) {
+	if a == nil {
+		return
+	}
+	s.aud = a
+	a.SKBGet(s, site)
+}
+
+// Stage records that the packet reached the named device stage. A no-op
+// (one nil-check) when no auditor is attached. Stage names should be
+// static string literals so auditing adds no per-packet allocation.
+func (s *SKB) Stage(name string) {
+	if s.aud != nil {
+		s.aud.SKBStage(s, name)
+	}
+}
+
+// Gen returns the SKB's pool generation (bumped on every Free).
+func (s *SKB) Gen() uint32 { return s.gen }
 
 // NewTx returns an SKB with a writable frame buffer of size bytes and
 // the given headroom in front of it (for later in-place encapsulation).
@@ -191,12 +254,70 @@ func (s *SKB) DisownBuf() {
 // Terminal points on the datapath — application consume, drops, loss,
 // GRO absorption — free their packets so steady flows recycle a small
 // working set instead of allocating per packet.
+// A double Free (the SKB is already sitting in the pool) is dropped
+// rather than re-inserted — re-inserting would hand the same SKB to two
+// owners and corrupt the free list silently. The attempt is counted in
+// PoolMisuses and reported to the attached auditor, if any.
 func (s *SKB) Free() {
+	if s.freed {
+		poolMisuses.Add(1)
+		if s.aud != nil {
+			s.aud.SKBMisuse(s, "double-free")
+		}
+		return
+	}
+	if s.aud != nil {
+		s.aud.SKBFree(s)
+	}
 	if s.buf != nil {
 		bufPool.Put(s.buf)
 	}
+	aud, gen := s.aud, s.gen
 	*s = SKB{}
+	s.aud, s.gen, s.freed = aud, gen+1, true
 	skbPool.Put(s)
+}
+
+// Handle is a generation-stamped reference to an SKB, for holders that
+// may outlive the packet (retry queues, in-flight tables). A Handle goes
+// stale the moment the SKB is freed: Get returns nil and Free becomes a
+// counted no-op instead of corrupting the pool's free list.
+type Handle struct {
+	s   *SKB
+	gen uint32
+}
+
+// Handle returns a generation-stamped reference to s.
+func (s *SKB) Handle() Handle { return Handle{s: s, gen: s.gen} }
+
+// Valid reports whether the handle still refers to the live incarnation.
+func (h Handle) Valid() bool { return h.s != nil && !h.s.freed && h.s.gen == h.gen }
+
+// Get returns the SKB, or nil when the handle is stale.
+func (h Handle) Get() *SKB {
+	if h.Valid() {
+		return h.s
+	}
+	return nil
+}
+
+// Free frees the SKB through the handle. Freeing through a stale handle
+// (the SKB was already freed, possibly recycled into a new incarnation)
+// is suppressed, counted in PoolMisuses, and reported to the auditor. It
+// reports whether the free actually happened.
+func (h Handle) Free() bool {
+	if h.s == nil {
+		return false
+	}
+	if h.s.freed || h.s.gen != h.gen {
+		poolMisuses.Add(1)
+		if h.s.aud != nil {
+			h.s.aud.SKBMisuse(h.s, "stale-free")
+		}
+		return false
+	}
+	h.s.Free()
+	return true
 }
 
 // Frame returns the parsed headers of the current Data, dissecting on
@@ -333,6 +454,7 @@ type Queue struct {
 	n          int
 	limit      int // max packets; 0 means unlimited
 	dropped    uint64
+	enq, deq   uint64 // lifetime admissions/removals (conservation audit)
 }
 
 // NewQueue returns a queue holding at most limit packets (0 = unlimited).
@@ -344,6 +466,26 @@ func (q *Queue) Len() int { return q.n }
 // Dropped returns the number of packets rejected because the queue was
 // full — the simulation's packet-drop counter.
 func (q *Queue) Dropped() uint64 { return q.dropped }
+
+// Enqueued returns lifetime successful admissions.
+func (q *Queue) Enqueued() uint64 { return q.enq }
+
+// Dequeued returns lifetime removals.
+func (q *Queue) Dequeued() uint64 { return q.deq }
+
+// Validate walks the intrusive list and checks the queue's structural
+// invariants: the walked length matches the depth counter, and depth ==
+// enqueues − dequeues. It returns the walked length and whether both
+// hold. The walk is bounded by n+1 so a corrupted cycle terminates.
+func (q *Queue) Validate() (walk int, ok bool) {
+	for s := q.head; s != nil; s = s.next {
+		walk++
+		if walk > q.n {
+			break
+		}
+	}
+	return walk, walk == q.n && uint64(q.n) == q.enq-q.deq
+}
 
 // Enqueue appends s. It reports false (and counts a drop) when full.
 func (q *Queue) Enqueue(s *SKB) bool {
@@ -359,6 +501,7 @@ func (q *Queue) Enqueue(s *SKB) bool {
 	}
 	q.tail = s
 	q.n++
+	q.enq++
 	return true
 }
 
@@ -374,6 +517,7 @@ func (q *Queue) Dequeue() *SKB {
 	}
 	s.next = nil
 	q.n--
+	q.deq++
 	return s
 }
 

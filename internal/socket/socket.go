@@ -48,6 +48,10 @@ type Socket struct {
 	Delivered   stats.Counter    // original packets (GRO segments) consumed
 	Bytes       stats.Counter    // payload bytes consumed
 	SocketDrops stats.Counter    // packets rejected by a full receive queue
+	// Consumed counts skbs (not GRO-expanded segments) handed to the
+	// application — the audit ledger's unit. Unlike Delivered it is
+	// never reset mid-run: conservation balances compare deltas.
+	Consumed stats.Counter
 
 	// Order verification: highest Seq consumed per FlowID.
 	lastSeq    map[uint64]uint64
@@ -75,6 +79,7 @@ func New(m *cpu.Machine, appCore int) *Socket {
 		if sk.OnDeliver != nil {
 			sk.OnDeliver(s)
 		}
+		s.Stage("delivered")
 		s.Free()
 		sk.consumeNext()
 	}
@@ -84,6 +89,9 @@ func New(m *cpu.Machine, appCore int) *Socket {
 // QueueLen returns the current receive-queue depth.
 func (sk *Socket) QueueLen() int { return sk.rcvQ.Len() }
 
+// RcvQueue exposes the receive queue for audit registration.
+func (sk *Socket) RcvQueue() *skb.Queue { return sk.rcvQ }
+
 // Deliver is called from softirq context (on core c) when the protocol
 // stack hands a packet to the socket. It charges the socket-delivery
 // cost, enqueues, and wakes the application thread. It reports false on
@@ -91,9 +99,11 @@ func (sk *Socket) QueueLen() int { return sk.rcvQ.Len() }
 func (sk *Socket) Deliver(c *cpu.Core, s *skb.SKB) bool {
 	if !sk.rcvQ.Enqueue(s) {
 		sk.SocketDrops.Inc()
+		s.Stage("drop:sock-overflow")
 		s.Free()
 		return false
 	}
+	s.Stage("sock-queue")
 	sk.wakeApp(c)
 	return true
 }
@@ -144,6 +154,7 @@ func (sk *Socket) account(s *skb.SKB) {
 		sk.Latency.Record(lat)
 	}
 	sk.Delivered.Add(uint64(segs))
+	sk.Consumed.Inc()
 	sk.Bytes.Add(uint64(s.Len()))
 	if last, ok := sk.lastSeq[s.FlowID]; ok && s.Seq <= last {
 		sk.OrderViols++

@@ -145,6 +145,9 @@ func Dial(cfg Config, appWork sim.Time) (*Conn, error) {
 
 	c.sock = socket.New(cfg.ReceiverHost.M, cfg.AppCore)
 	c.sock.AppWork = appWork
+	if cfg.ReceiverHost.OnSocketOpen != nil {
+		cfg.ReceiverHost.OnSocketOpen(cfg.DstPort, c.sock)
+	}
 
 	// Data direction: receiver host demuxes (dstIP, DstPort, TCP).
 	cfg.ReceiverHost.Bind(overlay.SockKey{IP: c.dstIP, Port: cfg.DstPort, Proto: proto.ProtoTCP},
@@ -171,6 +174,12 @@ func (c *Conn) Close() {
 	c.pendingMsgs = 0
 	c.rtoTimer.Stop()
 	c.ackTimer.Stop()
+	// Buffered out-of-order segments will never be delivered.
+	for seq, s := range c.oooSegs {
+		delete(c.oooSegs, seq)
+		s.Stage("drop:tcp-closed")
+		s.Free()
+	}
 	c.cfg.ReceiverHost.Unbind(overlay.SockKey{IP: c.dstIP, Port: c.cfg.DstPort, Proto: proto.ProtoTCP})
 	c.cfg.SenderHost.Unbind(overlay.SockKey{IP: c.srcIP, Port: c.cfg.SrcPort, Proto: proto.ProtoTCP})
 }

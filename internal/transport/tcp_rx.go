@@ -13,6 +13,7 @@ import (
 // for in-order arrivals, immediate duplicates for out-of-order ones.
 func (c *Conn) onData(core *cpu.Core, s *skb.SKB, f *proto.Frame, done func()) {
 	if c.closed {
+		s.Stage("drop:tcp-closed")
 		s.Free()
 		done()
 		return
@@ -54,12 +55,14 @@ func (c *Conn) onData(core *cpu.Core, s *skb.SKB, f *proto.Frame, done func()) {
 		if _, dup := c.oooSegs[seq]; !dup {
 			c.oooSegs[seq] = s
 		} else {
+			s.Stage("drop:tcp-dup")
 			s.Free()
 		}
 		c.sendAck(core, true)
 	default:
 		// Duplicate of already-received data (spurious retransmit):
 		// re-ACK so the sender advances.
+		s.Stage("drop:tcp-dup")
 		s.Free()
 		c.sendAck(core, true)
 	}
@@ -121,11 +124,13 @@ func (c *Conn) sendAck(core *cpu.Core, immediate bool) {
 // duplicate ACK.
 func (c *Conn) onAck(core *cpu.Core, s *skb.SKB, f *proto.Frame, done func()) {
 	if c.closed {
+		s.Stage("drop:tcp-closed")
 		s.Free()
 		done()
 		return
 	}
 	ack := c.reconstructAck(uint64(f.TCP.Ack))
+	s.Stage("tcp-ack")
 	s.Free() // pure ACK: nothing downstream holds the frame
 	switch {
 	case ack > c.sndUna:

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"falcon/internal/audit"
+	"falcon/internal/overlay"
+	"falcon/internal/proto"
+	"falcon/internal/skb"
+	"falcon/internal/socket"
+)
+
+// EnableAudit attaches a run auditor to the testbed: the SKB lifecycle
+// ledger on both hosts' transmit paths, one conservation balance per
+// named drop stage (every counter the datapath increments when it frees
+// a packet must match the ledger's dispositions at that stage), queue
+// validation over every NIC ring and socket receive queue, and a
+// per-core softirq watchdog. Call before traffic starts.
+//
+// The auditor observes and never mutates: enabling it leaves the run's
+// schedule — and therefore its printed output — byte-identical.
+func (tb *Testbed) EnableAudit(cfg audit.Config) *audit.Auditor {
+	a := audit.New(tb.E, cfg)
+	tb.Audit = a
+	hosts := []*overlay.Host{tb.Client, tb.Server}
+
+	sum := func(get func(h *overlay.Host) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for _, h := range hosts {
+				n += get(h)
+			}
+			return n
+		}
+	}
+
+	// Every named drop counter pairs with the ledger dispositions freed
+	// at that stage; a packet that vanishes without touching its stage's
+	// counter (or vice versa) breaks the pair immediately.
+	a.Balance("nic-drops",
+		[]audit.Term{audit.T("nic.Drops", sum(func(h *overlay.Host) uint64 { return h.NIC.Drops.Value() }))},
+		[]audit.Term{audit.T("ledger", a.Disposed("drop:nic-ring", "drop:nic-frame"))})
+	a.Balance("backlog-drops",
+		[]audit.Term{audit.T("stack.Drops", sum(func(h *overlay.Host) uint64 { return h.St.Drops.Value() }))},
+		[]audit.Term{audit.T("ledger", a.Disposed("drop:backlog"))})
+	a.Balance("link-loss",
+		[]audit.Term{audit.T("link.Lost", sum(func(h *overlay.Host) uint64 { return h.LinkTo(peerIP(h)).Lost.Value() }))},
+		[]audit.Term{audit.T("ledger", a.Disposed("drop:link-loss"))})
+	a.Balance("link-txq",
+		[]audit.Term{audit.T("link.Dropped", sum(func(h *overlay.Host) uint64 { return h.LinkTo(peerIP(h)).Dropped.Value() }))},
+		[]audit.Term{audit.T("ledger", a.Disposed("drop:link-txq"))})
+	a.Balance("gro-absorbed",
+		[]audit.Term{
+			audit.T("nic.GROMerged", sum(func(h *overlay.Host) uint64 { return h.NIC.GROMerged() })),
+			audit.T("innerGROMerged", sum(func(h *overlay.Host) uint64 { return h.Rx.InnerGROMerged() })),
+		},
+		[]audit.Term{audit.T("ledger", a.Disposed("gro-absorbed"))})
+	a.Balance("l4-drops",
+		[]audit.Term{audit.T("host.L4Drops", sum(func(h *overlay.Host) uint64 { return h.L4Drops.Value() }))},
+		[]audit.Term{audit.T("ledger", a.Disposed("drop:l4-frame", "drop:l4-unbound"))})
+	sockDrops := a.Balance("sock-drops",
+		[]audit.Term{}, // per-socket terms appended on open
+		[]audit.Term{audit.T("ledger", a.Disposed("drop:sock-overflow"))})
+	delivered := a.Balance("delivered",
+		[]audit.Term{}, // per-socket terms appended on open
+		[]audit.Term{audit.T("ledger", a.Disposed("delivered"))})
+
+	// The transmit equation: every message entering sendL4 either
+	// becomes a ledgered SKB, is counted as a resolve/build drop, or is
+	// still in flight through asynchronous KV resolution.
+	a.Balance("tx-msgs",
+		[]audit.Term{audit.T("tx.Msgs", sum(func(h *overlay.Host) uint64 { return h.TxMsgs.Value() }))},
+		[]audit.Term{
+			audit.T("skb.created", a.CreatedAt("tx:fast", "tx:slow")),
+			audit.T("tx.ResolveDrops", sum(func(h *overlay.Host) uint64 { return h.TxResolveDrops.Value() })),
+			audit.T("tx.BuildDrops", sum(func(h *overlay.Host) uint64 { return h.TxBuildDrops.Value() })),
+			audit.T("tx.Pending", sum(func(h *overlay.Host) uint64 { return h.TxPending() })),
+		})
+
+	for _, h := range hosts {
+		h := h
+		h.Audit = a
+		h.OnReset = a.NoteReset
+		h.OnSocketOpen = func(port uint16, sk *socket.Socket) {
+			name := fmt.Sprintf("%s:sock:%d", h.Name, port)
+			delivered.AddLHS(audit.T(name, sk.Consumed.Value))
+			sockDrops.AddLHS(audit.T(name, sk.SocketDrops.Value))
+			a.AddQueue(name, sk.RcvQueue())
+		}
+		a.AddQueues(func(yield func(name string, q *skb.Queue)) {
+			h.NIC.EachRing(func(core int, ring *skb.Queue) {
+				yield(fmt.Sprintf("%s:nic-ring:%d", h.Name, core), ring)
+			})
+		})
+		for c := 0; c < h.M.NumCores(); c++ {
+			c := c
+			core := h.M.Core(c)
+			a.Watch(fmt.Sprintf("%s:core%d", h.Name, c), func() audit.WatchState {
+				local, remote, _, _ := h.St.BacklogState(c)
+				ring, _, _ := h.NIC.QueueState(c)
+				return audit.WatchState{
+					Queued:   local + remote + ring,
+					Progress: uint64(h.M.Acct.TotalBusy(c)),
+					Frozen:   core.Stalled() || core.Offline(),
+				}
+			})
+		}
+		a.AddDump(func(w io.Writer) { dumpHost(w, h) })
+	}
+	a.Start()
+	return a
+}
+
+// peerIP returns the other testbed host's IP (the only link each
+// standard-testbed host has).
+func peerIP(h *overlay.Host) proto.IPv4Addr {
+	if h.IP == ClientIP {
+		return ServerIP
+	}
+	return ClientIP
+}
+
+// dumpHost renders one host's per-core state for watchdog reports and
+// failure dumps.
+func dumpHost(w io.Writer, h *overlay.Host) {
+	fmt.Fprintf(w, "host %s: txmsgs=%d resolve-drops=%d build-drops=%d pending=%d nic-drops=%d backlog-drops=%d l4-drops=%d\n",
+		h.Name, h.TxMsgs.Value(), h.TxResolveDrops.Value(), h.TxBuildDrops.Value(),
+		h.TxPending(), h.NIC.Drops.Value(), h.St.Drops.Value(), h.L4Drops.Value())
+	for c := 0; c < h.M.NumCores(); c++ {
+		core := h.M.Core(c)
+		local, remote, pending, draining := h.St.BacklogState(c)
+		ring, budget, active := h.NIC.QueueState(c)
+		if local+remote+ring == 0 && core.Idle() && !core.Stalled() && !core.Offline() {
+			continue // only report cores with state worth reading
+		}
+		fmt.Fprintf(w, "  core %2d: backlog=%d/%d pending=%t draining=%t ring=%d budget=%d napi=%t idle=%t stalled=%t offline=%t\n",
+			c, local, remote, pending, draining, ring, budget, active,
+			core.Idle(), core.Stalled(), core.Offline())
+	}
+	if h.Falcon != nil {
+		healthy := append([]int(nil), h.Falcon.HealthyCPUs()...)
+		sort.Ints(healthy)
+		fmt.Fprintf(w, "  falcon: healthy=%v degraded=%t\n", healthy, h.Falcon.Degraded())
+	}
+}

@@ -9,6 +9,7 @@ package workload
 import (
 	"fmt"
 
+	"falcon/internal/audit"
 	falconcore "falcon/internal/core"
 	"falcon/internal/devices"
 	"falcon/internal/overlay"
@@ -77,6 +78,8 @@ type Testbed struct {
 	Client, Server *overlay.Host
 	// ClientCtrs and ServerCtrs are the per-side containers.
 	ClientCtrs, ServerCtrs []*overlay.Container
+	// Audit is non-nil after EnableAudit.
+	Audit *audit.Auditor
 }
 
 // NewTestbed builds the standard testbed.
