@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race audit bench-smoke bench-report bench-baseline experiments clean
+.PHONY: all build vet test race audit fuzz bench-smoke bench-report bench-baseline experiments clean
 
 all: vet build test
 
@@ -23,6 +23,13 @@ race:
 audit:
 	$(GO) run -race ./cmd/falconsim -exp fig10,abl-chaos -audit -parallel 2 \
 		-deadline 20m -max-events 2000000000
+
+# Scenario fuzzing: 50 random-but-valid scenarios through the
+# metamorphic oracle battery (determinism, conservation, equivalence,
+# monotonicity, fault sanity). Violations are shrunk and written as
+# falcon-fuzz-*.json reproducers (replay: falconsim -scenario <file>).
+fuzz:
+	$(GO) run ./cmd/falconsim -fuzz -seeds 50 -parallel 4 -deadline 10m
 
 # One full pass of every experiment benchmark (quick windows).
 bench-smoke:

@@ -10,6 +10,8 @@
 //	falconsim -all -parallel 8      # run experiments concurrently
 //	falconsim -exp fig10 -kernel 5.4
 //	falconsim -bench-report BENCH_sim.json
+//	falconsim -fuzz -seeds 50        # scenario fuzzing under the oracle battery
+//	falconsim -scenario repro.json   # replay a fuzz reproducer
 //
 // Tables always print to stdout in the order the experiments were
 // requested, whatever the parallelism; per-experiment timing goes to
@@ -29,6 +31,7 @@ import (
 
 	"falcon/internal/audit"
 	"falcon/internal/experiments"
+	"falcon/internal/scenario"
 	"falcon/internal/sim"
 	"falcon/internal/skb"
 )
@@ -48,6 +51,15 @@ func main() {
 		deadline  = flag.Duration("deadline", 0, "abort the whole run after this wall-clock duration (0 = no limit)")
 		maxEvents = flag.Uint64("max-events", 0, "abort any single experiment after firing this many engine events (0 = no limit)")
 		replay    = flag.String("replay", "", "re-run the exact experiment/seed/config named in an audit dump's header and exit")
+
+		fuzz       = flag.Bool("fuzz", false, "generate random scenarios and check them against the metamorphic oracle battery")
+		seeds      = flag.Int("seeds", 50, "with -fuzz: how many consecutive fuzz seeds to run")
+		fuzzSeed   = flag.Uint64("fuzz-seed", 1, "with -fuzz: first fuzz seed")
+		oracleSel  = flag.String("oracles", "", "with -fuzz/-scenario: comma-separated oracle subset (default all)")
+		reproDir   = flag.String("repro-dir", ".", "with -fuzz: directory for shrunk reproducer files")
+		noShrink   = flag.Bool("no-shrink", false, "with -fuzz: skip minimization of violating scenarios")
+		scenarioF  = flag.String("scenario", "", "replay a scenario or fuzz-reproducer JSON file and exit")
+		fuzzDefect = flag.String("fuzz-defect", "", "seed a known datapath defect (fuzzer self-test): drop-falcon-cpu")
 	)
 	flag.Parse()
 
@@ -60,6 +72,32 @@ func main() {
 
 	if *deadline > 0 {
 		armDeadline(*deadline)
+	}
+
+	if *fuzzDefect != "" {
+		if code := installDefect(*fuzzDefect); code != 0 {
+			os.Exit(code)
+		}
+	}
+
+	if *scenarioF != "" {
+		os.Exit(runScenario(*scenarioF))
+	}
+
+	if *fuzz {
+		var sel []string
+		if *oracleSel != "" {
+			sel = strings.Split(*oracleSel, ",")
+		}
+		extra := ""
+		if *fuzzDefect != "" {
+			extra = "-fuzz-defect " + *fuzzDefect
+		}
+		os.Exit(runFuzz(scenario.FuzzOptions{
+			Seeds: *seeds, StartSeed: *fuzzSeed, Oracles: sel,
+			ReproDir: *reproDir, NoShrink: *noShrink,
+			Workers: *parallel, ExtraArgs: extra,
+		}))
 	}
 
 	if *replay != "" {
@@ -119,6 +157,11 @@ func runReplay(path string, maxEvents uint64) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
 		return 2
+	}
+	if info.Scenario != "" {
+		// Fuzz-scenario dump: the header embeds the scenario itself and
+		// (as exp=fuzz/<oracle>) the oracle to re-check.
+		return replayScenarioDump(info)
 	}
 	e, ok := experiments.ByID(info.Exp)
 	if !ok {

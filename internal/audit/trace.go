@@ -57,6 +57,10 @@ type RunInfo struct {
 	Seed   int64
 	Kernel string
 	Quick  bool
+	// Scenario, when non-empty, embeds a fuzz scenario's compact JSON:
+	// the dump then replays through the oracle battery (falconsim
+	// routes -replay to the scenario runner) instead of an experiment.
+	Scenario string
 }
 
 const dumpMagic = "FALCON-AUDIT-DUMP v1"
@@ -65,7 +69,11 @@ const dumpMagic = "FALCON-AUDIT-DUMP v1"
 // naming the experiment/seed/config, the violation, and the auditor's
 // full state (ledger, dispositions, per-core dumps, trace ring).
 func WriteDump(w io.Writer, info RunInfo, v *Violation, a *Auditor) {
-	fmt.Fprintf(w, "%s exp=%s seed=%d kernel=%q quick=%t\n", dumpMagic, info.Exp, info.Seed, info.Kernel, info.Quick)
+	fmt.Fprintf(w, "%s exp=%s seed=%d kernel=%q quick=%t", dumpMagic, info.Exp, info.Seed, info.Kernel, info.Quick)
+	if info.Scenario != "" {
+		fmt.Fprintf(w, " scenario=%q", info.Scenario)
+	}
+	fmt.Fprintln(w)
 	if v != nil {
 		fmt.Fprintf(w, "violation: %s\n", v)
 	}
@@ -115,6 +123,8 @@ func ParseDumpHeader(r io.Reader) (RunInfo, error) {
 			info.Kernel, err = strconv.Unquote(v)
 		case "quick":
 			info.Quick = v == "true"
+		case "scenario":
+			info.Scenario, err = strconv.Unquote(v)
 		}
 		if err != nil {
 			return info, fmt.Errorf("audit: malformed dump header field %q: %w", f, err)

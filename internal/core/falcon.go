@@ -162,6 +162,18 @@ func (f *Falcon) Enabled() bool {
 	return f.lavg < f.cfg.LoadThreshold
 }
 
+// placementDefect, when non-nil, transforms the candidate CPU mask
+// right before placement. It exists for the scenario fuzzer's
+// self-tests: seeding a known steering defect (such as dropping a core
+// from the mask) proves the oracle battery catches real bugs. Never
+// set in production paths.
+var placementDefect func(cpus []int) []int
+
+// SeedPlacementDefect installs (or, with nil, clears) a deliberate
+// placement-mask defect. Install before any engine runs and clear after
+// — the hook is a plain global read on the placement hot path.
+func SeedPlacementDefect(f func(cpus []int) []int) { placementDefect = f }
+
 // GetCPU is get_falcon_cpu (Algorithm 1 lines 17–27): it returns the
 // core that should process the next stage of s at device ifindex, and
 // whether Falcon placement applies (false → caller keeps the original
@@ -187,6 +199,9 @@ func (f *Falcon) GetCPU(s *skb.SKB, ifindex int) (int, bool) {
 			f.Faults.Rerouted.Inc()
 		}
 		cpus = f.healthy
+	}
+	if placementDefect != nil {
+		cpus = placementDefect(cpus)
 	}
 	n := len(cpus)
 	if f.cfg.LeastLoaded {

@@ -181,6 +181,51 @@ func TestPNICGROOffNoMerge(t *testing.T) {
 	}
 }
 
+func TestPNICGROFlushOnBudgetExhaustion(t *testing.T) {
+	// When the NAPI budget runs out mid-burst, the poll loop must flush
+	// its GRO engine before yielding (napi_gro_flush at the end of
+	// net_rx_action's slice) — segments held across activations would
+	// stall delivery behind the next activation and, for a window-limited
+	// sender, deadlock the flow. A 10-segment contiguous burst at budget
+	// 4 must therefore surface as three super-packets of 4+4+2 segments,
+	// never one of 10.
+	e, st, nic := newNIC(t, 1, []int{0}, true)
+	nic.Budget = 4
+	var out []*skb.SKB
+	nic.OnReceive = func(c *cpu.Core, s *skb.SKB, done func()) {
+		out = append(out, s)
+		done()
+	}
+	payload := bytes.Repeat([]byte{'x'}, 1000)
+	for i := 0; i < 10; i++ {
+		nic.Arrive(tcpSKB(6000, uint32(i*1000), payload))
+	}
+	e.Run()
+	if len(out) != 3 {
+		t.Fatalf("budget-bounded GRO produced %d packets, want 3 (4+4+2)", len(out))
+	}
+	total := 0
+	for i, s := range out {
+		total += s.Segs
+		if s.Segs > nic.Budget {
+			t.Fatalf("packet %d merged %d segs across a budget boundary", i, s.Segs)
+		}
+		if _, err := proto.ParseFrame(s.Data); err != nil {
+			t.Fatalf("super-packet %d invalid: %v", i, err)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("segs delivered = %d, want 10", total)
+	}
+	if out[0].Segs != 4 || out[2].Segs != 2 {
+		t.Fatalf("segs pattern = [%d %d %d], want [4 4 2]", out[0].Segs, out[1].Segs, out[2].Segs)
+	}
+	// Each budget exhaustion re-raises NET_RX: three activations minimum.
+	if got := st.M.IRQ.Core(0, stats.IRQNetRX); got < 3 {
+		t.Fatalf("NET_RX = %d, want >=3", got)
+	}
+}
+
 func TestPNICBudgetReraisesSoftirq(t *testing.T) {
 	e, st, nic := newNIC(t, 1, []int{0}, false)
 	nic.Budget = 4

@@ -87,6 +87,34 @@ func (rx *RxPath) Install() {
 		rx.innerGRO = make(map[int]*gro.Engine)
 	}
 	rx.NIC.OnReceive = rx.afterAlloc
+	if rx.InnerGRO {
+		rx.St.OnDrained = rx.flushHeld
+	}
+}
+
+// flushHeld is the napi_complete analogue: when a core's backlog fully
+// drains, any segments its gro_cells engine still holds must flush. The
+// in-batch flush in vxlanStage misses them when the batch's last
+// vxlan-stage packet is absorbed while later veth-stage entries still
+// occupy the same queue — nothing re-enters the engine once those
+// drain, and a window-limited TCP sender then deadlocks against its own
+// held tail.
+func (rx *RxPath) flushHeld(c *cpu.Core, done func()) {
+	eng := rx.innerGRO[c.ID()]
+	if eng == nil || eng.HeldCount() == 0 {
+		done()
+		return
+	}
+	items := eng.Flush()
+	var run func(i int)
+	run = func(i int) {
+		if i < len(items) {
+			rx.bridgeStage(c, items[i], func() { run(i + 1) })
+			return
+		}
+		done()
+	}
+	run(0)
 }
 
 // afterAlloc runs on the NAPI core once poll+alloc are charged. With

@@ -39,9 +39,7 @@ type chaosScenario struct {
 // chaosScenarios ships the fault matrix: wire, NIC, CPU and
 // control-plane impairments, plus the empty control plan.
 func chaosScenarios() []chaosScenario {
-	item := func(at, dur sim.Time, f faults.Fault) faults.Plan {
-		return faults.Plan{Name: f.Name(), Items: []faults.Item{{At: at, For: dur, Fault: f}}}
-	}
+	item := faults.Single
 	return []chaosScenario{
 		{"none", "control: empty plan",
 			func(tb *workload.Testbed, at, dur sim.Time) faults.Plan {

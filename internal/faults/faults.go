@@ -44,6 +44,12 @@ func (p Plan) String() string {
 	return fmt.Sprintf("plan{%s: %d faults}", p.Name, len(p.Items))
 }
 
+// Single wraps one fault in a plan covering the window [at, at+dur],
+// named after the fault — the shape almost every scenario uses.
+func Single(at, dur sim.Time, f Fault) Plan {
+	return Plan{Name: f.Name(), Items: []Item{{At: at, For: dur, Fault: f}}}
+}
+
 // Injector binds plans to a simulation engine and makes injection
 // observable.
 type Injector struct {

@@ -232,9 +232,9 @@ func TestKVMissNegativeCache(t *testing.T) {
 				Payload: 16, Core: 2})
 		})
 	}
-	send(sim.Millisecond)                     // definitive miss → caches the negative
-	send(sim.Millisecond + 100*sim.Microsecond) // within TTL → suppressed
-	send(sim.Millisecond + 200*sim.Microsecond) // still suppressed
+	send(sim.Millisecond)                         // definitive miss → caches the negative
+	send(sim.Millisecond + 100*sim.Microsecond)   // within TTL → suppressed
+	send(sim.Millisecond + 200*sim.Microsecond)   // still suppressed
 	send(sim.Millisecond + 2*overlay.NegCacheTTL) // TTL expired → fresh lookup
 	e.RunUntil(20 * sim.Millisecond)
 	if got := cli.NegCacheHits.Value(); got != 2 {

@@ -129,6 +129,10 @@ type perCPUBacklog struct {
 	pending  bool
 	draining bool
 	dropped  uint64
+	// idleFlushed records that OnDrained already ran for the current
+	// idle period; cleared by any enqueue so the next full drain runs
+	// the hook again.
+	idleFlushed bool
 }
 
 // Stack is one host's shared network-stack state.
@@ -142,6 +146,15 @@ type Stack struct {
 	// drainDone caches one drain continuation per core so the per-packet
 	// handler invocation in drain does not allocate a closure.
 	drainDone []func()
+
+	// OnDrained, when set, runs as a core's backlog fully drains and its
+	// softirq is about to exit — the napi_complete point. The receive
+	// path uses it to flush GRO engines that would otherwise hold
+	// segments across an idle period (a window-limited TCP sender then
+	// deadlocks against its own held tail). The hook runs at most once
+	// per idle period, must call done exactly once, and may enqueue:
+	// anything it adds is drained before the softirq exits.
+	OnDrained func(c *cpu.Core, done func())
 
 	// Drops counts packets rejected by full backlogs.
 	Drops stats.Counter
@@ -211,6 +224,7 @@ func (st *Stack) NetifRx(from *cpu.Core, target int, s *skb.SKB, h Handler) bool
 		}
 		s.Stage("backlog")
 		b.local = append(b.local, backlogEntry{s: s, h: h})
+		b.idleFlushed = false
 		st.ensureDraining(target)
 		return true
 	}
@@ -233,6 +247,7 @@ func (st *Stack) NetifRx(from *cpu.Core, target int, s *skb.SKB, h Handler) bool
 	}
 	s.Stage("backlog")
 	b.remote = append(b.remote, backlogEntry{s: s, h: h})
+	b.idleFlushed = false
 	st.kick(target)
 	return true
 }
@@ -292,6 +307,11 @@ func (st *Stack) drain(core *cpu.Core) {
 				b.pending = false
 				st.drain(core)
 			})
+			return
+		}
+		if st.OnDrained != nil && !b.idleFlushed {
+			b.idleFlushed = true
+			st.OnDrained(core, st.drainDone[core.ID()])
 			return
 		}
 		b.draining = false

@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSeedCorpusReplaysClean replays every checked-in scenario under the
+// full applicable oracle battery. The corpus is the fuzzer's regression
+// memory: each file pins either an oracle's happy path or a shape that
+// once broke the datapath (tcp-inner-gro-drain is the shrunk scenario of
+// the held-segment drain bug the fuzzer found), so a violation here is a
+// regression even if a fresh fuzz campaign would need many seeds to
+// rediscover it.
+func TestSeedCorpusReplaysClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("corpus has %d scenarios, want >=10", len(files))
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			sc, pinned, err := LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := strings.TrimSuffix(filepath.Base(path), ".json"); sc.Name != want {
+				t.Fatalf("scenario name %q != file name %q", sc.Name, want)
+			}
+			vs, err := Check(sc, pinned)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range vs {
+				t.Errorf("%s", v)
+			}
+		})
+	}
+}
+
+// TestSeedCorpusCoversEveryOracle: the corpus must keep at least one
+// scenario in each oracle's applicability domain, or a battery change
+// could silently leave an oracle untested until the next live finding.
+func TestSeedCorpusCoversEveryOracle(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, path := range files {
+		sc, _, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, o := range Oracles() {
+			if o.Applies(sc) {
+				covered[o.Name] = true
+			}
+		}
+	}
+	for _, o := range Oracles() {
+		if !covered[o.Name] {
+			t.Errorf("no corpus scenario exercises oracle %q", o.Name)
+		}
+	}
+}

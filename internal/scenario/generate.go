@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"fmt"
+
+	"falcon/internal/sim"
+)
+
+// Generate samples one random-but-valid scenario from the fuzz seed.
+// The same seed always yields the same scenario (the generator draws
+// from the simulator's own splitmix stream), and the scenario reuses
+// the seed for its engine, so "fuzz seed N" fully determines the run.
+//
+// The distribution is shaped toward the paper's interesting regimes:
+// mostly overlay traffic (the contribution is overlay parallelization),
+// a UDP bias (the exact-conservation oracle needs UDP-only runs),
+// occasional MTU-limited links (exercising IP fragmentation), and a
+// ~30% chance of a fault schedule (exercising graceful degradation).
+func Generate(seed uint64) Scenario {
+	r := sim.NewRand(seed)
+	pick := func(xs ...int) int { return xs[r.Intn(len(xs))] }
+
+	sc := Scenario{
+		Name:       fmt.Sprintf("gen-%d", seed),
+		Seed:       seed,
+		Cores:      pick(6, 8, 12, 16),
+		LinkGbps:   float64(pick(10, 100)),
+		Containers: 1 + r.Intn(3),
+		GRO:        r.Float64() < 0.8,
+		InnerGRO:   r.Float64() < 0.5,
+		TwoChoice:  r.Float64() < 0.75,
+		GROSplit:   r.Float64() < 0.75,
+		AlwaysOn:   r.Float64() < 0.15,
+		AppCore:    2,
+		WarmupMs:   2 + r.Intn(2),
+		WindowMs:   6 + r.Intn(5),
+	}
+	if r.Float64() < 0.25 {
+		sc.Kernel = "5.4"
+	}
+	if r.Float64() < 0.1 {
+		sc.MTU = 1500
+	}
+
+	// FALCON_CPUS: k cores starting at 3 (the single-flow layout: RSS
+	// on 0, RPS on 1, app on 2). Bounded by the machine size.
+	kmax := sc.Cores - 3
+	if kmax > 4 {
+		kmax = 4
+	}
+	k := 1 + r.Intn(kmax)
+	for c := 3; c < 3+k; c++ {
+		sc.FalconCPUs = append(sc.FalconCPUs, c)
+	}
+
+	nflows := 1 + r.Intn(3)
+	for i := 0; i < nflows; i++ {
+		f := FlowSpec{SendCore: 2 + i, Ctr: 1 + r.Intn(sc.Containers)}
+		if r.Float64() < 0.25 {
+			f.Proto = "tcp"
+			f.Size = pick(1024, 4096, 16384, 65536)
+		} else {
+			f.Proto = "udp"
+			f.Size = pick(16, 64, 256, 512, 1024, 1472, 4096, 16384)
+			if r.Float64() < 0.6 {
+				f.RatePPS = float64(20_000 + r.Intn(180_000))
+			} // else flood
+			if r.Float64() < 0.1 {
+				f.Ctr = 0 // host networking
+			}
+		}
+		sc.Flows = append(sc.Flows, f)
+	}
+
+	if r.Float64() < 0.3 {
+		n := 1 + r.Intn(MaxFaults)
+		for i := 0; i < n; i++ {
+			sc.Faults = append(sc.Faults, genFault(r, sc))
+		}
+	}
+	return sc
+}
+
+// genFault samples one impairment whose window fits inside the
+// scenario's measurement window.
+func genFault(r *sim.Rand, sc Scenario) FaultSpec {
+	kinds := []string{"link-loss", "link-jitter", "ring-shrink",
+		"core-stall", "core-offline", "kv-flaky", "noisy-neighbor"}
+	ft := FaultSpec{Kind: kinds[r.Intn(len(kinds))]}
+	ft.AtMs = 1 + r.Intn(sc.WindowMs/2)
+	ft.ForMs = 1 + r.Intn(max(1, sc.WindowMs/4))
+	switch ft.Kind {
+	case "link-loss":
+		ft.Rate = 0.02 + 0.13*r.Float64()
+	case "link-jitter":
+		ft.Amount = 10 + r.Intn(150) // µs
+	case "ring-shrink":
+		ft.Amount = 4 + r.Intn(28) // slots
+	case "core-stall", "core-offline":
+		ft.Cores = []int{sc.FalconCPUs[r.Intn(len(sc.FalconCPUs))]}
+	case "kv-flaky":
+		ft.Amount = 20 + r.Intn(80) // µs
+		ft.Rate = 0.1 + 0.3*r.Float64()
+	case "noisy-neighbor":
+		ft.Cores = append([]int(nil), sc.FalconCPUs...)
+		ft.Rate = 0.3 + 0.4*r.Float64()
+	}
+	return ft
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

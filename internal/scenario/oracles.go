@@ -1,0 +1,443 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Oracle tolerances. Ratio checks always carry an absolute slack floor
+// so low-packet-count windows (a 20 Kpps flow over a 6 ms window is
+// ~120 packets) don't fail on ±a-few-packets boundary effects; at high
+// counts the slack vanishes into the ratio.
+const (
+	// EquivTolerance: Falcon throughput vs vanilla on fault-free
+	// multi-core overlay runs (the paper's never-worse claim, Fig. 14).
+	EquivTolerance = 0.98
+	// TCPEquivTolerance replaces it when the workload includes TCP:
+	// fuzz windows are a few ms, which catches TCP in its
+	// latency-sensitive ramp, where Falcon's extra inter-core hops
+	// lengthen the ACK clock — the paper's never-worse claim is about
+	// steady-state throughput. Loose enough to ride out ramp noise,
+	// tight enough to catch a wedged stream (a held-GRO deadlock shows
+	// ratios below 0.3).
+	TCPEquivTolerance = 0.85
+	// MonoTolerance: adding cores or link rate must not reduce
+	// fault-free throughput below this fraction of the base run.
+	// Looser than EquivTolerance: a topology change reshuffles hashes
+	// and cache locality, which legitimately moves throughput a little.
+	MonoTolerance = 0.90
+	// FaultEnvelope / FaultLossEnvelope: Falcon vs vanilla under the
+	// same fault schedule (abl-chaos's ≥0.98x envelope; loss-class
+	// faults get extra room for binomial noise between the two runs).
+	FaultEnvelope     = 0.98
+	FaultLossEnvelope = 0.95
+	// SurvivalEnvelope replaces both outside the geometry the chaos
+	// harness calibrates them for (open-loop UDP through faults that hit
+	// both modes symmetrically). A fault stalling or crowding a
+	// FALCON_CPU is asymmetric by construction — vanilla RPS never uses
+	// those cores — so the ratio then measures detection latency against
+	// a fuzz-sized window; closed-loop TCP likewise amplifies any delay
+	// into ack-clock collapse. The bound still catches a datapath that
+	// wedges and never recovers (those show ratios near zero).
+	SurvivalEnvelope = 0.5
+	// SlackPackets is the absolute floor added to every ratio check.
+	SlackPackets = 8
+	// MinComparable: comparative checks are skipped below this many
+	// delivered packets (nothing statistical survives such counts).
+	MinComparable = 50
+)
+
+// Violation is one oracle failure on one scenario.
+type Violation struct {
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Oracle + ": " + v.Detail }
+
+// Oracle is one named metamorphic property over a scenario.
+type Oracle struct {
+	Name string
+	Desc string
+	// Applies reports whether the property is defined for the scenario.
+	Applies func(sc Scenario) bool
+	// Check runs the property (through the Ctx's run cache) and returns
+	// nil when it holds.
+	Check func(c *Ctx) *Violation
+}
+
+// Ctx caches scenario runs so oracles sharing a configuration (e.g.
+// equivalence and conservation both want the vanilla accounting run)
+// pay for it once.
+type Ctx struct {
+	SC       Scenario
+	measures map[string]RunResult
+	accounts map[string]AccountResult
+}
+
+// NewCtx returns a fresh cache for one scenario.
+func NewCtx(sc Scenario) *Ctx {
+	return &Ctx{SC: sc,
+		measures: make(map[string]RunResult),
+		accounts: make(map[string]AccountResult)}
+}
+
+func (c *Ctx) measure(sc Scenario, falcon bool) RunResult {
+	key := fmt.Sprintf("m:%t:%s", falcon, sc.JSON())
+	if r, ok := c.measures[key]; ok {
+		return r
+	}
+	r := Measure(sc, falcon)
+	c.measures[key] = r
+	return r
+}
+
+func (c *Ctx) account(sc Scenario, falcon bool) AccountResult {
+	key := fmt.Sprintf("a:%t:%s", falcon, sc.JSON())
+	if r, ok := c.accounts[key]; ok {
+		return r
+	}
+	r := Account(sc, falcon)
+	c.accounts[key] = r
+	return r
+}
+
+// hasFalcon reports whether the scenario's primary mode is Falcon.
+func hasFalcon(sc Scenario) bool { return len(sc.FalconCPUs) > 0 }
+
+// withinEnvelope holds when got >= tol*base - SlackPackets.
+func withinEnvelope(got, base uint64, tol float64) bool {
+	return float64(got)+SlackPackets >= tol*float64(base)
+}
+
+// lossFault reports whether the schedule destroys packets outright
+// (vs merely delaying or displacing work).
+func lossFault(sc Scenario) bool {
+	for _, ft := range sc.Faults {
+		if ft.Kind == "link-loss" || ft.Kind == "ring-shrink" {
+			return true
+		}
+	}
+	return false
+}
+
+// reorderingFault reports whether the schedule can legitimately reorder
+// packets at the sender: a flaky KV store makes some sends wait out a
+// resolution backoff while later sends of the same flow resolve
+// instantly and overtake them — the ARP-queue reordering every real
+// host exhibits. (Wire jitter does not count: Link monotonizes
+// arrivals, so the wire itself never reorders.)
+func reorderingFault(sc Scenario) bool {
+	for _, ft := range sc.Faults {
+		if ft.Kind == "kv-flaky" {
+			return true
+		}
+	}
+	return false
+}
+
+// Oracles returns the full battery in checking order (cheapest and
+// most fundamental first).
+func Oracles() []Oracle {
+	return []Oracle{
+		{
+			Name:    "determinism",
+			Desc:    "same seed ⇒ byte-identical stats across repeated runs",
+			Applies: func(Scenario) bool { return true },
+			Check: func(c *Ctx) *Violation {
+				a := c.measure(c.SC, hasFalcon(c.SC)) // cached for later oracles
+				b := Measure(c.SC, hasFalcon(c.SC))   // always a fresh engine
+				if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+					return &Violation{"determinism",
+						fmt.Sprintf("fingerprints diverge:\n  run1: %s\n  run2: %s", fa, fb)}
+				}
+				return nil
+			},
+		},
+		{
+			Name:    "conservation",
+			Desc:    "injected == delivered + Σ drop buckets; audit ledger clean; per-flow order (vanilla)",
+			Applies: func(Scenario) bool { return true },
+			Check:   checkConservation,
+		},
+		{
+			Name: "equivalence",
+			Desc: "falcon delivers the vanilla packet set fault-free; throughput ≥ vanilla on overlay multi-core",
+			// MTU fragmentation is outside the paper's claims (and
+			// fragmented TCP in a ms-scale ramp is dominated by
+			// reassembly latency); fragmented runs stay covered by the
+			// determinism and conservation oracles.
+			Applies: func(sc Scenario) bool {
+				return len(sc.Faults) == 0 && hasFalcon(sc) && sc.OverlayOnly() && sc.MTU == 0
+			},
+			Check: checkEquivalence,
+		},
+		{
+			Name:    "monotonicity",
+			Desc:    "more cores / link rate never reduce fault-free throughput beyond tolerance",
+			Applies: func(sc Scenario) bool { return len(sc.Faults) == 0 },
+			Check:   checkMonotonicity,
+		},
+		{
+			Name: "fault-sanity",
+			Desc: "falcon stays within the never-worse envelope vs vanilla under the same fault schedule",
+			Applies: func(sc Scenario) bool {
+				return len(sc.Faults) > 0 && hasFalcon(sc)
+			},
+			Check: checkFaultSanity,
+		},
+	}
+}
+
+// ByName resolves a comma-separated selection against the battery.
+func ByName(names []string) ([]Oracle, error) {
+	if len(names) == 0 {
+		return Oracles(), nil
+	}
+	all := Oracles()
+	var out []Oracle
+	for _, n := range names {
+		found := false
+		for _, o := range all {
+			if o.Name == n {
+				out = append(out, o)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("scenario: unknown oracle %q", n)
+		}
+	}
+	return out, nil
+}
+
+func checkConservation(c *Ctx) *Violation {
+	sc := c.SC
+	// Vanilla accounting run: exact equations + per-flow order. (Order
+	// is asserted only here: Falcon's load gate and two-choice rehash
+	// may legitimately migrate a flow mid-stream, which can transiently
+	// reorder; vanilla RPS pins each flow to one core, so any sequence
+	// regression is a real bug.)
+	av := c.account(sc, false)
+	if v := conservationOn(sc, av, "vanilla"); v != nil {
+		return v
+	}
+	if sc.UDPOnly() && !reorderingFault(sc) && av.OrderViols > 0 {
+		return &Violation{"conservation",
+			fmt.Sprintf("vanilla: %d per-flow order violations on UDP sockets", av.OrderViols)}
+	}
+	if hasFalcon(sc) {
+		af := c.account(sc, true)
+		if v := conservationOn(sc, af, "falcon"); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// conservationOn checks one accounting run: the audit subsystem must be
+// silent, and for UDP-only unfragmented runs the two exact equations
+// must hold — every send() is accounted on the client side, every wire
+// frame on the server side.
+func conservationOn(sc Scenario, ac AccountResult, mode string) *Violation {
+	if len(ac.Violations) > 0 {
+		n := len(ac.Violations)
+		show := ac.Violations
+		if n > 3 {
+			show = show[:3]
+		}
+		return &Violation{"conservation",
+			fmt.Sprintf("%s: %d audit violations: %s", mode, n, strings.Join(show, "; "))}
+	}
+	if !sc.UDPOnly() || sc.MTU != 0 {
+		return nil // exact frame accounting needs UDP-only, unfragmented
+	}
+	clientSide := ac.Wire + ac.TxResolveDrops + ac.TxBuildDrops + ac.LinkDropped
+	if ac.Sent != clientSide {
+		return &Violation{"conservation",
+			fmt.Sprintf("%s: client side: sent=%d != wire=%d + resolve=%d + build=%d + txq=%d",
+				mode, ac.Sent, ac.Wire, ac.TxResolveDrops, ac.TxBuildDrops, ac.LinkDropped)}
+	}
+	serverSide := ac.Delivered + ac.NICDrops + ac.BacklogDrops + ac.SocketDrops +
+		ac.PathDrops + ac.L4Drops + ac.LinkLost
+	if ac.Wire != serverSide {
+		return &Violation{"conservation",
+			fmt.Sprintf("%s: server side: wire=%d != delivered=%d + nic=%d + backlog=%d + sock=%d + path=%d + l4=%d + lost=%d",
+				mode, ac.Wire, ac.Delivered, ac.NICDrops, ac.BacklogDrops,
+				ac.SocketDrops, ac.PathDrops, ac.L4Drops, ac.LinkLost)}
+	}
+	return nil
+}
+
+func checkEquivalence(c *Ctx) *Violation {
+	sc := c.SC
+	// Throughput half: on multi-core overlay runs Falcon must stay
+	// within EquivTolerance of vanilla (the never-worse claim; with one
+	// FALCON_CPU there is no parallelism to claim, so no comparison).
+	if len(sc.FalconCPUs) >= 2 {
+		tol := EquivTolerance
+		if !sc.UDPOnly() {
+			tol = TCPEquivTolerance
+		}
+		mv := c.measure(sc, false)
+		mf := c.measure(sc, true)
+		if mv.Delivered >= MinComparable && !withinEnvelope(mf.Delivered, mv.Delivered, tol) {
+			return &Violation{"equivalence",
+				fmt.Sprintf("falcon delivered %d < %.2f × vanilla %d (fault-free overlay, %d falcon cpus)",
+					mf.Delivered, tol, mv.Delivered, len(sc.FalconCPUs))}
+		}
+	}
+	// Packet-set half: open-loop fixed-rate UDP sends are generated
+	// identically in both modes, so when neither run dropped anything,
+	// both must deliver exactly the same per-flow packet sets.
+	if sc.FixedRateOnly() && sc.MTU == 0 {
+		av := c.account(sc, false)
+		af := c.account(sc, true)
+		if totalDrops(av) == 0 && totalDrops(af) == 0 {
+			for i := range av.PerFlowSent {
+				if av.PerFlowSent[i] != af.PerFlowSent[i] {
+					return &Violation{"equivalence",
+						fmt.Sprintf("flow %d: send schedule diverged between modes: vanilla sent %d, falcon sent %d",
+							i, av.PerFlowSent[i], af.PerFlowSent[i])}
+				}
+				if av.PerFlowDelivered[i] != af.PerFlowDelivered[i] {
+					return &Violation{"equivalence",
+						fmt.Sprintf("flow %d: packet set differs with zero drops: vanilla delivered %d, falcon delivered %d (sent %d)",
+							i, av.PerFlowDelivered[i], af.PerFlowDelivered[i], av.PerFlowSent[i])}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// totalDrops sums every loss bucket of an accounting run.
+func totalDrops(ac AccountResult) uint64 {
+	return ac.NICDrops + ac.BacklogDrops + ac.SocketDrops + ac.PathDrops +
+		ac.L4Drops + ac.LinkLost + ac.LinkDropped + ac.TxResolveDrops + ac.TxBuildDrops
+}
+
+func checkMonotonicity(c *Ctx) *Violation {
+	sc := c.SC
+	base := c.measure(sc, hasFalcon(sc))
+	if base.Delivered < MinComparable {
+		return nil
+	}
+	type variant struct {
+		label string
+		sc    Scenario
+	}
+	var vs []variant
+	// Link upgrade: only meaningful open-loop (flood adapts its send
+	// rate to the wire, changing the offered load) and only when the
+	// base receiver isn't already dropping — a faster wire delivers
+	// burstier arrivals to a saturated receiver, which legitimately
+	// increases drops.
+	baseDrops := base.NICDrops + base.BacklogDrops + base.SocketDrops
+	if sc.LinkGbps == 10 && sc.FixedRateOnly() && baseDrops == 0 {
+		up := sc
+		up.LinkGbps = 100
+		vs = append(vs, variant{"link 10G→100G", up})
+	}
+	// (Deliberately no FALCON_CPUs k→k+1 variant: adding a stage CPU
+	// re-spreads flow hashes and raises the per-packet migration cost,
+	// so throughput is not monotone in k — the paper tunes k per
+	// workload rather than claiming more is always better.)
+	if sc.Cores+4 <= MaxCores {
+		up := sc
+		up.Cores = sc.Cores + 4
+		vs = append(vs, variant{fmt.Sprintf("cores %d→%d", sc.Cores, up.Cores), up})
+	}
+	for _, v := range vs {
+		got := c.measure(v.sc, hasFalcon(v.sc))
+		if !withinEnvelope(got.Delivered, base.Delivered, MonoTolerance) {
+			return &Violation{"monotonicity",
+				fmt.Sprintf("%s reduced delivery %d → %d (tolerance %.2f)",
+					v.label, base.Delivered, got.Delivered, MonoTolerance)}
+		}
+	}
+	return nil
+}
+
+func checkFaultSanity(c *Ctx) *Violation {
+	sc := c.SC
+	fv := c.measure(sc, false)
+	ff := c.measure(sc, true)
+	if fv.Delivered < MinComparable {
+		return nil
+	}
+	env := FaultEnvelope
+	if lossFault(sc) {
+		env = FaultLossEnvelope
+	}
+	if !sc.UDPOnly() || hitsFalconCPU(sc) {
+		env = SurvivalEnvelope
+	}
+	if !withinEnvelope(ff.Delivered, fv.Delivered, env) {
+		return &Violation{"fault-sanity",
+			fmt.Sprintf("under %s: falcon delivered %d < %.2f × vanilla %d",
+				faultNames(sc), ff.Delivered, env, fv.Delivered)}
+	}
+	return nil
+}
+
+// hitsFalconCPU reports whether some CPU fault impairs at least one
+// FALCON_CPU — the asymmetric class (vanilla RPS never runs on those
+// cores, so only Falcon pays for the fault).
+func hitsFalconCPU(sc Scenario) bool {
+	for _, ft := range sc.Faults {
+		if ft.Kind != "core-stall" && ft.Kind != "core-offline" && ft.Kind != "noisy-neighbor" {
+			continue
+		}
+		for _, c := range ft.Cores {
+			for _, fc := range sc.FalconCPUs {
+				if c == fc {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func faultNames(sc Scenario) string {
+	var ns []string
+	for _, ft := range sc.Faults {
+		ns = append(ns, ft.Kind)
+	}
+	return strings.Join(ns, "+")
+}
+
+// CheckOracle runs one oracle with panic containment: a crash anywhere
+// inside a scenario run (division by zero in a steering defect, an
+// event-budget breach, an audit abort) becomes a reported violation
+// instead of killing the fuzz loop.
+func CheckOracle(o Oracle, c *Ctx) (v *Violation) {
+	defer func() {
+		if r := recover(); r != nil {
+			v = &Violation{o.Name, fmt.Sprintf("panic during check: %v", r)}
+		}
+	}()
+	return o.Check(c)
+}
+
+// Check runs the named oracles (nil: all) that apply to the scenario
+// and returns every violation found.
+func Check(sc Scenario, names []string) ([]Violation, error) {
+	oracles, err := ByName(names)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCtx(sc)
+	var out []Violation
+	for _, o := range oracles {
+		if !o.Applies(sc) {
+			continue
+		}
+		if v := CheckOracle(o, c); v != nil {
+			out = append(out, *v)
+		}
+	}
+	return out, nil
+}
