@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race audit fuzz bench-smoke bench-report bench-baseline experiments clean
+.PHONY: all build vet test race audit fuzz bench-smoke bench-report bench-baseline experiments profile clean
 
 all: vet build test
 
@@ -47,6 +47,14 @@ bench-baseline:
 # Regenerate every paper table with full measurement windows.
 experiments:
 	$(GO) run ./cmd/falconsim -all
+
+# CPU + heap profiles of the hot path (full fig10 windows). Inspect with
+#   go tool pprof falcon-cpu.out
+#   go tool pprof -sample_index=alloc_objects falcon-mem.out
+PROFILE_EXP ?= fig10
+profile:
+	$(GO) run ./cmd/falconsim -exp $(PROFILE_EXP) \
+		-cpuprofile falcon-cpu.out -memprofile falcon-mem.out
 
 clean:
 	$(GO) clean ./...

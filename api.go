@@ -29,6 +29,12 @@ import (
 
 // Core simulation handles.
 type (
+	// Sim is what every simulation object schedules against: either a
+	// serial *Engine or a multi-shard PDES *Cluster.
+	Sim = sim.Sim
+	// Cluster is the conservative multi-shard PDES engine (one logical
+	// process per simulated host, deterministic merge).
+	Cluster = sim.Cluster
 	// Engine is the deterministic discrete-event engine driving a
 	// simulation.
 	Engine = sim.Engine
@@ -106,11 +112,16 @@ func DefaultConfig(cpus []int) Config { return falconcore.DefaultConfig(cpus) }
 // NewEngine returns a deterministic simulation engine.
 func NewEngine(seed uint64) *Engine { return sim.New(seed) }
 
+// NewCluster returns a deterministic multi-shard PDES simulation whose
+// printed results are byte-identical to the serial engine's.
+func NewCluster(seed uint64, shards, workers int) *Cluster { return sim.NewCluster(seed, shards, workers) }
+
 // NewTestbed builds the standard client/server testbed.
 func NewTestbed(cfg TestbedConfig) *Testbed { return workload.NewTestbed(cfg) }
 
-// NewNetwork builds an empty custom topology on an engine.
-func NewNetwork(e *Engine) *Network { return overlay.NewNetwork(e) }
+// NewNetwork builds an empty custom topology on a simulation (a serial
+// *Engine or a PDES *Cluster).
+func NewNetwork(e Sim) *Network { return overlay.NewNetwork(e) }
 
 // DialTCP establishes a TCP connection; appWork is extra per-message
 // receiver-side processing.
@@ -159,7 +170,7 @@ type (
 
 // NewFaultInjector returns an injector whose randomness forks from the
 // engine's seeded root RNG.
-func NewFaultInjector(e *Engine) *FaultInjector { return faults.NewInjector(e) }
+func NewFaultInjector(e Sim) *FaultInjector { return faults.NewInjector(e) }
 
 // Experiment reproduces one of the paper's figures.
 type Experiment = experiments.Experiment

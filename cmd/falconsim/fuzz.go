@@ -38,9 +38,17 @@ func runFuzz(opt scenario.FuzzOptions) int {
 // runScenario replays one scenario or reproducer file: the pinned
 // oracle for a reproducer, the whole applicable battery for a bare
 // scenario. Exit 1 when the violation reproduces (the expected outcome
-// for a genuine reproducer), 0 when the run is clean now.
-func runScenario(path string) int {
-	vs, err := scenario.Replay(path)
+// for a genuine reproducer), 0 when the run is clean now. shards > 1
+// replays on a PDES cluster — verdicts are byte-identical to serial, so
+// this is a determinism cross-check, not a different test.
+func runScenario(path string, shards int) int {
+	sc, names, err := scenario.LoadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
+		return 2
+	}
+	sc.Shards = shards
+	vs, err := scenario.Check(sc, names)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
 		return 2

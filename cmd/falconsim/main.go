@@ -8,14 +8,19 @@
 //	falconsim -all                  # run everything
 //	falconsim -all -quick           # shorter measurement windows
 //	falconsim -all -parallel 8      # run experiments concurrently
+//	falconsim -exp mesh8 -shards 4  # PDES: shard one simulation across goroutines
 //	falconsim -exp fig10 -kernel 5.4
+//	falconsim -exp fig10 -cpuprofile cpu.out -memprofile mem.out
 //	falconsim -bench-report BENCH_sim.json
 //	falconsim -fuzz -seeds 50        # scenario fuzzing under the oracle battery
 //	falconsim -scenario repro.json   # replay a fuzz reproducer
 //
 // Tables always print to stdout in the order the experiments were
 // requested, whatever the parallelism; per-experiment timing goes to
-// stderr so stdout is byte-deterministic for a given seed.
+// stderr so stdout is byte-deterministic for a given seed. -shards runs
+// each simulation on a conservative PDES cluster (one logical process
+// per simulated host); outputs are byte-identical to the serial engine
+// for every shard count.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -37,6 +43,12 @@ import (
 )
 
 func main() {
+	// All work happens in run so deferred cleanup (profile writers)
+	// executes before the process exits.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		list      = flag.Bool("list", false, "list experiments and exit")
 		expIDs    = flag.String("exp", "", "comma-separated experiment ids to run")
@@ -45,12 +57,16 @@ func main() {
 		kernel    = flag.String("kernel", "", `kernel cost profile ("4.19" default, "5.4")`)
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		parallel  = flag.Int("parallel", 1, "experiments run concurrently (each on its own engine)")
+		shards    = flag.Int("shards", 0, "PDES shards per simulation (0/1 = serial engine; outputs are byte-identical for every value)")
 		report    = flag.String("bench-report", "", "write a hot-path benchmark report to this JSON file and exit")
-		baseline  = flag.String("bench-baseline", "", "with -bench-report: fail if allocs/packet regresses >10% over this baseline JSON")
+		baseline  = flag.String("bench-baseline", "", "with -bench-report: fail on regression against this baseline JSON (allocs/pkt, ns/pkt, sharded speedup)")
 		auditOn   = flag.Bool("audit", false, "enable runtime verification (SKB ledger, conservation invariants, watchdog); breaches abort with a replayable dump")
 		deadline  = flag.Duration("deadline", 0, "abort the whole run after this wall-clock duration (0 = no limit)")
 		maxEvents = flag.Uint64("max-events", 0, "abort any single experiment after firing this many engine events (0 = no limit)")
 		replay    = flag.String("replay", "", "re-run the exact experiment/seed/config named in an audit dump's header and exit")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 
 		fuzz       = flag.Bool("fuzz", false, "generate random scenarios and check them against the metamorphic oracle battery")
 		seeds      = flag.Int("seeds", 50, "with -fuzz: how many consecutive fuzz seeds to run")
@@ -67,7 +83,27 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile)
 	}
 
 	if *deadline > 0 {
@@ -76,12 +112,12 @@ func main() {
 
 	if *fuzzDefect != "" {
 		if code := installDefect(*fuzzDefect); code != 0 {
-			os.Exit(code)
+			return code
 		}
 	}
 
 	if *scenarioF != "" {
-		os.Exit(runScenario(*scenarioF))
+		return runScenario(*scenarioF, *shards)
 	}
 
 	if *fuzz {
@@ -93,19 +129,20 @@ func main() {
 		if *fuzzDefect != "" {
 			extra = "-fuzz-defect " + *fuzzDefect
 		}
-		os.Exit(runFuzz(scenario.FuzzOptions{
+		return runFuzz(scenario.FuzzOptions{
 			Seeds: *seeds, StartSeed: *fuzzSeed, Oracles: sel,
 			ReproDir: *reproDir, NoShrink: *noShrink,
 			Workers: *parallel, ExtraArgs: extra,
-		}))
+		})
 	}
 
 	if *replay != "" {
-		os.Exit(runReplay(*replay, *maxEvents))
+		return runReplay(*replay, *maxEvents)
 	}
 
 	if *report != "" {
-		os.Exit(benchReport(*report, *baseline, *parallel, experiments.Options{Kernel: *kernel, Seed: *seed}))
+		return benchReport(*report, *baseline, *parallel, *shards,
+			experiments.Options{Kernel: *kernel, Seed: *seed})
 	}
 
 	var exps []experiments.Experiment
@@ -116,18 +153,18 @@ func main() {
 			e, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "falconsim: unknown experiment %q (use -list)\n", id)
-				os.Exit(1)
+				return 1
 			}
 			exps = append(exps, e)
 		}
 	} else {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	opt := experiments.Options{
 		Quick: *quick, Kernel: *kernel, Seed: *seed,
-		Audit: *auditOn, MaxEvents: *maxEvents,
+		Audit: *auditOn, MaxEvents: *maxEvents, Shards: *shards,
 	}
 	failures := runExperiments(exps, opt, *parallel, os.Stdout)
 	if n := skb.PoolMisuses(); n > 0 {
@@ -135,12 +172,29 @@ func main() {
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "falconsim: %d experiment(s) failed\n", failures)
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// writeMemProfile snapshots the heap at exit (after a GC, so the profile
+// shows live objects rather than garbage awaiting collection).
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
 	}
 }
 
 // armDeadline aborts the process (exit 3) if it outlives d — the guard
-// against a hung simulation wedging CI forever.
+// against a hung simulation wedging CI forever. Profiles in flight are
+// lost on this path; an abort is not a measurement.
 func armDeadline(d time.Duration) {
 	time.AfterFunc(d, func() {
 		fmt.Fprintf(os.Stderr, "falconsim: DEADLINE EXCEEDED after %v; aborting\n", d)
@@ -266,6 +320,8 @@ func reportWorkerPanic(e experiments.Experiment, opt experiments.Options, shard,
 
 // parallelBench records the -all wall-clock comparison between a serial
 // run and a worker-pool run (quick windows keep the double run cheap).
+// This is experiment-level parallelism: independent simulations sharing
+// nothing but buffer pools.
 type parallelBench struct {
 	Workers         int     `json:"workers"`
 	Quick           bool    `json:"quick"`
@@ -274,15 +330,36 @@ type parallelBench struct {
 	Speedup         float64 `json:"speedup"`
 }
 
+// shardedBench records the intra-simulation PDES comparison: one
+// multi-host experiment run to completion on the serial engine and again
+// on an N-shard cluster producing byte-identical output. NumCPU is the
+// host's core count at measurement time — on fewer cores than shards the
+// speedup honestly reflects synchronization overhead, not parallelism.
+type shardedBench struct {
+	Shards         int     `json:"shards"`
+	Experiment     string  `json:"experiment"`
+	NumCPU         int     `json:"num_cpu"`
+	SerialSeconds  float64 `json:"serial_seconds"`
+	ShardedSeconds float64 `json:"sharded_seconds"`
+	Speedup        float64 `json:"speedup"`
+}
+
 type benchReportFile struct {
 	HotPath  experiments.HotPathBench `json:"hot_path"`
 	Parallel parallelBench            `json:"parallel"`
+	Sharded  shardedBench             `json:"sharded"`
 }
 
-// benchReport produces BENCH_sim.json: full-window hot-path metrics plus
-// the parallel-runner speedup, optionally guarded against a committed
-// baseline. Returns the process exit code.
-func benchReport(path, baselinePath string, workers int, opt experiments.Options) int {
+// shardBenchExp is the experiment the sharded-vs-serial benchmark times:
+// the 8-host ring is the smallest topology where every shard both sends
+// and receives cross-shard traffic.
+const shardBenchExp = "mesh8"
+
+// benchReport produces BENCH_sim.json: full-window hot-path metrics, the
+// experiment-level parallel-runner speedup, and the intra-simulation
+// PDES speedup, optionally guarded against a committed baseline. Returns
+// the process exit code.
+func benchReport(path, baselinePath string, workers, shards int, opt experiments.Options) int {
 	if workers <= 1 {
 		workers = runtime.GOMAXPROCS(0)
 		if workers < 2 {
@@ -290,6 +367,9 @@ func benchReport(path, baselinePath string, workers int, opt experiments.Options
 			// recorded speedup is then honestly ~1.0x (hardware-bound).
 			workers = 2
 		}
+	}
+	if shards <= 1 {
+		shards = 4
 	}
 	fmt.Fprintf(os.Stderr, "falconsim: bench: hot path (full windows)...\n")
 	hot := experiments.BenchHotPath(opt)
@@ -302,12 +382,29 @@ func benchReport(path, baselinePath string, workers int, opt experiments.Options
 	fmt.Fprintf(os.Stderr, "falconsim: bench: -all -parallel %d (quick)...\n", workers)
 	par := timeAll(exps, qopt, workers)
 
+	mesh, ok := experiments.ByID(shardBenchExp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "falconsim: bench: experiment %q missing\n", shardBenchExp)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "falconsim: bench: %s serial (full windows)...\n", shardBenchExp)
+	meshSerial := timeExp(mesh, opt)
+	sopt := opt
+	sopt.Shards = shards
+	fmt.Fprintf(os.Stderr, "falconsim: bench: %s -shards %d (full windows)...\n", shardBenchExp, shards)
+	meshSharded := timeExp(mesh, sopt)
+
 	rep := benchReportFile{
 		HotPath: hot,
 		Parallel: parallelBench{
 			Workers: workers, Quick: true,
 			SerialSeconds: serial, ParallelSeconds: par,
 			Speedup: serial / par,
+		},
+		Sharded: shardedBench{
+			Shards: shards, Experiment: shardBenchExp, NumCPU: runtime.NumCPU(),
+			SerialSeconds: meshSerial, ShardedSeconds: meshSharded,
+			Speedup: meshSerial / meshSharded,
 		},
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -321,11 +418,13 @@ func benchReport(path, baselinePath string, workers int, opt experiments.Options
 		return 1
 	}
 	fmt.Fprintf(os.Stderr,
-		"falconsim: bench: %.0f events/s, %.0f ns/pkt, %.1f allocs/pkt, -all speedup %.2fx (%d workers)\n",
-		hot.EventsPerSec, hot.NsPerPacket, hot.AllocsPerPacket, rep.Parallel.Speedup, workers)
+		"falconsim: bench: %.0f events/s, %.0f ns/pkt, %.1f allocs/pkt, -all speedup %.2fx (%d workers), %s speedup %.2fx (%d shards, %d cpus)\n",
+		hot.EventsPerSec, hot.NsPerPacket, hot.AllocsPerPacket,
+		rep.Parallel.Speedup, workers,
+		shardBenchExp, rep.Sharded.Speedup, shards, rep.Sharded.NumCPU)
 
 	if baselinePath != "" {
-		return guardBaseline(baselinePath, hot)
+		return guardBaseline(baselinePath, hot, rep.Sharded)
 	}
 	return 0
 }
@@ -338,9 +437,20 @@ func timeAll(exps []experiments.Experiment, opt experiments.Options, workers int
 	return time.Since(start).Seconds()
 }
 
-// guardBaseline fails (exit 1) when allocs/packet regressed more than
-// 10% over the committed baseline report.
-func guardBaseline(path string, hot experiments.HotPathBench) int {
+// timeExp runs one experiment, discarding its tables, and returns
+// wall-clock seconds.
+func timeExp(e experiments.Experiment, opt experiments.Options) float64 {
+	start := time.Now()
+	e.Run(opt)
+	return time.Since(start).Seconds()
+}
+
+// guardBaseline fails (exit 1) on performance regression against the
+// committed baseline report: allocs/packet beyond +10%, ns/packet beyond
+// +35% (wall-clock, so the bound is loose against machine noise), or —
+// on hardware with enough cores for the shards to actually run in
+// parallel — sharded speedup below 1.15x.
+func guardBaseline(path string, hot experiments.HotPathBench, sharded shardedBench) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "falconsim: baseline: %v\n", err)
@@ -351,14 +461,47 @@ func guardBaseline(path string, hot experiments.HotPathBench) int {
 		fmt.Fprintf(os.Stderr, "falconsim: baseline: %v\n", err)
 		return 1
 	}
+	code := 0
 	limit := base.HotPath.AllocsPerPacket * 1.10
 	if hot.AllocsPerPacket > limit {
 		fmt.Fprintf(os.Stderr,
 			"falconsim: ALLOC REGRESSION: %.2f allocs/pkt > %.2f (baseline %.2f +10%%)\n",
 			hot.AllocsPerPacket, limit, base.HotPath.AllocsPerPacket)
-		return 1
+		code = 1
+	} else {
+		fmt.Fprintf(os.Stderr, "falconsim: allocs/pkt %.2f within baseline %.2f +10%%\n",
+			hot.AllocsPerPacket, base.HotPath.AllocsPerPacket)
 	}
-	fmt.Fprintf(os.Stderr, "falconsim: allocs/pkt %.2f within baseline %.2f +10%%\n",
-		hot.AllocsPerPacket, base.HotPath.AllocsPerPacket)
-	return 0
+	if base.HotPath.NsPerPacket > 0 {
+		nsLimit := base.HotPath.NsPerPacket * 1.35
+		if hot.NsPerPacket > nsLimit {
+			fmt.Fprintf(os.Stderr,
+				"falconsim: SPEED REGRESSION: %.0f ns/pkt > %.0f (baseline %.0f +35%%)\n",
+				hot.NsPerPacket, nsLimit, base.HotPath.NsPerPacket)
+			code = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "falconsim: ns/pkt %.0f within baseline %.0f +35%%\n",
+				hot.NsPerPacket, base.HotPath.NsPerPacket)
+		}
+	}
+	// The speedup floor only means something when the shards can really
+	// run concurrently; on smaller machines the sharded run measures
+	// synchronization overhead and the floor would always fail.
+	const speedupFloor = 1.15
+	if runtime.NumCPU() >= 4 {
+		if sharded.Speedup < speedupFloor {
+			fmt.Fprintf(os.Stderr,
+				"falconsim: SHARD SPEEDUP REGRESSION: %.2fx < %.2fx floor (%d shards on %d cpus)\n",
+				sharded.Speedup, speedupFloor, sharded.Shards, runtime.NumCPU())
+			code = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "falconsim: sharded speedup %.2fx >= %.2fx floor\n",
+				sharded.Speedup, speedupFloor)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr,
+			"falconsim: sharded speedup %.2fx recorded, floor skipped (%d cpus < 4)\n",
+			sharded.Speedup, runtime.NumCPU())
+	}
+	return code
 }

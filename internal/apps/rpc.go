@@ -147,7 +147,7 @@ func NewConn(id uint64, h *overlay.Host, ctr *overlay.Container, localPort uint1
 		ID: id, host: h, ctr: ctr, port: localPort,
 		dstIP: dstIP, dstPort: dstPort, core: core,
 		nextReq: reqSize, think: think,
-		rng: h.Net.E.Rand().Fork(), e: h.Net.E,
+		rng: h.Net.E.Rand().Fork(), e: h.E,
 		RTT: stats.NewHistogram(),
 	}
 	ip := h.IP

@@ -16,6 +16,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"falcon/internal/sim"
 	"falcon/internal/skb"
@@ -86,24 +87,23 @@ type Abort struct {
 
 func (ab *Abort) Error() string { return ab.V.String() }
 
-// Auditor verifies one simulation run. It implements skb.Auditor (the
-// lifecycle ledger) and drives the conservation, queue and watchdog
-// sweeps off a periodic engine timer. One auditor audits one engine;
-// concurrent experiment runs each build their own.
+// Auditor verifies one simulation run. The SKB lifecycle ledger is
+// partitioned per PDES shard (LedgerFor); the auditor itself drives
+// the conservation, queue and watchdog sweeps off a periodic timer on
+// the Sim's control queue — on a cluster those fire at barriers with
+// every shard parked, so sweeps read shard state safely. One auditor
+// audits one simulation; concurrent experiment runs each build their
+// own. The Auditor still implements skb.Auditor directly (through a
+// default ledger) for tests and single-engine callers.
 type Auditor struct {
-	E   *sim.Engine
+	E   sim.Sim
 	cfg Config
 
-	// Ledger state (ledger.go).
-	live     map[*skb.SKB]*record
-	recent   []*record // ring of recently freed records, newest last
-	recentAt int
-	freeRecs []*record // record pool
-	seq      uint64
-	created  uint64
-	freedCnt uint64
-	sites    map[string]uint64 // allocations per site
-	disposed map[string]uint64 // frees per terminal stage
+	// Ledger state (ledger.go): one shard-local slice per engine, plus
+	// a lazily built default for direct Auditor use.
+	ledgers  []*Ledger
+	byEngine map[*sim.Engine]*Ledger
+	def      *Ledger
 
 	// Invariants (balance.go) and watchdog (watchdog.go).
 	balances   []*Balance
@@ -113,27 +113,58 @@ type Auditor struct {
 	dumps      []func(w io.Writer)
 	rebase     bool
 
-	// Trace ring (trace.go).
-	ring    []traceEv
-	ringAt  int
-	ringLen int
-
+	// mu orders violation reporting: per-packet hooks on different
+	// shards may violate concurrently (cold path — every report is
+	// already a failed run).
+	mu         sync.Mutex
 	violations []Violation
 	timer      sim.Timer
 	finalized  bool
 }
 
-// New builds an auditor over engine e. Call the registration methods
-// (Balance, AddQueue(s), Watch, AddDump), then Start.
-func New(e *sim.Engine, cfg Config) *Auditor {
+// New builds an auditor over simulation e (a serial *sim.Engine or a
+// *sim.Cluster). Call the registration methods (Balance, AddQueue(s),
+// Watch, AddDump), then Start.
+func New(e sim.Sim, cfg Config) *Auditor {
 	return &Auditor{
 		E:        e,
 		cfg:      cfg.withDefaults(),
-		live:     make(map[*skb.SKB]*record),
-		sites:    make(map[string]uint64),
-		disposed: make(map[string]uint64),
+		byEngine: make(map[*sim.Engine]*Ledger),
 	}
 }
+
+// LedgerFor returns the shard-local ledger owning engine e, creating it
+// on first use. Hosts attach the ledger of their own engine, so the
+// per-packet hooks never touch another shard's state.
+func (a *Auditor) LedgerFor(e *sim.Engine) *Ledger {
+	if l, ok := a.byEngine[e]; ok {
+		return l
+	}
+	l := newLedger(a, e)
+	a.byEngine[e] = l
+	a.ledgers = append(a.ledgers, l)
+	return l
+}
+
+// defLedger is the ledger behind the Auditor's own skb.Auditor methods.
+func (a *Auditor) defLedger() *Ledger {
+	if a.def == nil {
+		if e, ok := a.E.(*sim.Engine); ok {
+			a.def = a.LedgerFor(e)
+		} else {
+			a.def = newLedger(a, a.E)
+			a.ledgers = append(a.ledgers, a.def)
+		}
+	}
+	return a.def
+}
+
+// skb.Auditor delegation to the default ledger.
+
+func (a *Auditor) SKBGet(s *skb.SKB, site string)    { a.defLedger().SKBGet(s, site) }
+func (a *Auditor) SKBStage(s *skb.SKB, stage string) { a.defLedger().SKBStage(s, stage) }
+func (a *Auditor) SKBFree(s *skb.SKB)                { a.defLedger().SKBFree(s) }
+func (a *Auditor) SKBMisuse(s *skb.SKB, kind string) { a.defLedger().SKBMisuse(s, kind) }
 
 // Start arms the periodic invariant sweep.
 func (a *Auditor) Start() {
@@ -179,23 +210,35 @@ func (a *Auditor) runChecks() {
 }
 
 // Final stops the sweep and runs the teardown checks: a last sweep, the
-// ledger's structural conservation, and the end-of-run leak check (every
-// SKB still live in the ledger is a leak, reported in allocation order
-// with its full stage history). It returns all collected violations; in
-// abort mode the first teardown violation panics.
+// ledger's structural conservation (summed across shard ledgers — SKB
+// handoffs allocate on one shard and free on another, so only the sum
+// is invariant), and the end-of-run leak check (every SKB still live in
+// any ledger is a leak, reported in allocation order with its full
+// stage history). It returns all collected violations; in abort mode
+// the first teardown violation panics.
 func (a *Auditor) Final() []Violation {
 	a.finalized = true
 	a.timer.Stop()
 	a.runChecks()
-	if a.created != a.freedCnt+uint64(len(a.live)) {
-		a.violate("ledger", "created %d != freed %d + live %d", a.created, a.freedCnt, len(a.live))
+	created, freed, live := a.ledgerTotals()
+	if created != freed+uint64(live) {
+		a.violate("ledger", "created %d != freed %d + live %d", created, freed, live)
 	}
-	if len(a.live) > 0 {
-		recs := make([]*record, 0, len(a.live))
-		for _, r := range a.live {
-			recs = append(recs, r)
+	if live > 0 {
+		recs := make([]*record, 0, live)
+		for _, l := range a.ledgers {
+			for _, r := range l.live {
+				recs = append(recs, r)
+			}
 		}
-		sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+		// Allocation-time order; per-ledger seq breaks same-nanosecond
+		// ties (exact serial order for a single ledger).
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].at != recs[j].at {
+				return recs[i].at < recs[j].at
+			}
+			return recs[i].seq < recs[j].seq
+		})
 		for _, r := range recs {
 			a.violate("leak", "skb#%d (alloc %q at %v, gen %d) never freed; age %v; history: %s",
 				r.seq, r.site, r.at, r.gen, a.E.Now()-r.at, r.history())
@@ -204,44 +247,95 @@ func (a *Auditor) Final() []Violation {
 	return a.violations
 }
 
+// ledgerTotals sums the structural counters across shard ledgers.
+func (a *Auditor) ledgerTotals() (created, freed uint64, live int) {
+	for _, l := range a.ledgers {
+		created += l.created
+		freed += l.freedCnt
+		live += len(l.live)
+	}
+	return
+}
+
 // Violations returns everything collected so far (collect mode).
 func (a *Auditor) Violations() []Violation { return a.violations }
 
-// LiveCount returns the number of SKBs currently tracked as live — the
-// teardown drain loop polls it before running the leak check.
-func (a *Auditor) LiveCount() int { return len(a.live) }
+// LiveCount returns the number of SKBs currently tracked as live in any
+// ledger — the teardown drain loop polls it before running the leak
+// check.
+func (a *Auditor) LiveCount() int {
+	n := 0
+	for _, l := range a.ledgers {
+		n += len(l.live)
+	}
+	return n
+}
 
-// Created returns lifetime SKB attachments to the ledger.
-func (a *Auditor) Created() uint64 { return a.created }
+// Created returns lifetime SKB attachments across all ledgers.
+func (a *Auditor) Created() uint64 {
+	var n uint64
+	for _, l := range a.ledgers {
+		n += l.created
+	}
+	return n
+}
 
 func (a *Auditor) violate(kind, format string, args ...any) {
-	v := Violation{Kind: kind, At: a.E.Now(), Detail: fmt.Sprintf(format, args...)}
+	a.violateAt(a.E.Now(), kind, format, args...)
+}
+
+// violateAt reports a breach stamped with the detecting shard's clock.
+// Per-packet hooks on different shards may report concurrently, so the
+// record-and-collect step is mutex-ordered (cold path: any report means
+// the run already failed); in abort mode the panic unwinds the calling
+// shard and the cluster re-raises it deterministically.
+func (a *Auditor) violateAt(at sim.Time, kind, format string, args ...any) {
+	v := Violation{Kind: kind, At: at, Detail: fmt.Sprintf(format, args...)}
+	a.mu.Lock()
 	a.violations = append(a.violations, v)
-	if a.cfg.OnViolation != nil {
+	abort := a.cfg.OnViolation == nil
+	if !abort {
 		a.cfg.OnViolation(&v)
-		return
 	}
-	panic(&Abort{V: &v, A: a})
+	a.mu.Unlock()
+	if abort {
+		panic(&Abort{V: &v, A: a})
+	}
 }
 
 // WriteState renders the auditor's full diagnostic state: ledger
-// counters, dispositions, registered dump callbacks (per-core state)
-// and the trace ring. It is the body of every failure dump.
+// counters and dispositions (summed across shard ledgers), registered
+// dump callbacks (per-core state) and the trace ring(s). It is the
+// body of every failure dump.
 func (a *Auditor) WriteState(w io.Writer) {
+	created, freed, live := a.ledgerTotals()
 	fmt.Fprintf(w, "ledger: created=%d freed=%d live=%d pool-misuses=%d\n",
-		a.created, a.freedCnt, len(a.live), skb.PoolMisuses())
-	keys := make([]string, 0, len(a.disposed))
-	for k := range a.disposed {
+		created, freed, live, skb.PoolMisuses())
+	sum := make(map[string]uint64)
+	for _, l := range a.ledgers {
+		for k, n := range l.disposed {
+			sum[k] += n
+		}
+	}
+	keys := make([]string, 0, len(sum))
+	for k := range sum {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Fprintf(w, "  disposed %-20s %d\n", k, a.disposed[k])
+		fmt.Fprintf(w, "  disposed %-20s %d\n", k, sum[k])
 	}
 	for _, fn := range a.dumps {
 		fn(w)
 	}
-	a.writeRing(w)
+	if len(a.ledgers) == 1 {
+		a.ledgers[0].writeRing(w)
+		return
+	}
+	for i, l := range a.ledgers {
+		fmt.Fprintf(w, "shard ledger %d:\n", i)
+		l.writeRing(w)
+	}
 }
 
 // stateString is WriteState into a string (for panic messages).

@@ -19,7 +19,7 @@ const historyDepth = 16
 // retained so double-free and stale-free violations can report the
 // victim's full stage history.
 type record struct {
-	seq    uint64 // allocation sequence number, 1-based
+	seq    uint64 // allocation sequence number within its ledger, 1-based
 	gen    uint32 // skb generation at allocation
 	site   string // allocation site ("tx:fast", "tx:frag", ...)
 	at     sim.Time
@@ -61,10 +61,49 @@ func (r *record) history() string {
 	return b.String()
 }
 
-func (a *Auditor) getRecord() *record {
-	if n := len(a.freeRecs); n > 0 {
-		r := a.freeRecs[n-1]
-		a.freeRecs = a.freeRecs[:n-1]
+// Ledger is the shard-local slice of the auditor's SKB lifecycle
+// state: the live map, the recently-freed ring, allocation/disposition
+// counters and the trace ring. The serial engine uses a single ledger;
+// a PDES cluster gets one per shard (Auditor.LedgerFor), so the
+// per-packet hooks touch only state owned by the calling logical
+// process and need no locks. The invariant sweeps — which run on the
+// coordinator with every shard parked — and the teardown checks sum
+// across ledgers.
+type Ledger struct {
+	a *Auditor
+	// E is the owning shard's engine (or the whole Sim for the default
+	// ledger): the clock the ledger stamps records and traces with.
+	E sim.Sim
+
+	live     map[*skb.SKB]*record
+	recent   []*record // ring of recently freed records, newest last
+	recentAt int
+	freeRecs []*record // record pool
+	seq      uint64
+	created  uint64
+	freedCnt uint64
+	sites    map[string]uint64 // allocations per site
+	disposed map[string]uint64 // frees per terminal stage
+
+	// Trace ring (trace.go).
+	ring    []traceEv
+	ringAt  int
+	ringLen int
+}
+
+func newLedger(a *Auditor, e sim.Sim) *Ledger {
+	return &Ledger{
+		a: a, E: e,
+		live:     make(map[*skb.SKB]*record),
+		sites:    make(map[string]uint64),
+		disposed: make(map[string]uint64),
+	}
+}
+
+func (l *Ledger) getRecord() *record {
+	if n := len(l.freeRecs); n > 0 {
+		r := l.freeRecs[n-1]
+		l.freeRecs = l.freeRecs[:n-1]
 		*r = record{}
 		return r
 	}
@@ -73,31 +112,31 @@ func (a *Auditor) getRecord() *record {
 
 // retire moves a freed record into the recently-freed ring, recycling
 // whatever it displaces.
-func (a *Auditor) retire(r *record) {
-	if a.recent == nil {
-		a.recent = make([]*record, a.cfg.RingSize)
+func (l *Ledger) retire(r *record) {
+	if l.recent == nil {
+		l.recent = make([]*record, l.a.cfg.RingSize)
 	}
-	if old := a.recent[a.recentAt]; old != nil {
-		a.freeRecs = append(a.freeRecs, old)
+	if old := l.recent[l.recentAt]; old != nil {
+		l.freeRecs = append(l.freeRecs, old)
 	}
-	a.recent[a.recentAt] = r
-	a.recentAt = (a.recentAt + 1) % len(a.recent)
+	l.recent[l.recentAt] = r
+	l.recentAt = (l.recentAt + 1) % len(l.recent)
 }
 
 // recentFor finds the newest retired record for s (by pointer identity
 // and generation), for misuse attribution.
-func (a *Auditor) recentFor(s *skb.SKB) *record {
-	if a.recent == nil {
+func (l *Ledger) recentFor(s *skb.SKB) *record {
+	if l.recent == nil {
 		return nil
 	}
-	n := len(a.recent)
+	n := len(l.recent)
 	for i := 1; i <= n; i++ {
-		r := a.recent[(a.recentAt-i+n)%n]
+		r := l.recent[(l.recentAt-i+n)%n]
 		if r == nil {
 			return nil
 		}
 		if r.gen == s.Gen()-1 || r.gen == s.Gen() {
-			if _, live := a.live[s]; !live {
+			if _, live := l.live[s]; !live {
 				return r
 			}
 		}
@@ -106,84 +145,122 @@ func (a *Auditor) recentFor(s *skb.SKB) *record {
 }
 
 // SKBGet implements skb.Auditor: a fresh SKB entered the datapath.
-func (a *Auditor) SKBGet(s *skb.SKB, site string) {
-	if prev, ok := a.live[s]; ok {
-		a.violate("ledger", "skb#%d re-issued while live (alloc %q at %v); history: %s",
+func (l *Ledger) SKBGet(s *skb.SKB, site string) {
+	if prev, ok := l.live[s]; ok {
+		l.a.violateAt(l.E.Now(), "ledger", "skb#%d re-issued while live (alloc %q at %v); history: %s",
 			prev.seq, prev.site, prev.at, prev.history())
-		delete(a.live, s)
-		a.freedCnt++ // keep created == freed + live coherent in collect mode
+		delete(l.live, s)
+		l.freedCnt++ // keep created == freed + live coherent in collect mode
 	}
-	a.seq++
-	a.created++
-	r := a.getRecord()
-	r.seq, r.gen, r.site, r.at = a.seq, s.Gen(), site, a.E.Now()
-	a.live[s] = r
-	a.sites[site]++
-	a.trace('G', site, r.seq, s.Gen())
+	l.seq++
+	l.created++
+	r := l.getRecord()
+	r.seq, r.gen, r.site, r.at = l.seq, s.Gen(), site, l.E.Now()
+	l.live[s] = r
+	l.sites[site]++
+	l.trace('G', site, r.seq, s.Gen())
 }
 
 // SKBStage implements skb.Auditor: a live SKB crossed a device stage.
-func (a *Auditor) SKBStage(s *skb.SKB, stage string) {
-	r, ok := a.live[s]
+func (l *Ledger) SKBStage(s *skb.SKB, stage string) {
+	r, ok := l.live[s]
 	if !ok {
-		a.violate("use-after-free", "stage %q on untracked/freed skb (gen %d)", stage, s.Gen())
+		l.a.violateAt(l.E.Now(), "use-after-free", "stage %q on untracked/freed skb (gen %d)", stage, s.Gen())
 		return
 	}
-	r.push(stage, a.E.Now())
-	a.trace('S', stage, r.seq, s.Gen())
+	r.push(stage, l.E.Now())
+	l.trace('S', stage, r.seq, s.Gen())
 }
 
 // SKBFree implements skb.Auditor: a live SKB left the datapath. Its
 // last stamped stage becomes the disposition bucket the conservation
 // balances count against.
-func (a *Auditor) SKBFree(s *skb.SKB) {
-	r, ok := a.live[s]
+func (l *Ledger) SKBFree(s *skb.SKB) {
+	r, ok := l.live[s]
 	if !ok {
-		a.violate("double-free", "free of untracked skb (gen %d) — never issued or already freed", s.Gen())
+		l.a.violateAt(l.E.Now(), "double-free", "free of untracked skb (gen %d) — never issued or already freed", s.Gen())
 		return
 	}
-	delete(a.live, s)
-	a.freedCnt++
-	r.freeAt = a.E.Now()
-	a.disposed[r.last()]++
-	a.trace('F', r.last(), r.seq, s.Gen())
-	a.retire(r)
+	delete(l.live, s)
+	l.freedCnt++
+	r.freeAt = l.E.Now()
+	l.disposed[r.last()]++
+	l.trace('F', r.last(), r.seq, s.Gen())
+	l.retire(r)
 }
 
 // SKBMisuse implements skb.Auditor: the pool itself rejected an
 // operation (double-free or stale-generation free caught by skb.Free /
 // Handle.Free). The retired record, if still in the ring, pins the
 // misuse to the allocation site and full stage trail of the victim.
-func (a *Auditor) SKBMisuse(s *skb.SKB, kind string) {
-	a.trace('M', kind, 0, s.Gen())
-	if r := a.recentFor(s); r != nil {
-		a.violate(kind, "%s of skb#%d (alloc %q at %v, gen %d, freed at %v); history: %s",
+func (l *Ledger) SKBMisuse(s *skb.SKB, kind string) {
+	l.trace('M', kind, 0, s.Gen())
+	if r := l.recentFor(s); r != nil {
+		l.a.violateAt(l.E.Now(), kind, "%s of skb#%d (alloc %q at %v, gen %d, freed at %v); history: %s",
 			kind, r.seq, r.site, r.at, r.gen, r.freeAt, r.history())
 		return
 	}
-	a.violate(kind, "%s of skb gen %d (record evicted from ring; raise Config.RingSize to retain history)",
+	l.a.violateAt(l.E.Now(), kind, "%s of skb gen %d (record evicted from ring; raise Config.RingSize to retain history)",
 		kind, s.Gen())
 }
 
-// Disposed returns a closure summing the frees whose terminal stage was
-// any of stages — the RHS terms of conservation balances.
+// SKBHandoff implements skb.Handoffer: a frame crossed a shard
+// boundary, so its live record migrates to the ledger owning the
+// receiving shard. Runs on the cluster coordinator with both shards
+// parked. The allocation stays counted where it happened and the
+// eventual free counts at the destination; the teardown conservation
+// check sums both sides, so handoffs conserve by construction.
+func (l *Ledger) SKBHandoff(s *skb.SKB, to skb.Auditor) {
+	t := resolveLedger(to)
+	if t == nil || t == l {
+		return
+	}
+	r, ok := l.live[s]
+	if !ok {
+		// Untracked here (e.g. attached mid-flight); the destination
+		// hooks will attribute any misuse.
+		return
+	}
+	delete(l.live, s)
+	t.live[s] = r
+}
+
+// resolveLedger maps an skb.Auditor back to its concrete ledger.
+func resolveLedger(a skb.Auditor) *Ledger {
+	switch v := a.(type) {
+	case *Ledger:
+		return v
+	case *Auditor:
+		return v.defLedger()
+	}
+	return nil
+}
+
+// Disposed returns a closure summing, across all shard ledgers, the
+// frees whose terminal stage was any of stages — the RHS terms of
+// conservation balances.
 func (a *Auditor) Disposed(stages ...string) func() uint64 {
 	return func() uint64 {
 		var n uint64
-		for _, st := range stages {
-			n += a.disposed[st]
+		for _, l := range a.ledgers {
+			for _, st := range stages {
+				n += l.disposed[st]
+			}
 		}
 		return n
 	}
 }
 
-// CreatedAt returns a closure summing allocations at the given sites —
-// the LHS "injected" terms of conservation balances.
+// CreatedAt returns a closure summing, across all shard ledgers, the
+// allocations at the given sites — the LHS "injected" terms of
+// conservation balances.
 func (a *Auditor) CreatedAt(sites ...string) func() uint64 {
 	return func() uint64 {
 		var n uint64
-		for _, s := range sites {
-			n += a.sites[s]
+		for _, l := range a.ledgers {
+			for _, s := range sites {
+				n += l.sites[s]
+			}
 		}
 		return n
 	}

@@ -22,25 +22,38 @@ type traceEv struct {
 	gen   uint32
 }
 
-func (a *Auditor) trace(kind byte, label string, seq uint64, gen uint32) {
-	if a.ring == nil {
-		a.ring = make([]traceEv, a.cfg.RingSize)
+func (l *Ledger) trace(kind byte, label string, seq uint64, gen uint32) {
+	if l.ring == nil {
+		l.ring = make([]traceEv, l.a.cfg.RingSize)
 	}
-	a.ring[a.ringAt] = traceEv{at: a.E.Now(), kind: kind, label: label, seq: seq, gen: gen}
-	a.ringAt = (a.ringAt + 1) % len(a.ring)
-	if a.ringLen < len(a.ring) {
-		a.ringLen++
+	l.ring[l.ringAt] = traceEv{at: l.E.Now(), kind: kind, label: label, seq: seq, gen: gen}
+	l.ringAt = (l.ringAt + 1) % len(l.ring)
+	if l.ringLen < len(l.ring) {
+		l.ringLen++
 	}
 }
 
-func (a *Auditor) traceNote(label string) { a.trace('N', label, 0, 0) }
+// traceNote records a coordinator-side note (sweeps, resets). It lands
+// in the first ledger's ring so a serial run's dump stays byte-for-byte
+// what it was before sharding.
+func (a *Auditor) traceNote(label string) {
+	l := a.def
+	if l == nil {
+		if len(a.ledgers) > 0 {
+			l = a.ledgers[0]
+		} else {
+			l = a.defLedger()
+		}
+	}
+	l.trace('N', label, 0, 0)
+}
 
 // writeRing renders the trace ring oldest-first.
-func (a *Auditor) writeRing(w io.Writer) {
-	fmt.Fprintf(w, "trace ring (%d most recent events):\n", a.ringLen)
-	n := len(a.ring)
-	for i := a.ringLen; i >= 1; i-- {
-		ev := a.ring[(a.ringAt-i+n)%n]
+func (l *Ledger) writeRing(w io.Writer) {
+	fmt.Fprintf(w, "trace ring (%d most recent events):\n", l.ringLen)
+	n := len(l.ring)
+	for i := l.ringLen; i >= 1; i-- {
+		ev := l.ring[(l.ringAt-i+n)%n]
 		switch ev.kind {
 		case 'N':
 			fmt.Fprintf(w, "  %12v %c %s\n", ev.at, ev.kind, ev.label)

@@ -117,15 +117,42 @@ type workItem struct {
 	run  func() // invoked when the slice completes; may submit more work
 }
 
+// workQueue is a FIFO of work items that recycles its backing array:
+// popping advances a head index instead of reslicing, and a fully
+// drained queue rewinds to the front of the array. The drain-refill
+// cycle of a softirq queue under load then stops allocating entirely —
+// with the `q = q[1:]` idiom every drain strands the array's capacity
+// behind the slice pointer and the next push reallocates from scratch
+// (this was the single largest allocation site on the packet hot path).
+type workQueue struct {
+	items []workItem
+	head  int
+}
+
+func (q *workQueue) push(it workItem) { q.items = append(q.items, it) }
+
+func (q *workQueue) pop() workItem {
+	it := q.items[q.head]
+	q.items[q.head] = workItem{} // release the completion closure
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return it
+}
+
+func (q *workQueue) len() int { return len(q.items) - q.head }
+
 // Core is one CPU. Work is executed in strict context priority
 // (hardirq > softirq > task) with FIFO order within a context, except
 // for the ksoftirqd anti-starvation rule.
 type Core struct {
 	id   int
 	m    *Machine
-	hard []workItem
-	soft []workItem
-	task []workItem
+	hard workQueue
+	soft workQueue
+	task workQueue
 	busy bool
 
 	softStreak int // consecutive softirq items while tasks waited
@@ -156,11 +183,11 @@ func (c *Core) Machine() *Machine { return c.m }
 func (c *Core) QueueLen(ctx stats.CPUContext) int {
 	switch ctx {
 	case stats.CtxHardIRQ:
-		return len(c.hard)
+		return c.hard.len()
 	case stats.CtxSoftIRQ:
-		return len(c.soft)
+		return c.soft.len()
 	case stats.CtxTask:
-		return len(c.task)
+		return c.task.len()
 	default:
 		return 0
 	}
@@ -168,7 +195,7 @@ func (c *Core) QueueLen(ctx stats.CPUContext) int {
 
 // Idle reports whether the core has no running or queued work.
 func (c *Core) Idle() bool {
-	return !c.busy && len(c.hard) == 0 && len(c.soft) == 0 && len(c.task) == 0
+	return !c.busy && c.hard.len() == 0 && c.soft.len() == 0 && c.task.len() == 0
 }
 
 // SetStalled freezes (true) or resumes (false) the core. While stalled,
@@ -211,11 +238,11 @@ func (c *Core) Submit(ctx stats.CPUContext, fn costmodel.Func, cost sim.Time, do
 	item := workItem{ctx: ctx, fn: fn, cost: cost, run: done}
 	switch ctx {
 	case stats.CtxHardIRQ:
-		c.hard = append(c.hard, item)
+		c.hard.push(item)
 	case stats.CtxSoftIRQ:
-		c.soft = append(c.soft, item)
+		c.soft.push(item)
 	case stats.CtxTask:
-		c.task = append(c.task, item)
+		c.task.push(item)
 	default:
 		panic("cpu: invalid submit context")
 	}
@@ -231,23 +258,18 @@ func (c *Core) Exec(ctx stats.CPUContext, fn costmodel.Func, bytes int, done fun
 }
 
 func (c *Core) next() (workItem, bool) {
-	if len(c.hard) > 0 {
-		it := c.hard[0]
-		c.hard = c.hard[1:]
-		return it, true
+	if c.hard.len() > 0 {
+		return c.hard.pop(), true
 	}
 	// ksoftirqd rule: after a long softirq streak with tasks waiting,
 	// let one task slice through.
-	if len(c.task) > 0 && (len(c.soft) == 0 || c.softStreak >= ksoftirqdBatch) {
-		it := c.task[0]
-		c.task = c.task[1:]
+	if c.task.len() > 0 && (c.soft.len() == 0 || c.softStreak >= ksoftirqdBatch) {
 		c.softStreak = 0
-		return it, true
+		return c.task.pop(), true
 	}
-	if len(c.soft) > 0 {
-		it := c.soft[0]
-		c.soft = c.soft[1:]
-		if len(c.task) > 0 {
+	if c.soft.len() > 0 {
+		it := c.soft.pop()
+		if c.task.len() > 0 {
 			c.softStreak++
 		} else {
 			c.softStreak = 0

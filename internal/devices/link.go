@@ -52,6 +52,13 @@ type Link struct {
 	LossRate float64
 	Jitter   sim.Time
 
+	// Remote, when set, marks the far end as living on another PDES
+	// shard: live frames are handed to it (a sim.PostSource wrapper)
+	// at Send time with their computed arrival, while all link state —
+	// serializer, queue, RNG draws for loss and jitter, counters, and
+	// the disposal of lost frames — stays on the sending shard.
+	Remote RemoteEgress
+
 	busyUntil   sim.Time
 	lastArrival sim.Time
 	queued      int
@@ -81,10 +88,33 @@ func NewLink(e *sim.Engine, rateBitsPerSec float64, delay sim.Time) *Link {
 	}
 }
 
+// RemoteEgress carries frames whose delivery belongs to another PDES
+// shard (the overlay wires it to a cluster PostSource targeting the
+// receiving host's engine).
+type RemoteEgress interface {
+	// Send hands the frame to the far shard for delivery at arrival.
+	Send(s *skb.SKB, arrival sim.Time)
+}
+
 // SerializationTime returns how long a frame of n bytes occupies the wire.
 func (l *Link) SerializationTime(n int) sim.Time {
 	bits := float64(n+ethOverheadBytes) * 8
 	return sim.Time(bits / l.RateBitsPerSec * 1e9)
+}
+
+// Lookahead returns the minimum sender→receiver latency any frame on
+// this link can experience: serialization of a zero-byte payload (wire
+// overhead still serializes) plus propagation delay, floored at 1 ns.
+// Jitter only ever adds delay and a busy serializer only pushes
+// arrivals later, so no frame sent at time t can arrive before
+// t+Lookahead() — the conservative bound a PDES cluster synchronizes
+// on, and sim.PostSource's horizon guard re-checks it on every frame.
+func (l *Link) Lookahead() sim.Time {
+	la := l.SerializationTime(0) + l.Delay
+	if la < 1 {
+		la = 1
+	}
+	return la
 }
 
 // QueueLen returns frames currently queued or serializing.
@@ -121,12 +151,34 @@ func (l *Link) Send(s *skb.SKB) bool {
 	arrival := txEnd + l.Delay
 	if l.Jitter > 0 {
 		arrival += sim.Time(l.rng.Intn(int(l.Jitter) + 1))
-		if arrival < l.lastArrival {
-			arrival = l.lastArrival // no reordering on the wire
-		}
-		l.lastArrival = arrival
 	}
+	// No reordering on the wire: a frame can never overtake its
+	// predecessor, even when a jitter fault reverts while jittered frames
+	// are still in flight. The clamp must apply unconditionally — the
+	// in-flight FIFO, the serial delivery events and the cross-shard
+	// posted deliveries all rely on arrivals being monotone.
+	if arrival < l.lastArrival {
+		arrival = l.lastArrival
+	}
+	l.lastArrival = arrival
 	lost := l.LossRate > 0 && l.rng.Float64() < l.LossRate
+	if l.Remote != nil {
+		// Cross-shard wire: the receiving shard owns live frames from
+		// here on, so the in-flight ring keeps the SKB pointer only for
+		// lost frames (disposed locally, at the same simulated time and
+		// drop site as the serial path). The pop event still runs for
+		// every frame to retire the serializer queue in FIFO order.
+		wf := wireFrame{lost: lost}
+		if lost {
+			wf.s = s
+		}
+		l.inflight = append(l.inflight, wf)
+		l.E.AtArg(arrival, linkRemotePop, l)
+		if !lost {
+			l.Remote.Send(s, arrival)
+		}
+		return true
+	}
 	l.inflight = append(l.inflight, wireFrame{s: s, lost: lost})
 	l.E.AtArg(arrival, linkDeliver, l)
 	return true
@@ -157,6 +209,27 @@ func linkDeliver(v any) {
 	}
 	if l.Deliver != nil {
 		l.Deliver(f.s)
+	}
+}
+
+// linkRemotePop fires at a cross-shard frame's arrival time on the
+// sending shard: it retires the frame from the serializer queue and
+// disposes lost frames locally. Delivery of live frames happens on the
+// receiving shard (the cluster scheduled it at the same nanosecond).
+func linkRemotePop(v any) {
+	l := v.(*Link)
+	f := l.inflight[l.head]
+	l.inflight[l.head] = wireFrame{}
+	l.head++
+	if l.head == len(l.inflight) {
+		l.inflight = l.inflight[:0]
+		l.head = 0
+	}
+	l.queued--
+	if f.lost {
+		l.Lost.Inc()
+		f.s.Stage("drop:link-loss")
+		f.s.Free()
 	}
 }
 

@@ -53,6 +53,68 @@ func TestLinkDeliversInOrderWithDelay(t *testing.T) {
 	}
 }
 
+// TestLinkLookaheadNeverOverestimated drives frames through every fault
+// regime a link supports — jitter bursts switching on and off mid-wire,
+// loss, queue pressure — and checks the PDES safety contract directly:
+// no frame may arrive earlier than send-time + Lookahead(). Jitter only
+// ever adds delay and reverting it must not let later frames undercut
+// the bound (the wire-reorder bug the shard-invariance tests caught was
+// exactly such an undercut relative to in-flight jittered frames).
+func TestLinkLookaheadNeverOverestimated(t *testing.T) {
+	e := sim.New(7)
+	l := NewLink(e, 10*Gbps, 500)
+	la := l.Lookahead()
+	if want := l.SerializationTime(0) + 500; la != want {
+		t.Fatalf("Lookahead = %v, want %v", la, want)
+	}
+	sent := make(map[uint64]sim.Time)
+	var lastArrival sim.Time
+	l.Deliver = func(s *skb.SKB) {
+		now := e.Now()
+		if now < sent[s.Seq]+la {
+			t.Fatalf("frame %d arrived at %v < send %v + lookahead %v",
+				s.Seq, now, sent[s.Seq], la)
+		}
+		if now < lastArrival {
+			t.Fatalf("wire reordered: arrival %v after %v", now, lastArrival)
+		}
+		lastArrival = now
+		s.Free()
+	}
+	rng := e.Rand().Fork()
+	seq := uint64(0)
+	var tick func()
+	tick = func() {
+		if seq >= 400 {
+			return
+		}
+		// Flip fault regimes while frames are in flight.
+		switch seq {
+		case 50:
+			l.Jitter = 3000
+		case 120:
+			l.Jitter = 0 // revert with jittered frames still on the wire
+		case 200:
+			l.Jitter = 900
+			l.LossRate = 0.2
+		case 300:
+			l.Jitter = 0
+			l.LossRate = 0
+		}
+		s := skb.New(make([]byte, 64+rng.Intn(1400)))
+		s.Seq = seq
+		sent[seq] = e.Now()
+		seq++
+		l.Send(s)
+		e.After(sim.Time(1+rng.Intn(2000)), tick)
+	}
+	tick()
+	e.Run()
+	if lastArrival == 0 {
+		t.Fatal("no frames delivered")
+	}
+}
+
 func TestLinkQueueOverflowDrops(t *testing.T) {
 	e := sim.New(1)
 	l := NewLink(e, 1*Gbps, 0)

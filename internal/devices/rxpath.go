@@ -1,6 +1,8 @@
 package devices
 
 import (
+	"sync"
+
 	"falcon/internal/costmodel"
 	"falcon/internal/cpu"
 	"falcon/internal/gro"
@@ -69,6 +71,15 @@ type RxPath struct {
 	PathDrops stats.Counter
 
 	innerGRO map[int]*gro.Engine // per-core gro_cells engines
+
+	// Cached Handler method values for the backlog entry points. A bound
+	// method expression like rx.groStage allocates a closure at every
+	// evaluation site; binding each once at Install keeps the per-packet
+	// NetifRx calls allocation-free.
+	hGRO          netdev.Handler
+	hL3Backlog    netdev.Handler
+	hVxlanBacklog netdev.Handler
+	hVeth         netdev.Handler
 }
 
 // InnerGROMerged sums segments absorbed by the per-core gro_cells
@@ -86,15 +97,106 @@ func (rx *RxPath) Install() {
 	if rx.innerGRO == nil {
 		rx.innerGRO = make(map[int]*gro.Engine)
 	}
+	rx.hGRO = rx.groStage
+	rx.hL3Backlog = rx.l3Backlog
+	rx.hVxlanBacklog = rx.vxlanBacklog
+	rx.hVeth = rx.vethBacklog
 	rx.NIC.OnReceive = rx.afterAlloc
 	if rx.InnerGRO {
 		rx.St.OnDrained = rx.flushHeld
 	}
 }
 
+// rxWalk threads one packet through the stage pipeline without per-stage
+// closures: the continuation passed to each Submit/Exec/RunChain is a
+// method value cached on the pooled object, so steady-state traffic
+// reuses the same handful of walk objects instead of allocating a chain
+// of closures per packet (previously the dominant rx-side allocation
+// source). A walk lives from a backlog entry point to the next stage
+// boundary — each NetifRx hop ends the current walk and a fresh one
+// starts when the target backlog drains.
+type rxWalk struct {
+	rx   *RxPath
+	c    *cpu.Core
+	s    *skb.SKB
+	done func()
+
+	vethIf int         // destination veth, bridge → veth_xmit handoff
+	eng    *gro.Engine // this core's gro_cells engine (inner-GRO path)
+
+	// Continuations, bound once at pool-New time.
+	afterGRO       func()
+	afterNetif     func()
+	afterL3Poll    func()
+	afterIPRcv     func()
+	afterVxlanRcv  func()
+	afterCellPoll  func()
+	afterInnerGRO  func()
+	afterBridge    func()
+	afterVethXmit  func()
+	afterVethPoll  func()
+	afterVethChain func()
+}
+
+var rxWalkPool sync.Pool
+
+// The pool's New is assigned in init (not a composite literal) because
+// the method values reference rxWalk methods that in turn reference the
+// pool, which the compiler rejects as an initialization cycle.
+func init() {
+	rxWalkPool.New = func() any {
+		w := new(rxWalk)
+		w.afterGRO = w.netifStage
+		w.afterNetif = w.steer
+		w.afterL3Poll = w.l3Stage
+		w.afterIPRcv = w.l3Branch
+		w.afterVxlanRcv = w.decap
+		w.afterCellPoll = w.cellPolled
+		w.afterInnerGRO = w.innerMerged
+		w.afterBridge = w.bridged
+		w.afterVethXmit = w.vethHop
+		w.afterVethPoll = w.vethStage
+		w.afterVethChain = w.vethDeliver
+		return w
+	}
+}
+
+func newRxWalk(rx *RxPath, c *cpu.Core, s *skb.SKB, done func()) *rxWalk {
+	w := rxWalkPool.Get().(*rxWalk)
+	w.rx, w.c, w.s, w.done = rx, c, s, done
+	return w
+}
+
+// finish releases the walk and runs its completion. The walk is
+// returned to the pool before done runs: done may start a new walk (the
+// inner-GRO flush loop does) and should find this one available.
+func (w *rxWalk) finish() {
+	done := w.done
+	w.rx, w.c, w.s, w.done, w.eng = nil, nil, nil, nil, nil
+	rxWalkPool.Put(w)
+	done()
+}
+
+// deliver ends the walk at DeliverL4, releasing the walk first so L4
+// processing (which may recirculate into the path) can reuse it.
+func (w *rxWalk) deliver() {
+	rx, c, s, done := w.rx, w.c, w.s, w.done
+	w.rx, w.c, w.s, w.done, w.eng = nil, nil, nil, nil, nil
+	rxWalkPool.Put(w)
+	rx.DeliverL4(c, s, done)
+}
+
+// drop disposes the packet at the named stage and ends the walk.
+func (w *rxWalk) drop(stage string) {
+	w.rx.PathDrops.Inc()
+	w.s.Stage(stage)
+	w.s.Free()
+	w.finish()
+}
+
 // flushHeld is the napi_complete analogue: when a core's backlog fully
 // drains, any segments its gro_cells engine still holds must flush. The
-// in-batch flush in vxlanStage misses them when the batch's last
+// in-batch flush in cellPolled misses them when the batch's last
 // vxlan-stage packet is absorbed while later veth-stage entries still
 // occupy the same queue — nothing re-enters the engine once those
 // drain, and a window-limited TCP sender then deadlocks against its own
@@ -128,7 +230,7 @@ func (rx *RxPath) afterAlloc(c *cpu.Core, s *skb.SKB, done func()) {
 		if target, ok := rx.Falcon.GetCPU(s, rx.NIC.Ifindex); ok && target != c.ID() {
 			// A full backlog is already counted by the stack's drop
 			// counter; nothing extra to account here.
-			rx.St.NetifRx(c, target, s, rx.groStage)
+			rx.St.NetifRx(c, target, s, rx.hGRO)
 			done()
 			return
 		}
@@ -140,6 +242,7 @@ func (rx *RxPath) afterAlloc(c *cpu.Core, s *skb.SKB, done func()) {
 // TCP frames (segment folding + checksum); UDP and VXLAN-in-UDP outer
 // frames only pay the base lookup.
 func (rx *RxPath) groStage(c *cpu.Core, s *skb.SKB, done func()) {
+	w := newRxWalk(rx, c, s, done)
 	bytes := gro.TCPBytes(s)
 	segs := s.Segs
 	if segs < 1 {
@@ -147,52 +250,66 @@ func (rx *RxPath) groStage(c *cpu.Core, s *skb.SKB, done func()) {
 	}
 	e := rx.St.M.Model.Get(costmodel.FnGROReceive)
 	cost := sim.Time(e.Base*float64(segs) + e.PerByte*float64(bytes))
-	c.Submit(stats.CtxSoftIRQ, costmodel.FnGROReceive, cost, func() {
-		rx.netifStage(c, s, done)
-	})
+	c.Submit(stats.CtxSoftIRQ, costmodel.FnGROReceive, cost, w.afterGRO)
 }
 
 // netifStage charges netif_receive_skb and applies RPS steering — the
 // first and only steering point the vanilla kernel gives a flow.
-func (rx *RxPath) netifStage(c *cpu.Core, s *skb.SKB, done func()) {
+func (w *rxWalk) netifStage() {
 	steps := []netdev.Step{
 		{Fn: costmodel.FnNetifReceive},
 		{Fn: costmodel.FnRPS},
 	}
-	netdev.RunChain(c, stats.CtxSoftIRQ, steps, func() {
-		target := rx.RPS.CPUFor(s.Hash, c.ID())
-		if target != c.ID() {
-			rx.St.NetifRx(c, target, s, rx.l3Backlog)
-			done()
-			return
-		}
-		rx.l3Stage(c, s, done)
-	})
+	netdev.RunChain(w.c, stats.CtxSoftIRQ, steps, w.afterNetif)
 }
 
-// l3Backlog is l3Stage reached through a backlog (charges the
+func (w *rxWalk) steer() {
+	rx, c, s := w.rx, w.c, w.s
+	target := rx.RPS.CPUFor(s.Hash, c.ID())
+	if target != c.ID() {
+		rx.St.NetifRx(c, target, s, rx.hL3Backlog)
+		w.finish()
+		return
+	}
+	w.l3Stage()
+}
+
+// l3Backlog is the l3 stage reached through a backlog (charges the
 // process_backlog poll cost first).
 func (rx *RxPath) l3Backlog(c *cpu.Core, s *skb.SKB, done func()) {
-	c.Exec(stats.CtxSoftIRQ, costmodel.FnBacklog, 0, func() {
-		rx.l3Stage(c, s, done)
-	})
+	w := newRxWalk(rx, c, s, done)
+	c.Exec(stats.CtxSoftIRQ, costmodel.FnBacklog, 0, w.afterL3Poll)
+}
+
+// l3Entry restarts the walk at ip_rcv — the re-entry point for
+// datagrams completed by the reassembler.
+func (rx *RxPath) l3Entry(c *cpu.Core, s *skb.SKB, done func()) {
+	newRxWalk(rx, c, s, done).l3Stage()
 }
 
 // l3Stage runs ip_rcv and branches: IP fragments go to reassembly,
 // VXLAN frames to the decapsulation path, the rest to native delivery.
-func (rx *RxPath) l3Stage(c *cpu.Core, s *skb.SKB, done func()) {
-	c.Exec(stats.CtxSoftIRQ, costmodel.FnIPRcv, 0, func() {
-		if isFragment(s.Data) {
-			rx.reassemble(c, s, done)
-			return
-		}
-		if rx.Bridge != nil && s.IsVXLAN() {
-			rx.vxlanRcv(c, s, done)
-			return
-		}
-		rx.HostPath.Inc()
-		rx.DeliverL4(c, s, done)
-	})
+func (w *rxWalk) l3Stage() {
+	w.c.Exec(stats.CtxSoftIRQ, costmodel.FnIPRcv, 0, w.afterIPRcv)
+}
+
+func (w *rxWalk) l3Branch() {
+	rx, s := w.rx, w.s
+	if isFragment(s.Data) {
+		// Cold path: release the walk and hand off to the closure-based
+		// reassembler (only exercised in MTU mode).
+		c, done := w.c, w.done
+		w.rx, w.c, w.s, w.done, w.eng = nil, nil, nil, nil, nil
+		rxWalkPool.Put(w)
+		rx.reassemble(c, s, done)
+		return
+	}
+	if rx.Bridge != nil && s.IsVXLAN() {
+		w.vxlanRcv()
+		return
+	}
+	rx.HostPath.Inc()
+	w.deliver()
 }
 
 // reassemble feeds an IP fragment to the host's reassembly queue
@@ -222,7 +339,7 @@ func (rx *RxPath) reassemble(c *cpu.Core, s *skb.SKB, done func()) {
 	s.SetData(whole)
 	// The linearization copy of the completed datagram.
 	c.Exec(stats.CtxSoftIRQ, costmodel.FnSKBAlloc, len(whole), func() {
-		rx.l3Stage(c, s, done)
+		rx.l3Entry(c, s, done)
 	})
 }
 
@@ -238,113 +355,154 @@ func isFragment(frame []byte) bool {
 // vxlanRcv charges the outer udp_rcv plus vxlan_rcv, performs the real
 // decapsulation, and ends stage 1: the packet transitions to the VXLAN
 // device's stage (Falcon: on another core; vanilla: same core).
-func (rx *RxPath) vxlanRcv(c *cpu.Core, s *skb.SKB, done func()) {
+func (w *rxWalk) vxlanRcv() {
 	steps := []netdev.Step{
 		{Fn: costmodel.FnUDPRcv},
-		{Fn: costmodel.FnVXLANRcv, Bytes: s.Len()},
+		{Fn: costmodel.FnVXLANRcv, Bytes: w.s.Len()},
 	}
-	netdev.RunChain(c, stats.CtxSoftIRQ, steps, func() {
-		if !s.DecapVXLAN() {
-			rx.PathDrops.Inc()
-			s.Stage("drop:decap")
-			s.Free()
-			done()
-			return
-		}
-		s.IfIndex = rx.VXLANIf
-		s.Stage("vxlan-decap")
-		rx.Decapped.Inc()
-		rx.transition(c, s, rx.VXLANIf, rx.vxlanBacklog, done)
-	})
+	netdev.RunChain(w.c, stats.CtxSoftIRQ, steps, w.afterVxlanRcv)
 }
 
-// vxlanBacklog is vxlanStage reached through a backlog.
+func (w *rxWalk) decap() {
+	rx, c, s := w.rx, w.c, w.s
+	if !s.DecapVXLAN() {
+		w.drop("drop:decap")
+		return
+	}
+	s.IfIndex = rx.VXLANIf
+	s.Stage("vxlan-decap")
+	rx.Decapped.Inc()
+	rx.transition(c, s, rx.VXLANIf, rx.hVxlanBacklog)
+	w.finish()
+}
+
+// vxlanBacklog is the VXLAN device's softirq reached through a backlog:
+// gro_cell_poll picks the inner packet up, optionally GRO-merges inner
+// TCP segments, then the frame crosses the bridge and veth pair.
 func (rx *RxPath) vxlanBacklog(c *cpu.Core, s *skb.SKB, done func()) {
-	rx.vxlanStage(c, s, done)
+	w := newRxWalk(rx, c, s, done)
+	c.Exec(stats.CtxSoftIRQ, costmodel.FnGROCellPoll, s.Len(), w.afterCellPoll)
 }
 
-// vxlanStage is the VXLAN device's softirq: gro_cell_poll picks the
-// inner packet up, optionally GRO-merges inner TCP segments, then the
-// frame crosses the bridge and veth pair.
-func (rx *RxPath) vxlanStage(c *cpu.Core, s *skb.SKB, done func()) {
-	c.Exec(stats.CtxSoftIRQ, costmodel.FnGROCellPoll, s.Len(), func() {
-		if !rx.InnerGRO {
-			rx.bridgeStage(c, s, done)
+func (w *rxWalk) cellPolled() {
+	rx, c, s := w.rx, w.c, w.s
+	if !rx.InnerGRO {
+		w.bridgeChain()
+		return
+	}
+	eng := rx.innerGRO[c.ID()]
+	if eng == nil {
+		eng = gro.New()
+		rx.innerGRO[c.ID()] = eng
+	}
+	w.eng = eng
+	// Charge inner GRO (per-byte for TCP only; Push ignores others).
+	bytes := 0
+	if isTCP(s.Data) && s.Segs == 1 {
+		bytes = s.Len()
+	}
+	c.Exec(stats.CtxSoftIRQ, costmodel.FnGROReceive, bytes, w.afterInnerGRO)
+}
+
+func (w *rxWalk) innerMerged() {
+	rx, c, eng := w.rx, w.c, w.eng
+	out := eng.Push(w.s)
+	// Flush at the end of the gro_cells batch (backlog drained), the
+	// analogue of napi_gro_flush when the poll completes.
+	if rx.St.BacklogLen(c.ID()) != 0 {
+		// Mid-batch: at most the merge output continues; held segments
+		// stay in the engine.
+		if out == nil {
+			w.finish()
 			return
 		}
-		eng := rx.innerGRO[c.ID()]
-		if eng == nil {
-			eng = gro.New()
-			rx.innerGRO[c.ID()] = eng
+		w.s = out
+		w.bridgeChain()
+		return
+	}
+	held := eng.HeldCount()
+	if held == 0 {
+		if out == nil {
+			w.finish()
+			return
 		}
-		// Charge inner GRO (per-byte for TCP only; Push ignores others).
-		bytes := 0
-		if isTCP(s.Data) && s.Segs == 1 {
-			bytes = s.Len()
+		w.s = out
+		w.bridgeChain()
+		return
+	}
+	flushed := eng.Flush()
+	if out == nil && len(flushed) == 1 {
+		w.s = flushed[0]
+		w.bridgeChain()
+		return
+	}
+	// Multiple packets leave the stage at once (merge output plus
+	// flushed holds, in that order). Rare — batch boundaries only — so
+	// the sequencing closure is acceptable here.
+	c2, done := w.c, w.done
+	w.rx, w.c, w.s, w.done, w.eng = nil, nil, nil, nil, nil
+	rxWalkPool.Put(w)
+	items := flushed
+	if out != nil {
+		items = append([]*skb.SKB{out}, flushed...)
+	}
+	var run func(i int)
+	run = func(i int) {
+		if i < len(items) {
+			rx.bridgeStage(c2, items[i], func() { run(i + 1) })
+			return
 		}
-		c.Exec(stats.CtxSoftIRQ, costmodel.FnGROReceive, bytes, func() {
-			out := eng.Push(s)
-			// Flush at the end of the gro_cells batch (backlog drained),
-			// the analogue of napi_gro_flush when the poll completes.
-			items := make([]*skb.SKB, 0, 2)
-			if out != nil {
-				items = append(items, out)
-			}
-			if rx.St.BacklogLen(c.ID()) == 0 {
-				items = append(items, eng.Flush()...)
-			}
-			var run func(i int)
-			run = func(i int) {
-				if i < len(items) {
-					rx.bridgeStage(c, items[i], func() { run(i + 1) })
-					return
-				}
-				done()
-			}
-			run(0)
-		})
-	})
+		done()
+	}
+	run(0)
 }
 
 // bridgeStage charges br_handle_frame, resolves the destination
 // container's veth port via the FDB, charges veth_xmit, and ends stage
-// 2: the packet transitions to the veth device's stage.
+// 2: the packet transitions to the veth device's stage. Handler-shaped
+// entry point for the flush loops.
 func (rx *RxPath) bridgeStage(c *cpu.Core, s *skb.SKB, done func()) {
+	newRxWalk(rx, c, s, done).bridgeChain()
+}
+
+func (w *rxWalk) bridgeChain() {
 	steps := []netdev.Step{
 		{Fn: costmodel.FnNetifReceive},
 		{Fn: costmodel.FnBridge},
 	}
-	netdev.RunChain(c, stats.CtxSoftIRQ, steps, func() {
-		// The FDB lookup needs only the destination MAC: take it from the
-		// cached dissect when available, falling back to the 14-byte
-		// Ethernet parse for frames that don't dissect through L4.
-		var dst proto.MAC
-		if f, err := s.Frame(); err == nil {
-			dst = f.Eth.Dst
-		} else if eth, err := proto.ParseEthernet(s.Data); err == nil {
-			dst = eth.Dst
-		} else {
-			rx.PathDrops.Inc()
-			s.Stage("drop:bridge")
-			s.Free()
-			done()
-			return
-		}
-		veth, ok := rx.VethByMAC[dst]
-		if !ok {
-			rx.Bridge.Flooded.Inc()
-			rx.PathDrops.Inc()
-			s.Stage("drop:fdb")
-			s.Free()
-			done()
-			return
-		}
-		s.Stage("bridge")
-		c.Exec(stats.CtxSoftIRQ, costmodel.FnVethXmit, 0, func() {
-			s.IfIndex = veth.Ifindex
-			rx.transition(c, s, veth.Ifindex, rx.vethBacklog, done)
-		})
-	})
+	netdev.RunChain(w.c, stats.CtxSoftIRQ, steps, w.afterBridge)
+}
+
+func (w *rxWalk) bridged() {
+	rx, c, s := w.rx, w.c, w.s
+	// The FDB lookup needs only the destination MAC: take it from the
+	// cached dissect when available, falling back to the 14-byte
+	// Ethernet parse for frames that don't dissect through L4.
+	var dst proto.MAC
+	if f, err := s.Frame(); err == nil {
+		dst = f.Eth.Dst
+	} else if eth, err := proto.ParseEthernet(s.Data); err == nil {
+		dst = eth.Dst
+	} else {
+		w.drop("drop:bridge")
+		return
+	}
+	veth, ok := rx.VethByMAC[dst]
+	if !ok {
+		rx.Bridge.Flooded.Inc()
+		w.drop("drop:fdb")
+		return
+	}
+	s.Stage("bridge")
+	w.vethIf = veth.Ifindex
+	c.Exec(stats.CtxSoftIRQ, costmodel.FnVethXmit, 0, w.afterVethXmit)
+}
+
+func (w *rxWalk) vethHop() {
+	rx, c, s := w.rx, w.c, w.s
+	s.IfIndex = w.vethIf
+	rx.transition(c, s, w.vethIf, rx.hVeth)
+	w.finish()
 }
 
 // isTCP is a cheap L4 check (IP protocol byte) without a full dissect.
@@ -358,27 +516,28 @@ func isTCP(frame []byte) bool {
 // traffic enqueues directly into the veth stage's backlog on the given
 // core (netif_rx from the sender's context).
 func (rx *RxPath) InjectLocal(from *cpu.Core, core int, s *skb.SKB) bool {
-	return rx.St.NetifRx(from, core, s, rx.vethBacklog)
+	return rx.St.NetifRx(from, core, s, rx.hVeth)
 }
 
-// vethBacklog is vethStage reached through a backlog: veth is not a
+// vethBacklog is the veth stage reached through a backlog: veth is not a
 // NAPI device, so process_backlog polls it (the paper's third softirq).
 func (rx *RxPath) vethBacklog(c *cpu.Core, s *skb.SKB, done func()) {
-	c.Exec(stats.CtxSoftIRQ, costmodel.FnBacklog, s.Len(), func() {
-		rx.vethStage(c, s, done)
-	})
+	w := newRxWalk(rx, c, s, done)
+	c.Exec(stats.CtxSoftIRQ, costmodel.FnBacklog, s.Len(), w.afterVethPoll)
 }
 
 // vethStage runs the container's private stack: netif_receive + ip_rcv,
 // then L4 delivery.
-func (rx *RxPath) vethStage(c *cpu.Core, s *skb.SKB, done func()) {
+func (w *rxWalk) vethStage() {
 	steps := []netdev.Step{
 		{Fn: costmodel.FnNetifReceive},
 		{Fn: costmodel.FnIPRcv},
 	}
-	netdev.RunChain(c, stats.CtxSoftIRQ, steps, func() {
-		rx.DeliverL4(c, s, done)
-	})
+	netdev.RunChain(w.c, stats.CtxSoftIRQ, steps, w.afterVethChain)
+}
+
+func (w *rxWalk) vethDeliver() {
+	w.deliver()
 }
 
 // transition implements the stage boundary at a device: netif_rx always
@@ -386,7 +545,7 @@ func (rx *RxPath) vethStage(c *cpu.Core, s *skb.SKB, done func()) {
 // overlay pays its three softirqs per packet on one core, paper Fig. 4);
 // with Falcon active the target backlog is the device-hashed core
 // instead of the current one (Algorithm 1, line 7).
-func (rx *RxPath) transition(c *cpu.Core, s *skb.SKB, ifindex int, viaBacklog netdev.Handler, done func()) {
+func (rx *RxPath) transition(c *cpu.Core, s *skb.SKB, ifindex int, viaBacklog netdev.Handler) {
 	target := c.ID()
 	if rx.Falcon != nil {
 		if t, ok := rx.Falcon.GetCPU(s, ifindex); ok {
@@ -394,5 +553,4 @@ func (rx *RxPath) transition(c *cpu.Core, s *skb.SKB, ifindex int, viaBacklog ne
 		}
 	}
 	rx.St.NetifRx(c, target, s, viaBacklog)
-	done()
 }

@@ -90,7 +90,7 @@ func ablSlim(opt Options) []*stats.Table {
 		Columns: []string{"configuration", "TCP 4K (Gbps)", "UDP 16B (Kpps)"},
 	}
 	tcp := func(mode workload.Mode) float64 {
-		tb := newSingleFlowBed(mode, opt, 100*devices.Gbps)
+		tb := newSingleFlowBed(mode, opt, 100*devices.Gbps, true)
 		return runTCPBulkConns(tb, 3, opt)
 	}
 	udp := func(mode workload.Mode) string {
@@ -104,7 +104,7 @@ func ablSlim(opt Options) []*stats.Table {
 	// simulator that is precisely a host-path TCP connection (the
 	// one-time connection-setup redirection amortizes to zero).
 	slim := func() float64 {
-		tb := newSingleFlowBed(workload.ModeCon, opt, 100*devices.Gbps)
+		tb := newSingleFlowBed(workload.ModeCon, opt, 100*devices.Gbps, true)
 		var cs []*transport.Conn
 		for i := 0; i < 3; i++ {
 			c := mustDial(tb, newTCPConfig(tb, workload.ModeHost, 4096, i))
@@ -142,7 +142,7 @@ func ablDynSplit(opt Options) []*stats.Table {
 		engaged bool
 	}
 	run := func(tcp bool, mode string) outcome {
-		tb := newSingleFlowBed(workload.ModeCon, opt, 100*devices.Gbps)
+		tb := newSingleFlowBed(workload.ModeCon, opt, 100*devices.Gbps, tcp)
 		cfg := falconcore.DefaultConfig(singleFlowFalconCPUs)
 		cfg.GROSplit = mode == "on"
 		fal := tb.EnableFalconOnServer(cfg)
@@ -211,13 +211,13 @@ func ablGROSplit(opt Options) []*stats.Table {
 		o := opt
 		link := 100 * devices.Gbps
 		if tcp {
-			tb := newSingleFlowBed(workload.ModeCon, o, link)
+			tb := newSingleFlowBed(workload.ModeCon, o, link, true)
 			cfg := falconcore.DefaultConfig(singleFlowFalconCPUs)
 			cfg.GROSplit = groSplit
 			tb.EnableFalconOnServer(cfg)
 			return runTCPBulkConns(tb, 3, o)
 		}
-		tb := newSingleFlowBed(workload.ModeCon, o, link)
+		tb := newSingleFlowBed(workload.ModeCon, o, link, false)
 		cfg := falconcore.DefaultConfig(singleFlowFalconCPUs)
 		cfg.GROSplit = groSplit
 		tb.EnableFalconOnServer(cfg)
@@ -246,7 +246,7 @@ func ablLocality(opt Options) []*stats.Table {
 	}
 	for _, p := range penalties {
 		run := func(mode workload.Mode) float64 {
-			tb := newSingleFlowBed(mode, opt, 100*devices.Gbps)
+			tb := newSingleFlowBed(mode, opt, 100*devices.Gbps, false)
 			tb.Server.M.Model.MigrationPenalty = p
 			tb.Client.M.Model.MigrationPenalty = p
 			sock, _ := tb.StressFlood(true, 3, 16, singleFlowAppCore,
@@ -269,7 +269,7 @@ func ablStages(opt Options) []*stats.Table {
 		Columns: []string{"configuration", "goodput", "vs vanilla"},
 	}
 	run := func(cfg *falconcore.Config) float64 {
-		tb := newSingleFlowBed(workload.ModeCon, opt, 100*devices.Gbps)
+		tb := newSingleFlowBed(workload.ModeCon, opt, 100*devices.Gbps, true)
 		if cfg != nil {
 			tb.EnableFalconOnServer(*cfg)
 		}

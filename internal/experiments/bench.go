@@ -42,7 +42,7 @@ func BenchHotPath(opt Options) HotPathBench {
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
 
-	tb := newSingleFlowBed(workload.ModeFalcon, opt, 100*devices.Gbps)
+	tb := newSingleFlowBed(workload.ModeFalcon, opt, 100*devices.Gbps, false)
 	until := opt.warmup() + opt.window() + 5*sim.Millisecond
 	sock, _ := tb.StressFlood(true, 3, 1500, singleFlowAppCore, until)
 	res := workload.MeasureWindow(tb, []*socket.Socket{sock}, opt.warmup(), opt.window())

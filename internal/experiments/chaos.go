@@ -101,7 +101,7 @@ type chaosOutcome struct {
 // scenario's plan over the middle half of the measurement window, and
 // measures one fixed-rate UDP window with per-ms delivery sampling.
 func runChaosScenario(mode workload.Mode, opt Options, sc chaosScenario) chaosOutcome {
-	tb := newSingleFlowBed(mode, opt, 100*devices.Gbps)
+	tb := newSingleFlowBed(mode, opt, 100*devices.Gbps, false)
 	// Fault window: [warmup + window/4, warmup + window/2].
 	fStart := opt.window() / 4
 	fDur := opt.window() / 4

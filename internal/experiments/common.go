@@ -23,12 +23,16 @@ var (
 	singleFlowAppCore    = 2
 )
 
-// newSingleFlowBed builds the standard single-flow testbed.
-func newSingleFlowBed(mode workload.Mode, opt Options, link float64) *workload.Testbed {
+// newSingleFlowBed builds the standard single-flow testbed. colocate
+// forces both hosts onto one PDES shard when Options.Shards > 1 — TCP
+// beds need it because a transport.Conn shares state between its two
+// endpoints (transport.Dial rejects split endpoints).
+func newSingleFlowBed(mode workload.Mode, opt Options, link float64, colocate bool) *workload.Testbed {
 	tb := workload.NewTestbed(workload.TestbedConfig{
 		Kernel: opt.Kernel, LinkRate: link, Cores: 12, Containers: 1,
 		RSSCores: []int{0}, RPSCores: []int{1},
 		GRO: true, InnerGRO: true, Seed: opt.seed(),
+		Shards: opt.Shards, Colocate: colocate,
 	})
 	if opt.MaxEvents > 0 {
 		tb.E.SetEventBudget(opt.MaxEvents)
@@ -62,7 +66,7 @@ func finishAudit(tb *workload.Testbed, until sim.Time) {
 // udpStress runs the 3-client single-flow UDP stress (Fig. 10's
 // workload) and returns the measured window.
 func udpStress(mode workload.Mode, opt Options, link float64, size int) workload.Result {
-	tb := newSingleFlowBed(mode, opt, link)
+	tb := newSingleFlowBed(mode, opt, link, false)
 	until := opt.warmup() + opt.window() + 5*sim.Millisecond
 	sock, _ := tb.StressFlood(mode != workload.ModeHost, 3, size, singleFlowAppCore, until)
 	res := workload.MeasureWindow(tb, []*socket.Socket{sock}, opt.warmup(), opt.window())
@@ -72,7 +76,7 @@ func udpStress(mode workload.Mode, opt Options, link float64, size int) workload
 
 // udpFixedRate runs one single flow at a fixed packet rate.
 func udpFixedRate(mode workload.Mode, opt Options, link float64, size int, pps float64) workload.Result {
-	tb := newSingleFlowBed(mode, opt, link)
+	tb := newSingleFlowBed(mode, opt, link, false)
 	until := opt.warmup() + opt.window() + 5*sim.Millisecond
 	var f *workload.UDPFlow
 	if mode == workload.ModeHost {
@@ -98,7 +102,7 @@ type tcpResult struct {
 // and measures the window. hostPlus enables GRO splitting for the host
 // network (the paper's "Host+" configuration in Fig. 13).
 func tcpBulk(mode workload.Mode, opt Options, link float64, msgSize, conns int, hostPlus bool) tcpResult {
-	tb := newSingleFlowBed(mode, opt, link)
+	tb := newSingleFlowBed(mode, opt, link, true)
 	if hostPlus && mode == workload.ModeHost {
 		cfg := falconcore.DefaultConfig(singleFlowFalconCPUs)
 		cfg.GROSplit = true

@@ -29,6 +29,13 @@ type Options struct {
 	// MaxEvents, when positive, aborts the run with *sim.BudgetExceeded
 	// after firing that many engine events (a runaway-simulation guard).
 	MaxEvents uint64
+	// Shards > 1 runs each experiment's simulation on a conservative
+	// PDES cluster with that many shards (one logical process per
+	// simulated host; see DESIGN.md §6). Results are byte-identical to
+	// the serial engine for every value. Beds whose endpoints share
+	// cross-host state (TCP, closed-loop RPC apps) colocate their hosts
+	// on one shard; the memcached beds stay serial.
+	Shards int
 }
 
 func (o Options) seed() uint64 {

@@ -73,16 +73,16 @@ func fig12(opt Options) []*stats.Table {
 
 // tcpPaced measures latency of a TCP flow paced below saturation.
 func tcpPaced(mode workload.Mode, opt Options, link float64, msgSize int, gap sim.Time) stats.Summary {
-	tb := newSingleFlowBed(mode, opt, link)
+	tb := newSingleFlowBed(mode, opt, link, true)
 	c := mustDial(tb, newTCPConfig(tb, mode, msgSize, 0))
 	until := opt.warmup() + opt.window() + 5*sim.Millisecond
 	var tick func()
 	tick = func() {
-		if tb.E.Now() >= until {
+		if tb.Client.E.Now() >= until {
 			return
 		}
 		c.Send(1)
-		tb.E.After(gap, tick)
+		tb.Client.E.After(gap, tick)
 	}
 	tick()
 	res := workload.MeasureWindow(tb, []*socket.Socket{c.Socket()}, opt.warmup(), opt.window())

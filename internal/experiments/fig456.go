@@ -142,7 +142,7 @@ func fig6(opt Options) []*stats.Table {
 	link := 100 * devices.Gbps
 
 	// sockperf: uniform single-size UDP stress.
-	tb := newSingleFlowBed(workload.ModeCon, opt, link)
+	tb := newSingleFlowBed(workload.ModeCon, opt, link, false)
 	until := opt.warmup() + opt.window() + 5*sim.Millisecond
 	sock, _ := tb.StressFlood(true, 3, 1024, singleFlowAppCore, until)
 	_ = sock

@@ -24,7 +24,7 @@ func fig9a(opt Options) []*stats.Table {
 		Columns: []string{"size", "napi-core busy", "skb_alloc share", "gro share", "alloc+gro"},
 	}
 	for _, size := range []int{1024, 4096} {
-		tb := newSingleFlowBed(workload.ModeCon, opt, 100*devices.Gbps)
+		tb := newSingleFlowBed(workload.ModeCon, opt, 100*devices.Gbps, true)
 		c := mustDial(tb, newTCPConfig(tb, workload.ModeCon, size, 0))
 		c.StartContinuous()
 		tb.Run(opt.warmup())

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"sync"
 
 	"falcon/internal/costmodel"
 	"falcon/internal/cpu"
@@ -50,19 +51,21 @@ func Single(at, dur sim.Time, f Fault) Plan {
 	return Plan{Name: f.Name(), Items: []Item{{At: at, For: dur, Fault: f}}}
 }
 
-// Injector binds plans to a simulation engine and makes injection
-// observable.
+// Injector binds plans to a simulation and makes injection observable.
+// On a PDES cluster the Apply/Revert events run on the coordinator —
+// at barriers, with every shard parked — so faults may safely touch
+// state owned by any shard.
 type Injector struct {
-	E *sim.Engine
+	E sim.Sim
 	// Counters tallies windows applied/cleared.
 	Counters stats.FaultCounters
 
 	rng *sim.Rand
 }
 
-// NewInjector returns an injector on engine e with a private RNG forked
-// from the engine's seeded root generator.
-func NewInjector(e *sim.Engine) *Injector {
+// NewInjector returns an injector on simulation e with a private RNG
+// forked from the simulation's seeded root generator.
+func NewInjector(e sim.Sim) *Injector {
 	return &Injector{E: e, rng: e.Rand().Fork()}
 }
 
@@ -185,14 +188,21 @@ func (f *CoreOffline) Revert(*Injector) {
 
 // KVFlaky impairs the overlay control plane: while applied, every KV
 // lookup attempt pays Latency and transiently fails with probability
-// FailRate (gossip-store churn during node restarts). Failures draw
-// from a generator forked off the injector's stream at Apply time.
+// FailRate (gossip-store churn during node restarts). Each consulting
+// host draws from its own generator, seeded off a base value taken from
+// the injector's stream at Apply time: hosts on different PDES shards
+// resolve concurrently, and per-host streams make the failure pattern a
+// function of (host, attempt number) alone — independent of shard
+// layout and identical to the serial run.
 type KVFlaky struct {
 	KV       *overlay.KVStore
 	Latency  sim.Time
 	FailRate float64
 
-	rng *sim.Rand
+	base uint64
+
+	mu      sync.Mutex
+	streams map[proto.IPv4Addr]*sim.Rand
 }
 
 func (f *KVFlaky) Name() string {
@@ -200,15 +210,28 @@ func (f *KVFlaky) Name() string {
 }
 
 func (f *KVFlaky) Apply(in *Injector) {
-	f.rng = in.Rand().Fork()
+	f.base = in.Rand().Uint64()
+	f.mu.Lock()
+	f.streams = make(map[proto.IPv4Addr]*sim.Rand)
+	f.mu.Unlock()
 	f.KV.SetFault(f)
 }
 
 func (f *KVFlaky) Revert(*Injector) { f.KV.SetFault(nil) }
 
 // Lookup implements overlay.LookupFault.
-func (f *KVFlaky) Lookup(proto.IPv4Addr) (sim.Time, bool) {
-	return f.Latency, f.FailRate > 0 && f.rng.Float64() < f.FailRate
+func (f *KVFlaky) Lookup(hostIP, _ proto.IPv4Addr) (sim.Time, bool) {
+	if f.FailRate <= 0 {
+		return f.Latency, false
+	}
+	f.mu.Lock()
+	r := f.streams[hostIP]
+	if r == nil {
+		r = sim.NewRand(f.base ^ (uint64(hostIP)+1)*0x9e3779b97f4a7c15)
+		f.streams[hostIP] = r
+	}
+	f.mu.Unlock()
+	return f.Latency, r.Float64() < f.FailRate
 }
 
 // NoisyNeighbor burns Utilization of each victim core in softirq

@@ -89,9 +89,14 @@ func RunChain(c *cpu.Core, ctx stats.CPUContext, steps []Step, then func()) {
 	}
 	if len(steps) > len(chain{}.buf) {
 		// Long chains fall back to the recursive form (none exist on the
-		// datapath today).
+		// datapath today). The remainder is copied so the closure never
+		// captures the caller's slice: keeping the steps parameter
+		// non-escaping is what lets every per-packet step literal on the
+		// hot path live on the caller's stack.
+		rest := make([]Step, len(steps)-1)
+		copy(rest, steps[1:])
 		c.Exec(ctx, steps[0].Fn, steps[0].Bytes, func() {
-			RunChain(c, ctx, steps[1:], then)
+			RunChain(c, ctx, rest, then)
 		})
 		return
 	}
@@ -105,6 +110,30 @@ type backlogEntry struct {
 	s *skb.SKB
 	h Handler
 }
+
+// entryQueue is a FIFO of backlog entries that recycles its backing
+// array (same shape as cpu's workQueue): popping advances a head index,
+// and a fully drained queue rewinds to the array's front so the
+// steady-state drain-refill cycle never reallocates.
+type entryQueue struct {
+	items []backlogEntry
+	head  int
+}
+
+func (q *entryQueue) push(e backlogEntry) { q.items = append(q.items, e) }
+
+func (q *entryQueue) pop() backlogEntry {
+	e := q.items[q.head]
+	q.items[q.head] = backlogEntry{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return e
+}
+
+func (q *entryQueue) len() int { return len(q.items) - q.head }
 
 // perCPUBacklog is one core's input_pkt_queue plus its NAPI-style state.
 // pending mirrors the NET_RX bit in the softirq pending mask: set by
@@ -124,11 +153,15 @@ type backlogEntry struct {
 // first, so packets already inside the pipeline finish before new ones
 // are admitted.
 type perCPUBacklog struct {
-	local    []backlogEntry
-	remote   []backlogEntry
+	local    entryQueue
+	remote   entryQueue
 	pending  bool
 	draining bool
 	dropped  uint64
+	// enter is the cached softirq-entry continuation (clear the pending
+	// bit, drain): scheduling a softirq invocation is then
+	// allocation-free, like the per-core drainDone continuation.
+	enter func()
 	// idleFlushed records that OnDrained already ran for the current
 	// idle period; cleared by any enqueue so the next full drain runs
 	// the hook again.
@@ -171,6 +204,11 @@ func NewStack(m *cpu.Machine) *Stack {
 	for i := range st.drainDone {
 		core := m.Core(i)
 		st.drainDone[i] = func() { st.drain(core) }
+		b := &st.backlogs[i]
+		b.enter = func() {
+			b.pending = false
+			st.drain(core)
+		}
 	}
 	return st
 }
@@ -193,7 +231,7 @@ func (st *Stack) DeviceName(ifindex int) string {
 // BacklogLen returns the queue depth of core's backlog (both classes).
 func (st *Stack) BacklogLen(core int) int {
 	b := &st.backlogs[core]
-	return len(b.local) + len(b.remote)
+	return b.local.len() + b.remote.len()
 }
 
 // BacklogDropped returns drops on one core's backlog.
@@ -215,7 +253,7 @@ func (st *Stack) NetifRx(from *cpu.Core, target int, s *skb.SKB, h Handler) bool
 		// input_pkt_queue admission limit. Scheduling an idle per-device
 		// NAPI counts a NET_RX invocation — this is why the overlay path
 		// shows multiples of the native softirq count (paper Fig. 4).
-		if len(b.local) == 0 {
+		if b.local.len() == 0 {
 			st.M.IRQ.Inc(target, stats.IRQNetRX)
 			// The fresh invocation of this device's NAPI pays softirq
 			// entry overhead on the core, as each net_rx_action restart
@@ -223,12 +261,12 @@ func (st *Stack) NetifRx(from *cpu.Core, target int, s *skb.SKB, h Handler) bool
 			from.Exec(stats.CtxSoftIRQ, costmodel.FnSoftIRQEntry, 0, nil)
 		}
 		s.Stage("backlog")
-		b.local = append(b.local, backlogEntry{s: s, h: h})
+		b.local.push(backlogEntry{s: s, h: h})
 		b.idleFlushed = false
 		st.ensureDraining(target)
 		return true
 	}
-	if len(b.remote) >= st.MaxBacklog {
+	if b.remote.len() >= st.MaxBacklog {
 		b.dropped++
 		st.Drops.Inc()
 		s.Stage("drop:backlog")
@@ -246,7 +284,7 @@ func (st *Stack) NetifRx(from *cpu.Core, target int, s *skb.SKB, h Handler) bool
 		}
 	}
 	s.Stage("backlog")
-	b.remote = append(b.remote, backlogEntry{s: s, h: h})
+	b.remote.push(backlogEntry{s: s, h: h})
 	b.idleFlushed = false
 	st.kick(target)
 	return true
@@ -256,7 +294,7 @@ func (st *Stack) NetifRx(from *cpu.Core, target int, s *skb.SKB, h Handler) bool
 // queue depths plus the pending/draining softirq bits.
 func (st *Stack) BacklogState(core int) (local, remote int, pending, draining bool) {
 	b := &st.backlogs[core]
-	return len(b.local), len(b.remote), b.pending, b.draining
+	return b.local.len(), b.remote.len(), b.pending, b.draining
 }
 
 // kick raises NET_RX on the target: set the pending bit (counting one
@@ -278,12 +316,8 @@ func (st *Stack) ensureDraining(target int) {
 		return
 	}
 	b.draining = true
-	core := st.M.Core(target)
 	// do_softirq entry overhead, then drain.
-	core.Exec(stats.CtxSoftIRQ, costmodel.FnSoftIRQEntry, 0, func() {
-		b.pending = false
-		st.drain(core)
-	})
+	st.M.Core(target).Exec(stats.CtxSoftIRQ, costmodel.FnSoftIRQEntry, 0, b.enter)
 }
 
 // drain processes backlog entries one packet at a time, FIFO. Each
@@ -295,18 +329,13 @@ func (st *Stack) drain(core *cpu.Core) {
 	b := &st.backlogs[core.ID()]
 	var e backlogEntry
 	switch {
-	case len(b.local) > 0:
-		e = b.local[0]
-		b.local = b.local[1:]
-	case len(b.remote) > 0:
-		e = b.remote[0]
-		b.remote = b.remote[1:]
+	case b.local.len() > 0:
+		e = b.local.pop()
+	case b.remote.len() > 0:
+		e = b.remote.pop()
 	default:
 		if b.pending {
-			core.Exec(stats.CtxSoftIRQ, costmodel.FnSoftIRQEntry, 0, func() {
-				b.pending = false
-				st.drain(core)
-			})
+			core.Exec(stats.CtxSoftIRQ, costmodel.FnSoftIRQEntry, 0, b.enter)
 			return
 		}
 		if st.OnDrained != nil && !b.idleFlushed {

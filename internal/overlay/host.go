@@ -2,6 +2,7 @@ package overlay
 
 import (
 	"fmt"
+	"sync"
 
 	falconcore "falcon/internal/core"
 	"falcon/internal/costmodel"
@@ -44,6 +45,11 @@ type HostConfig struct {
 	GRO, InnerGRO bool
 	// Kernel selects the cost profile ("linux-4.19" default, "linux-5.4").
 	Kernel string
+	// Shard selects which PDES shard (logical process) the host lives
+	// on when the network runs on a sim.Cluster; every event the host's
+	// machine, stack and devices schedule runs on that shard's engine.
+	// Ignored (everything is shard 0) on a serial engine.
+	Shard int
 	// TickPeriod is the timer tick (default 1ms).
 	TickPeriod sim.Time
 }
@@ -51,7 +57,11 @@ type HostConfig struct {
 // Host is one simulated server: machine, network stack, NIC, bridge and
 // any number of containers.
 type Host struct {
-	Net  *Network
+	Net *Network
+	// E is the shard engine the host lives on: Net.E.Shard(cfg.Shard).
+	// All host-owned scheduling goes through it; on a serial run it is
+	// simply the one engine.
+	E    *sim.Engine
 	Name string
 	IP   proto.IPv4Addr
 	MAC  proto.MAC
@@ -137,10 +147,12 @@ func newHost(n *Network, cfg HostConfig, hostID uint64) *Host {
 		cfg.RSSCores = []int{0}
 	}
 	model := costmodel.ByName(cfg.Kernel)
-	m := cpu.NewMachine(n.E, model, cfg.Cores, cfg.TickPeriod)
+	e := n.E.Shard(cfg.Shard)
+	m := cpu.NewMachine(e, model, cfg.Cores, cfg.TickPeriod)
 	st := netdev.NewStack(m)
 	h := &Host{
 		Net:       n,
+		E:         e,
 		Name:      cfg.Name,
 		IP:        cfg.IP,
 		MAC:       proto.MACFromUint64(0xA0000 + hostID),
@@ -214,6 +226,27 @@ func (h *Host) Bind(key SockKey, fn L4Handler) {
 // Unbind removes a binding.
 func (h *Host) Unbind(key SockKey) { delete(h.handlers, key) }
 
+// sockDeliverOp carries one packet across the FnSocketDeliver charge
+// into Socket.Deliver without a per-packet closure (pooled, like the
+// transmit path's txOp).
+type sockDeliverOp struct {
+	sk   *socket.Socket
+	c    *cpu.Core
+	s    *skb.SKB
+	done func()
+	run  func() // cached op.deliver
+}
+
+var sockDeliverPool sync.Pool
+
+func (op *sockDeliverOp) deliver() {
+	sk, c, s, done := op.sk, op.c, op.s, op.done
+	op.sk, op.c, op.s, op.done = nil, nil, nil, nil
+	sockDeliverPool.Put(op)
+	sk.Deliver(c, s)
+	done()
+}
+
 // OpenUDP binds a plain receiving socket (the sockperf-server shape) at
 // ip:port, consumed by an application thread pinned to appCore.
 func (h *Host) OpenUDP(ip proto.IPv4Addr, port uint16, appCore int) *socket.Socket {
@@ -223,12 +256,55 @@ func (h *Host) OpenUDP(ip proto.IPv4Addr, port uint16, appCore int) *socket.Sock
 	}
 	h.Bind(SockKey{IP: ip, Port: port, Proto: proto.ProtoUDP},
 		func(c *cpu.Core, s *skb.SKB, f *proto.Frame, done func()) {
-			c.Exec(stats.CtxSoftIRQ, costmodel.FnSocketDeliver, 0, func() {
-				sk.Deliver(c, s)
-				done()
-			})
+			op := sockDeliverPool.Get().(*sockDeliverOp)
+			op.sk, op.c, op.s, op.done = sk, c, s, done
+			c.Exec(stats.CtxSoftIRQ, costmodel.FnSocketDeliver, 0, op.run)
 		})
 	return sk
+}
+
+// l4Op carries one packet across the L4 receive charge into handler
+// dispatch (pooled; the dispatch closure was a per-packet allocation).
+type l4Op struct {
+	h    *Host
+	c    *cpu.Core
+	s    *skb.SKB
+	f    *proto.Frame
+	done func()
+	run  func() // cached op.dispatch
+}
+
+var l4OpPool sync.Pool
+
+// Pool News are assigned in init: composite-literal New funcs would form
+// initialization cycles through the methods' own pool references.
+func init() {
+	sockDeliverPool.New = func() any {
+		op := new(sockDeliverOp)
+		op.run = op.deliver
+		return op
+	}
+	l4OpPool.New = func() any {
+		op := new(l4Op)
+		op.run = op.dispatch
+		return op
+	}
+}
+
+func (op *l4Op) dispatch() {
+	h, c, s, f, done := op.h, op.c, op.s, op.f, op.done
+	op.h, op.c, op.s, op.f, op.done = nil, nil, nil, nil, nil
+	l4OpPool.Put(op)
+	key := SockKey{IP: f.IP.Dst, Port: f.DstPort(), Proto: f.IP.Protocol}
+	fn, ok := h.handlers[key]
+	if !ok {
+		h.L4Drops.Inc()
+		s.Stage("drop:l4-unbound")
+		s.Free()
+		done()
+		return
+	}
+	fn(c, s, f, done)
 }
 
 // deliverL4 terminates the receive path: it parses the (inner) frame,
@@ -249,18 +325,9 @@ func (h *Host) deliverL4(c *cpu.Core, s *skb.SKB, done func()) {
 	default:
 		l4 = costmodel.FnUDPRcv
 	}
-	c.Exec(stats.CtxSoftIRQ, l4, 0, func() {
-		key := SockKey{IP: f.IP.Dst, Port: f.DstPort(), Proto: f.IP.Protocol}
-		fn, ok := h.handlers[key]
-		if !ok {
-			h.L4Drops.Inc()
-			s.Stage("drop:l4-unbound")
-			s.Free()
-			done()
-			return
-		}
-		fn(c, s, f, done)
-	})
+	op := l4OpPool.Get().(*l4Op)
+	op.h, op.c, op.s, op.f, op.done = h, c, s, f, done
+	c.Exec(stats.CtxSoftIRQ, l4, 0, op.run)
 }
 
 // ResetMeasurement clears the host's accounting for a fresh window.

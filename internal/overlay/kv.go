@@ -42,9 +42,13 @@ func (kv *KVStore) Version() uint64 { return kv.version }
 // be delayed and/or transiently fail. A nil fault keeps Get purely
 // local and synchronous — the healthy Docker-gossip behaviour.
 type LookupFault interface {
-	// Lookup is consulted once per resolution attempt and returns the
-	// extra latency the attempt pays and whether it transiently fails.
-	Lookup(containerIP proto.IPv4Addr) (delay sim.Time, fail bool)
+	// Lookup is consulted once per resolution attempt — by the host at
+	// hostIP, resolving containerIP — and returns the extra latency the
+	// attempt pays and whether it transiently fails. The consulting
+	// host's identity lets implementations keep per-host RNG streams,
+	// which a sharded run needs for determinism (hosts on different
+	// shards resolve concurrently).
+	Lookup(hostIP, containerIP proto.IPv4Addr) (delay sim.Time, fail bool)
 }
 
 // SetFault installs (or, with nil, removes) a lookup fault.

@@ -4,23 +4,27 @@ import (
 	"falcon/internal/devices"
 	"falcon/internal/proto"
 	"falcon/internal/sim"
+	"falcon/internal/skb"
 )
 
 // DefaultVNI is the VXLAN network identifier overlays are built with.
 const DefaultVNI = 42
 
 // Network is a set of hosts joined by point-to-point links and one
-// overlay (VXLAN) segment backed by a shared KV store.
+// overlay (VXLAN) segment backed by a shared KV store. E is the whole
+// simulation — a serial *sim.Engine or a multi-shard *sim.Cluster; each
+// host additionally pins to one shard engine (Host.E) chosen by
+// HostConfig.Shard, and every object a host owns schedules there.
 type Network struct {
-	E   *sim.Engine
+	E   sim.Sim
 	KV  *KVStore
 	VNI uint32
 
 	hosts []*Host
 }
 
-// NewNetwork returns an empty network on engine e.
-func NewNetwork(e *sim.Engine) *Network {
+// NewNetwork returns an empty network on simulation e.
+func NewNetwork(e sim.Sim) *Network {
 	return &Network{E: e, KV: NewKVStore(), VNI: DefaultVNI}
 }
 
@@ -36,14 +40,50 @@ func (n *Network) Hosts() []*Host { return n.hosts }
 
 // Connect joins two hosts with a full-duplex link of the given rate and
 // one-way delay (two unidirectional links delivering into each peer's
-// NIC).
+// NIC). Each unidirectional link lives on its sending host's shard
+// engine; when the hosts sit on different shards the link becomes a
+// cross-shard boundary — frames travel through a cluster PostSource and
+// the link's minimum latency lower-bounds the cluster's lookahead.
 func (n *Network) Connect(a, b *Host, rateBitsPerSec float64, delay sim.Time) {
-	ab := devices.NewLink(n.E, rateBitsPerSec, delay)
-	ab.Deliver = b.NIC.Arrive
-	ba := devices.NewLink(n.E, rateBitsPerSec, delay)
-	ba.Deliver = a.NIC.Arrive
+	ab := devices.NewLink(a.E, rateBitsPerSec, delay)
+	ba := devices.NewLink(b.E, rateBitsPerSec, delay)
+	if a.E == b.E {
+		ab.Deliver = b.NIC.Arrive
+		ba.Deliver = a.NIC.Arrive
+	} else {
+		cl := n.E.(*sim.Cluster)
+		ab.Remote = newRemoteEgress(cl.Source(a.E, b.E), b)
+		ba.Remote = newRemoteEgress(cl.Source(b.E, a.E), a)
+		cl.Bound(ab.Lookahead())
+		cl.Bound(ba.Lookahead())
+	}
 	a.links[b.IP] = ab
 	b.links[a.IP] = ba
+}
+
+// remoteEgress adapts a cluster PostSource to devices.RemoteEgress: the
+// far end of a cross-shard link. Delivery runs on the receiving shard at
+// the frame's wire-arrival time; the prep step — run at the barrier,
+// with both shards parked — migrates the SKB's audit record to the
+// receiving host's ledger. The closures are built once so the per-frame
+// send path does not allocate.
+type remoteEgress struct {
+	out     *sim.PostSource
+	dst     *Host
+	prep    func(any)
+	deliver func(any)
+}
+
+func newRemoteEgress(out *sim.PostSource, dst *Host) *remoteEgress {
+	r := &remoteEgress{out: out, dst: dst}
+	r.prep = func(v any) { v.(*skb.SKB).AuditHandoff(dst.Audit) }
+	r.deliver = func(v any) { dst.NIC.Arrive(v.(*skb.SKB)) }
+	return r
+}
+
+// Send implements devices.RemoteEgress.
+func (r *remoteEgress) Send(s *skb.SKB, arrival sim.Time) {
+	r.out.Post(arrival, r.prep, r.deliver, s)
 }
 
 // LinkTo returns the outgoing link from h toward the host owning dstIP.

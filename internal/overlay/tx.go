@@ -2,6 +2,7 @@ package overlay
 
 import (
 	"fmt"
+	"sync"
 
 	"falcon/internal/costmodel"
 	"falcon/internal/cpu"
@@ -77,6 +78,57 @@ type txFlowEntry struct {
 	outer     []byte // outer VXLAN header template (cross-host only)
 }
 
+// txOp carries one fast-path transmit through its asynchronous charge
+// chain. The continuations the chain needs (after the stack steps, after
+// vxlan_xmit, after the NIC doorbell) are method values cached at pool
+// construction, so a steady-state send costs zero closure allocations —
+// the op itself is recycled once the frame is on the wire. The degraded
+// path (sendSlow) keeps its closures: it only runs inside KV fault
+// windows.
+type txOp struct {
+	h       *Host
+	core    *cpu.Core
+	ctx     stats.CPUContext
+	p       SendParams
+	ipProto uint8
+	tcp     *proto.TCPHdr
+	s       *skb.SKB
+	e       *txFlowEntry
+
+	afterStack func() // cached op.stackDone
+	afterVXLAN func() // cached op.vxlanDone
+	afterNIC   func() // cached op.nicDone (overlay wire-out)
+	afterHost  func() // cached op.hostDone (host-network wire-out)
+}
+
+var txOpPool sync.Pool
+
+func init() {
+	// Assigned in init: a composite-literal New would form an
+	// initialization cycle through finish's use of the pool.
+	txOpPool.New = func() any {
+		op := new(txOp)
+		op.afterStack = op.stackDone
+		op.afterVXLAN = op.vxlanDone
+		op.afterNIC = op.nicDone
+		op.afterHost = op.hostDone
+		return op
+	}
+}
+
+// finish releases the op back to the pool and reports the outcome. The
+// op is released first: Done may immediately send another packet and
+// legitimately reuse the same pooled op.
+func (op *txOp) finish(ok bool) {
+	done := op.p.Done
+	op.h, op.core, op.tcp, op.s, op.e = nil, nil, nil, nil, nil
+	op.p = SendParams{}
+	txOpPool.Put(op)
+	if done != nil {
+		done(ok)
+	}
+}
+
 // sendL4 is the shared transmit machinery. For TCP, hdr carries the
 // prebuilt TCP header (ports in hdr override p's).
 func (h *Host) sendL4(p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
@@ -87,38 +139,51 @@ func (h *Host) sendL4(p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
 	if p.FromSoftirq {
 		ctx = stats.CtxSoftIRQ
 	}
-	steps := []netdev.Step{{Fn: costmodel.FnTxStack, Bytes: p.Payload}}
+	op := txOpPool.Get().(*txOp)
+	op.h, op.core, op.ctx, op.p, op.ipProto, op.tcp = h, core, ctx, p, ipProto, tcp
+	// Fixed-size step buffer: appending to a 1-element literal reallocates
+	// on every overlay send, and RunChain copies the steps anyway.
+	var steps [3]netdev.Step
+	steps[0] = netdev.Step{Fn: costmodel.FnTxStack, Bytes: p.Payload}
+	n := 1
 	if p.From != nil {
-		steps = append(steps, netdev.Step{Fn: costmodel.FnVethXmit}, netdev.Step{Fn: costmodel.FnBridge})
+		steps[1] = netdev.Step{Fn: costmodel.FnVethXmit}
+		steps[2] = netdev.Step{Fn: costmodel.FnBridge}
+		n = 3
 	}
-	netdev.RunChain(core, ctx, steps, func() {
-		if h.Net.KV.Fault() != nil {
-			h.sendSlow(core, ctx, p, ipProto, tcp)
-			return
-		}
-		h.sendFast(core, ctx, p, ipProto, tcp)
-	})
+	netdev.RunChain(core, ctx, steps[:n], op.afterStack)
+}
+
+// stackDone runs once the stack/veth/bridge costs are charged and picks
+// the healthy or degraded resolution path.
+func (op *txOp) stackDone() {
+	h := op.h
+	if h.Net.KV.Fault() != nil {
+		core, ctx, p, ipProto, tcp := op.core, op.ctx, op.p, op.ipProto, op.tcp
+		op.p.Done = nil // sendSlow owns completion now
+		op.finish(false)
+		h.sendSlow(core, ctx, p, ipProto, tcp)
+		return
+	}
+	h.sendFast(op)
 }
 
 // sendFast is the healthy-path transmit: flow-cached resolution and
 // template-built frames in a pooled skb with VXLAN headroom.
-func (h *Host) sendFast(core *cpu.Core, ctx stats.CPUContext, p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
-	e, resolved := h.txFlow(p, ipProto, tcp)
+func (h *Host) sendFast(op *txOp) {
+	core, ctx, p := op.core, op.ctx, op.p
+	e, resolved := h.txFlow(p, op.ipProto, op.tcp)
 	if !resolved {
 		h.TxResolveDrops.Inc()
 		h.txPending--
-		if p.Done != nil {
-			p.Done(false)
-		}
+		op.finish(false)
 		return
 	}
 	if e == nil {
 		// Resolved but unbuildable (payload exceeds the frame limit).
 		h.TxBuildDrops.Inc()
 		h.txPending--
-		if p.Done != nil {
-			p.Done(false)
-		}
+		op.finish(false)
 		return
 	}
 	headroom := 0
@@ -131,47 +196,52 @@ func (h *Host) sendFast(core *cpu.Core, ctx stats.CPUContext, p SendParams, ipPr
 	}
 	h.txPending--
 	copy(s.Data, e.inner)
-	if tcp != nil {
-		proto.PutTCP(s.Data[proto.EthLen+proto.IPv4Len:], *tcp)
+	if op.tcp != nil {
+		proto.PutTCP(s.Data[proto.EthLen+proto.IPv4Len:], *op.tcp)
 	}
 	proto.PatchIPv4ID(s.Data, h.nextIPID())
 	s.FlowID = p.FlowID
 	s.Seq = p.Seq
 	s.Hash = e.hash
 	s.HashValid = true
+	op.s, op.e = s, e
 	if e.hostNet {
 		// Host networking: straight out the NIC.
-		core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
-			ok := h.sendWire(core, ctx, s, p.DstIP)
-			if p.Done != nil {
-				p.Done(ok)
-			}
-		})
+		core.Exec(ctx, costmodel.FnTxNIC, 0, op.afterHost)
 		return
 	}
 	if e.sameHost {
 		// Same-host container: the bridge forwards locally; the frame
 		// enters the destination's veth backlog without encapsulation.
-		s.WireTime = h.Net.E.Now()
-		ok := h.Rx.InjectLocal(nil, p.Core, s)
-		if p.Done != nil {
-			p.Done(ok)
-		}
+		s.WireTime = h.E.Now()
+		op.finish(h.Rx.InjectLocal(nil, p.Core, s))
 		return
 	}
 	// Cross-host: encapsulate in place (skb_push into the headroom) and
 	// transmit.
-	core.Exec(ctx, costmodel.FnVXLANXmit, len(s.Data), func() {
-		s.Push(proto.OverlayOverhead)
-		copy(s.Data[:proto.OverlayOverhead], e.outer)
-		proto.PatchIPv4ID(s.Data, h.nextIPID())
-		core.Exec(ctx, costmodel.FnTxNIC, 0, func() {
-			ok := h.sendWire(core, ctx, s, e.info.HostIP)
-			if p.Done != nil {
-				p.Done(ok)
-			}
-		})
-	})
+	core.Exec(ctx, costmodel.FnVXLANXmit, len(s.Data), op.afterVXLAN)
+}
+
+// hostDone wires out a host-network frame after the NIC doorbell.
+func (op *txOp) hostDone() {
+	h := op.h
+	op.finish(h.sendWire(op.core, op.ctx, op.s, op.p.DstIP))
+}
+
+// vxlanDone encapsulates in place once vxlan_xmit is charged, then
+// charges the NIC doorbell.
+func (op *txOp) vxlanDone() {
+	s, h := op.s, op.h
+	s.Push(proto.OverlayOverhead)
+	copy(s.Data[:proto.OverlayOverhead], op.e.outer)
+	proto.PatchIPv4ID(s.Data, h.nextIPID())
+	op.core.Exec(op.ctx, costmodel.FnTxNIC, 0, op.afterNIC)
+}
+
+// nicDone wires out an encapsulated frame after the NIC doorbell.
+func (op *txOp) nicDone() {
+	h := op.h
+	op.finish(h.sendWire(op.core, op.ctx, op.s, op.e.info.HostIP))
 }
 
 // txFlow returns the flow-cache entry for p, building and caching it on
@@ -285,7 +355,7 @@ func (h *Host) sendSlow(core *cpu.Core, ctx stats.CPUContext, p SendParams, ipPr
 		if info.HostIP == h.IP {
 			// Same-host container: the bridge forwards locally; the frame
 			// enters the destination's veth backlog without encapsulation.
-			s.WireTime = h.Net.E.Now()
+			s.WireTime = h.E.Now()
 			finish(h.Rx.InjectLocal(nil, p.Core, s))
 			return
 		}
@@ -340,7 +410,7 @@ func (h *Host) resolve(p SendParams, cont func(EndpointInfo, bool)) {
 		return
 	}
 	if exp, ok := h.negCache[p.DstIP]; ok {
-		if h.Net.E.Now() < exp {
+		if h.E.Now() < exp {
 			h.NegCacheHits.Inc()
 			cont(EndpointInfo{}, false)
 			return
@@ -350,7 +420,7 @@ func (h *Host) resolve(p SendParams, cont func(EndpointInfo, bool)) {
 	attempt := 0
 	var try func()
 	try = func() {
-		delay, fail := flt.Lookup(p.DstIP)
+		delay, fail := flt.Lookup(h.IP, p.DstIP)
 		after := func() {
 			if fail {
 				if attempt >= kvMaxRetries {
@@ -360,19 +430,19 @@ func (h *Host) resolve(p SendParams, cont func(EndpointInfo, bool)) {
 				backoff := kvRetryBase << attempt
 				attempt++
 				h.KVRetries.Inc()
-				h.Net.E.After(backoff, try)
+				h.E.After(backoff, try)
 				return
 			}
 			info, err := h.Net.KV.Get(p.DstIP)
 			if err != nil {
-				h.negCache[p.DstIP] = h.Net.E.Now() + NegCacheTTL
+				h.negCache[p.DstIP] = h.E.Now() + NegCacheTTL
 				cont(EndpointInfo{}, false)
 				return
 			}
 			cont(info, true)
 		}
 		if delay > 0 {
-			h.Net.E.After(delay, after)
+			h.E.After(delay, after)
 		} else {
 			after()
 		}

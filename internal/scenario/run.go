@@ -90,6 +90,9 @@ func build(sc Scenario, falcon, withAudit bool) *bed {
 		RSSCores: []int{0}, RPSCores: []int{1},
 		GRO: sc.GRO, InnerGRO: sc.InnerGRO,
 		MTU: sc.MTU, Seed: sc.Seed,
+		// TCP endpoints share connection state, so scenarios with any
+		// TCP flow colocate both hosts on one shard.
+		Shards: sc.Shards, Colocate: !sc.UDPOnly(),
 	})
 	tb.E.SetEventBudget(eventBudget)
 	b := &bed{tb: tb}

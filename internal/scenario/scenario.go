@@ -101,6 +101,13 @@ type Scenario struct {
 
 	Flows  []FlowSpec  `json:"flows"`
 	Faults []FaultSpec `json:"faults,omitempty"`
+
+	// Shards > 1 runs the scenario on a conservative PDES cluster
+	// (internal/sim.Cluster) instead of the serial engine. Excluded from
+	// the JSON encoding: it is an execution knob, not part of scenario
+	// identity — results are byte-identical for every value, which the
+	// shard-invariance tests assert over the whole corpus.
+	Shards int `json:"-"`
 }
 
 // Warmup and Window convert the ms fields to engine time.

@@ -1,0 +1,404 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Cluster is a conservative parallel discrete-event engine (PDES,
+// DESIGN.md §6). The topology is partitioned into logical processes
+// (LPs) — one timing-wheel Engine per shard, each owning the complete
+// state of the hosts mapped to it — plus a coordinator-owned global
+// engine for control-plane events (experiment samplers, fault windows,
+// audit sweeps).
+//
+// Synchronization is a safe-horizon window barrier. The lookahead L is
+// the minimum sender→receiver latency of any cross-shard link
+// (serialization of an empty frame + propagation delay), registered at
+// topology construction via Bound. Each iteration the coordinator
+// computes the earliest pending LP event t and runs every LP in
+// parallel through the window [t, t+L-1] (further clipped below the
+// next global event and the caller's deadline). Any frame an LP sends
+// across a shard boundary during the window arrives at send+L or later
+// — strictly after the window — so cross-shard messages never have to
+// preempt a running LP: they park in per-LP outboxes and the
+// coordinator drains them into the destination engines at the barrier.
+//
+// Determinism, for any shard count and worker count:
+//   - LPs share one construction-time root RNG (NewShared), so every
+//     Fork during single-threaded topology construction consumes the
+//     root stream exactly as the serial engine would. Runtime draws
+//     come only from forks owned by a single LP.
+//   - The barrier drain schedules cross-shard messages in (arrival,
+//     source shard, per-source sequence) order, so same-nanosecond
+//     deliveries from different shards always tie-break identically.
+//   - Global events at time g run with every LP parked at g, before
+//     any LP event at g — matching the serial engine, where control
+//     events are construction-scheduled and hence carry lower
+//     sequence numbers than the runtime-scheduled datapath events.
+type Cluster struct {
+	root    *Rand
+	global  *Engine // coordinator control queue; its clock is Now()
+	lps     []*Engine
+	look    Time // global lookahead; 0 until a cross-shard link bounds it
+	workers int
+
+	outbox  [][]xmsg // per-LP send buffers, drained at barriers
+	nsrc    int      // PostSource ids handed out (construction order)
+	merge   []xmsg   // coordinator scratch for the sorted drain
+	nexts   []Time   // per-LP NextAt cache for the window scan
+	perr    []any    // per-LP recovered panic from the last window
+	stopped bool
+}
+
+// xmsg is one cross-shard message: run fn(arg) on dst at time at. prep,
+// when set, runs on the coordinator just before scheduling — the hook
+// the audit layer uses to hand an SKB's ledger record from the source
+// shard to the destination shard while both are parked. schedAt is the
+// sender's clock at Post time and src/seq identify the PostSource and
+// its send order: together they make the drain order — and hence every
+// same-nanosecond tie at the destination — independent of the
+// host-to-shard layout.
+type xmsg struct {
+	at      Time
+	schedAt Time
+	src     int
+	seq     uint64
+	dst     *Engine
+	prep    func(any)
+	fn      func(any)
+	arg     any
+}
+
+// NewCluster returns a PDES cluster with the given number of logical
+// processes. workers caps the goroutines running LPs within a window
+// (<=0 selects GOMAXPROCS, clipped to shards). All LPs and the global
+// engine share one root RNG seeded with seed, exactly like New(seed).
+func NewCluster(seed uint64, shards, workers int) *Cluster {
+	if shards < 1 {
+		shards = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	c := &Cluster{root: NewRand(seed), workers: workers}
+	c.global = NewShared(c.root)
+	c.lps = make([]*Engine, shards)
+	for i := range c.lps {
+		c.lps[i] = NewShared(c.root)
+		c.lps[i].shard = i
+	}
+	c.outbox = make([][]xmsg, shards)
+	c.nexts = make([]Time, shards)
+	c.perr = make([]any, shards)
+	return c
+}
+
+// Now returns the coordinator clock.
+func (c *Cluster) Now() Time { return c.global.Now() }
+
+// Rand returns the shared root RNG (construction-time forking only).
+func (c *Cluster) Rand() *Rand { return c.root }
+
+// Shard returns the engine owning logical process i (modulo shards).
+func (c *Cluster) Shard(i int) *Engine { return c.lps[i%len(c.lps)] }
+
+// NumShards returns the number of logical processes.
+func (c *Cluster) NumShards() int { return len(c.lps) }
+
+// Lookahead returns the current cross-shard lookahead (0: unbounded —
+// no cross-shard link registered yet).
+func (c *Cluster) Lookahead() Time { return c.look }
+
+// Bound lowers the cluster lookahead to d: every cross-shard link
+// registers its minimum sender→receiver latency here at construction.
+// The lookahead must never overestimate the true minimum — Post
+// enforces this at every cross-shard send.
+func (c *Cluster) Bound(d Time) {
+	if d < 1 {
+		d = 1 // progress requires a strictly positive lookahead
+	}
+	if c.look == 0 || d < c.look {
+		c.look = d
+	}
+}
+
+// Control-plane scheduling: runs on the coordinator at barriers.
+
+func (c *Cluster) At(t Time, fn func()) Timer    { return c.global.At(t, fn) }
+func (c *Cluster) After(d Time, fn func()) Timer { return c.global.After(d, fn) }
+func (c *Cluster) AtArg(t Time, fn func(any), arg any) Timer {
+	return c.global.AtArg(t, fn, arg)
+}
+func (c *Cluster) AfterArg(d Time, fn func(any), arg any) Timer {
+	return c.global.AfterArg(d, fn, arg)
+}
+
+// Stop halts the run loop at the next barrier. Control context only.
+func (c *Cluster) Stop() {
+	c.stopped = true
+	c.global.Stop()
+}
+
+// SetEventBudget applies the cap to every logical process and the
+// global engine individually — a runaway backstop, not an exact global
+// count (a cluster may fire up to shards×n events before tripping).
+func (c *Cluster) SetEventBudget(n uint64) {
+	c.global.SetEventBudget(n)
+	for _, lp := range c.lps {
+		lp.SetEventBudget(n)
+	}
+}
+
+// Fired returns the total events executed across all engines.
+func (c *Cluster) Fired() uint64 {
+	n := c.global.Fired()
+	for _, lp := range c.lps {
+		n += lp.Fired()
+	}
+	return n
+}
+
+// Pending returns the number of scheduled events across all engines
+// plus undrained cross-shard messages.
+func (c *Cluster) Pending() int {
+	n := c.global.Pending()
+	for _, lp := range c.lps {
+		n += lp.Pending()
+	}
+	for _, ob := range c.outbox {
+		n += len(ob)
+	}
+	return n
+}
+
+// PostSource is one stable cross-shard send endpoint (in the overlay,
+// one direction of one inter-host link). Its id is allocated in
+// topology-construction order and its sequence counter advances in
+// send order on the owning shard, so both are independent of how hosts
+// were laid out onto shards — the property the drain sort needs for
+// shard-count-invariant tie-breaking.
+type PostSource struct {
+	c        *Cluster
+	src, dst *Engine
+	id       int
+	seq      uint64
+}
+
+// Source allocates a cross-shard send endpoint from src to dst. Call
+// during (single-threaded) topology construction.
+func (c *Cluster) Source(src, dst *Engine) *PostSource {
+	c.nsrc++
+	return &PostSource{c: c, src: src, dst: dst, id: c.nsrc}
+}
+
+// Post sends a cross-shard message: fn(arg) runs on the destination
+// shard at time at. Called from LP context mid-window; the message
+// parks in the sending shard's outbox until the barrier. The
+// conservative horizon invariant — no message may arrive inside the
+// current window — is enforced on every send: an arrival earlier than
+// now+lookahead means the source link advertised a lookahead larger
+// than a latency it can actually produce, which would corrupt
+// causality, so it panics immediately rather than diverge silently.
+func (p *PostSource) Post(at Time, prep, fn func(any), arg any) {
+	c := p.c
+	if at < p.src.now+c.look {
+		panic(fmt.Sprintf("sim: cross-shard message from shard %d at %v arrives %v, inside the lookahead horizon %v (lookahead overestimated)",
+			p.src.shard, p.src.now, at, p.src.now+c.look))
+	}
+	p.seq++
+	c.outbox[p.src.shard] = append(c.outbox[p.src.shard], xmsg{
+		at: at, schedAt: p.src.now, src: p.id, seq: p.seq,
+		dst: p.dst, prep: prep, fn: fn, arg: arg,
+	})
+}
+
+// drain moves every parked cross-shard message into its destination
+// engine. Messages are scheduled with the sender's clock as their
+// tie-break key (Engine.atPosted), ordered by (arrival, send time,
+// source id, source sequence): deliveries therefore interleave with
+// the destination's own same-nanosecond events exactly as on one
+// serial engine, and ties between messages resolve identically for
+// every shard count.
+func (c *Cluster) drain() {
+	c.merge = c.merge[:0]
+	for i := range c.outbox {
+		c.merge = append(c.merge, c.outbox[i]...)
+		c.outbox[i] = c.outbox[i][:0]
+	}
+	if len(c.merge) == 0 {
+		return
+	}
+	sort.Slice(c.merge, func(a, b int) bool {
+		ma, mb := &c.merge[a], &c.merge[b]
+		if ma.at != mb.at {
+			return ma.at < mb.at
+		}
+		if ma.schedAt != mb.schedAt {
+			return ma.schedAt < mb.schedAt
+		}
+		if ma.src != mb.src {
+			return ma.src < mb.src
+		}
+		return ma.seq < mb.seq
+	})
+	for i := range c.merge {
+		m := &c.merge[i]
+		if m.prep != nil {
+			m.prep(m.arg)
+		}
+		m.dst.atPosted(m.at, m.schedAt, m.fn, m.arg)
+		m.arg, m.fn, m.prep = nil, nil, nil
+	}
+}
+
+const maxTime = Time(math.MaxInt64)
+
+// minNext fills c.nexts and returns the earliest pending LP event time.
+func (c *Cluster) minNext() (Time, bool) {
+	t, ok := maxTime, false
+	for i, lp := range c.lps {
+		if n, has := lp.NextAt(); has {
+			c.nexts[i] = n
+			if n < t {
+				t, ok = n, true
+			}
+		} else {
+			c.nexts[i] = maxTime
+		}
+	}
+	return t, ok
+}
+
+// Run executes events until none remain anywhere or Stop is called.
+func (c *Cluster) Run() { c.run(maxTime, false) }
+
+// RunUntil executes all events with at <= deadline, then parks every
+// clock at the deadline. Serial-equivalent to Engine.RunUntil.
+func (c *Cluster) RunUntil(deadline Time) { c.run(deadline, true) }
+
+func (c *Cluster) run(deadline Time, park bool) {
+	c.stopped = false
+	for !c.stopped {
+		c.drain()
+		tLP, okLP := c.minNext()
+		tG, okG := c.global.NextAt()
+		if !okLP && !okG {
+			break
+		}
+		t := tLP
+		if !okLP || (okG && tG < t) {
+			t = tG
+		}
+		if t > deadline {
+			break
+		}
+		if okG && (!okLP || tG <= tLP) {
+			// Global events first at any tied time (serial order:
+			// control events carry lower seq). Park every LP at tG,
+			// then run the coordinator queue there.
+			for _, lp := range c.lps {
+				lp.SetClock(tG)
+			}
+			c.global.RunUntil(tG)
+			continue
+		}
+		// Safe-horizon window: [tLP, end] with end < tLP+L, end < tG.
+		end := deadline
+		if c.look > 0 && tLP+c.look-1 < end {
+			end = tLP + c.look - 1
+		}
+		if okG && tG-1 < end {
+			end = tG - 1
+		}
+		c.runWindow(end)
+		c.global.SetClock(end)
+	}
+	if c.stopped || !park {
+		return
+	}
+	for _, lp := range c.lps {
+		lp.SetClock(deadline)
+	}
+	c.global.SetClock(deadline)
+}
+
+// runWindow advances every LP to end. LPs with pending work in the
+// window run on up to c.workers goroutines; idle LPs just park their
+// clocks. With at most one busy LP (the serial degenerate case) the
+// window runs inline on the coordinator — no goroutines, no barrier.
+func (c *Cluster) runWindow(end Time) {
+	busy := 0
+	for i := range c.lps {
+		if c.nexts[i] <= end {
+			busy++
+		}
+	}
+	if busy <= 1 || c.workers <= 1 {
+		for i, lp := range c.lps {
+			if c.nexts[i] <= end {
+				lp.RunUntil(end)
+			} else {
+				lp.SetClock(end)
+			}
+		}
+		return
+	}
+	work := make([]int, 0, busy)
+	for i, lp := range c.lps {
+		if c.nexts[i] <= end {
+			work = append(work, i)
+		} else {
+			lp.SetClock(end)
+		}
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	n := c.workers
+	if n > len(work) {
+		n = len(work)
+	}
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(work) {
+					return
+				}
+				c.runLP(work[i], end)
+			}
+		}()
+	}
+	wg.Wait()
+	// Re-raise the first (lowest-shard) panic deterministically; other
+	// shards' panics from the same window are dropped, like the serial
+	// engine abandoning its queue after a panic.
+	for i, p := range c.perr {
+		if p != nil {
+			c.perr[i] = nil
+			panic(p)
+		}
+	}
+}
+
+// runLP runs one LP to the window end, capturing a panic (event-budget
+// overrun, audit abort) for deterministic re-raise on the coordinator.
+func (c *Cluster) runLP(i int, end Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.perr[i] = r
+		}
+	}()
+	c.lps[i].RunUntil(end)
+}

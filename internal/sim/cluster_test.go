@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The synthetic PDES workload: nNodes logical nodes, each mapped to a
+// shard, running a self-rescheduling event chain with private RNG
+// draws, and posting messages to the next node over a "link" with
+// linkDelay minimum latency plus jitter. A coordinator-side control
+// event samples every node's counter each controlPeriod. Per-node
+// traces plus the control trace must be identical for every
+// (shards, workers) combination.
+const (
+	pdesNodes         = 4
+	pdesLinkDelay     = Time(800)
+	pdesControlPeriod = Time(50_000)
+	pdesRunFor        = Time(500_000)
+)
+
+type pdesNode struct {
+	id    int
+	e     *Engine
+	out   *PostSource // nil when the next node shares this engine
+	rng   *Rand
+	next  *pdesNode
+	count uint64
+	trace []string
+}
+
+// Local event times of node i are kept ≡ i (mod 8): every self-delay
+// is a multiple of 8 and the start offset is i. Cross-node messages
+// therefore never collide with destination-local events on both firing
+// time and schedule time at once, which is the one tie the cluster
+// cannot break serially (see DESIGN.md §6) — the traces below are then
+// required to match exactly.
+func (n *pdesNode) step() {
+	n.count++
+	n.trace = append(n.trace, fmt.Sprintf("step %d @%d", n.count, n.e.Now()))
+	// Occasionally message the next node; arrival respects the link's
+	// minimum latency, with jitter on top.
+	if n.rng.Intn(3) == 0 {
+		at := n.e.Now() + pdesLinkDelay + Time(n.rng.Intn(500))
+		if n.out == nil {
+			n.next.e.AtArg(at, pdesRecv, n.next)
+		} else {
+			n.out.Post(at, nil, pdesRecv, n.next)
+		}
+	}
+	n.e.After(Time(160+8*n.rng.Intn(40)), n.step)
+}
+
+func pdesRecv(v any) {
+	n := v.(*pdesNode)
+	n.count += 10
+	n.trace = append(n.trace, fmt.Sprintf("recv %d @%d", n.count, n.e.Now()))
+}
+
+// runPDES builds and runs the synthetic workload, returning the
+// per-node traces and the control-sample trace.
+func runPDES(t *testing.T, shards, workers int) ([][]string, []string) {
+	t.Helper()
+	c := NewCluster(1, shards, workers)
+	c.Bound(pdesLinkDelay)
+	nodes := make([]*pdesNode, pdesNodes)
+	for i := range nodes {
+		nodes[i] = &pdesNode{id: i, e: c.Shard(i), rng: c.Rand().Fork()}
+	}
+	for i, n := range nodes {
+		n.next = nodes[(i+1)%len(nodes)]
+		if n.next.e != n.e {
+			n.out = c.Source(n.e, n.next.e)
+		}
+		n.e.After(Time(80*i+i), n.step)
+	}
+	var control []string
+	var sample func()
+	sample = func() {
+		s := fmt.Sprintf("@%d:", c.Now())
+		for _, n := range nodes {
+			s += fmt.Sprintf(" %d", n.count)
+		}
+		control = append(control, s)
+		c.After(pdesControlPeriod, sample)
+	}
+	c.After(pdesControlPeriod, sample)
+	c.RunUntil(pdesRunFor)
+	traces := make([][]string, len(nodes))
+	for i, n := range nodes {
+		traces[i] = n.trace
+	}
+	if got := c.Now(); got != pdesRunFor {
+		t.Fatalf("shards=%d workers=%d: Now()=%v after RunUntil(%v)", shards, workers, got, pdesRunFor)
+	}
+	for i := 0; i < shards; i++ {
+		if got := c.Shard(i).Now(); got != pdesRunFor {
+			t.Fatalf("shards=%d workers=%d: shard %d clock %v, want %v", shards, workers, i, got, pdesRunFor)
+		}
+	}
+	return traces, control
+}
+
+// TestClusterDeterminism: execution traces are byte-identical for every
+// shard and worker count, including the degenerate 1-shard cluster.
+func TestClusterDeterminism(t *testing.T) {
+	refTraces, refControl := runPDES(t, 1, 1)
+	for _, n := range refTraces {
+		if len(n) == 0 {
+			t.Fatal("reference run produced an empty trace")
+		}
+	}
+	for _, cfg := range [][2]int{{2, 1}, {2, 2}, {4, 2}, {4, 4}, {8, 4}} {
+		traces, control := runPDES(t, cfg[0], cfg[1])
+		if !reflect.DeepEqual(traces, refTraces) {
+			t.Errorf("shards=%d workers=%d: node traces diverge from serial", cfg[0], cfg[1])
+		}
+		if !reflect.DeepEqual(control, refControl) {
+			t.Errorf("shards=%d workers=%d: control samples diverge from serial\n got %v\nwant %v",
+				cfg[0], cfg[1], control, refControl)
+		}
+	}
+}
+
+// TestClusterHorizonGuard: posting a message that would arrive inside
+// the lookahead horizon must panic — the lookahead was overestimated.
+func TestClusterHorizonGuard(t *testing.T) {
+	c := NewCluster(1, 2, 1)
+	c.Bound(1000)
+	src := c.Source(c.Shard(0), c.Shard(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected horizon-violation panic")
+		}
+	}()
+	src.Post(999, nil, func(any) {}, nil)
+}
+
+// TestClusterPostAtHorizonOK: arrival exactly at now+lookahead is legal
+// and delivered at the right time on the destination shard.
+func TestClusterPostAtHorizonOK(t *testing.T) {
+	c := NewCluster(1, 2, 2)
+	c.Bound(1000)
+	src, dst := c.Shard(0), c.Shard(1)
+	out := c.Source(src, dst)
+	var deliveredAt Time = -1
+	src.After(0, func() {
+		out.Post(src.Now()+1000, nil, func(any) {
+			deliveredAt = dst.Now()
+		}, nil)
+	})
+	c.RunUntil(10_000)
+	if deliveredAt != 1000 {
+		t.Fatalf("cross-shard delivery at %v, want 1000", deliveredAt)
+	}
+}
+
+// TestNextAtLowerBound: NextAt never overestimates — running to just
+// before the reported bound fires nothing, and repeating the
+// probe-and-advance loop reaches every event.
+func TestNextAtLowerBound(t *testing.T) {
+	e := New(7)
+	rng := NewRand(99)
+	want := 0
+	for i := 0; i < 200; i++ {
+		// Mix wheel levels and the overflow heap.
+		d := Time(rng.Intn(1 << uint(4*rng.Intn(9))))
+		e.After(d, func() { want-- })
+		want++
+	}
+	for {
+		next, ok := e.NextAt()
+		if !ok {
+			break
+		}
+		if next > e.Now() {
+			fired := e.Fired()
+			e.RunUntil(next - 1)
+			if e.Fired() != fired {
+				t.Fatalf("NextAt=%v overestimated: events fired before it", next)
+			}
+		}
+		// Fire everything at the earliest real event time (which may be
+		// beyond the conservative bound).
+		fired := e.Fired()
+		e.RunUntil(next)
+		if e.Fired() == fired && next == e.Now() {
+			// Bound was a cascade boundary with nothing due: the next
+			// probe must make strict progress.
+			n2, ok2 := e.NextAt()
+			if !ok2 || n2 <= next {
+				t.Fatalf("NextAt stuck at %v", next)
+			}
+		}
+	}
+	if want != 0 {
+		t.Fatalf("%d events unaccounted for", want)
+	}
+}
+
+// TestClusterBudget: an event-budget overrun inside a worker-run LP
+// surfaces as the usual *BudgetExceeded panic on the coordinator.
+func TestClusterBudget(t *testing.T) {
+	c := NewCluster(1, 2, 2)
+	c.Bound(100)
+	for i := 0; i < 2; i++ {
+		e := c.Shard(i)
+		var spin func()
+		spin = func() { e.After(10, spin) }
+		e.After(0, spin)
+	}
+	c.SetEventBudget(50)
+	defer func() {
+		if _, ok := recover().(*BudgetExceeded); !ok {
+			t.Fatal("expected *BudgetExceeded panic")
+		}
+	}()
+	c.RunUntil(1_000_000)
+}
+
+// TestClusterStop: Stop from a control event halts the run at that
+// barrier, leaving later work pending.
+func TestClusterStop(t *testing.T) {
+	c := NewCluster(1, 2, 2)
+	c.Bound(100)
+	e := c.Shard(0)
+	ran := 0
+	var spin func()
+	spin = func() { ran++; e.After(1000, spin) }
+	e.After(0, spin)
+	c.At(10_000, c.Stop)
+	c.RunUntil(1_000_000)
+	if c.Pending() == 0 {
+		t.Fatal("Stop left no pending work")
+	}
+	if ran == 0 || ran > 11 {
+		t.Fatalf("ran %d LP events before Stop, want ~10", ran)
+	}
+}

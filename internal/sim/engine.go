@@ -26,13 +26,19 @@ const (
 	wheelHorizon = uint64(1) << (wheelBits * wheelLevels)
 )
 
-// event is a scheduled callback. Events fire in (at, seq) order; seq
-// breaks ties deterministically in FIFO scheduling order.
+// event is a scheduled callback. Events fire in (at, schedAt, seq)
+// order: schedAt is the clock when the event was scheduled, so ties at
+// the same firing time resolve in FIFO scheduling order. For a serial
+// engine schedAt is monotone in seq and the pair degenerates to plain
+// seq order; a Cluster draining cross-shard messages inserts them with
+// the sender's clock as schedAt, reproducing the serial engine's
+// schedule-chronology tie-break across shard boundaries.
 type event struct {
-	at  Time
-	seq uint64
-	gen uint64 // bumped on every recycle; stale Timer handles mismatch
-	eng *Engine
+	at      Time
+	schedAt Time
+	seq     uint64
+	gen     uint64 // bumped on every recycle; stale Timer handles mismatch
+	eng     *Engine
 
 	// Exactly one of fn / afn is set while live. afn avoids a closure
 	// allocation on hot paths: the argument rides in arg.
@@ -58,9 +64,19 @@ type bucket struct {
 	slot       int16
 }
 
-// insert places ev keeping the bucket sorted by seq. Schedule-time
-// inserts always hit the O(1) tail fast path (seq is monotonic);
-// cascades and heap merges may walk backward, which is rare.
+// firesBefore orders events with equal firing times: by schedule time,
+// then by sequence number.
+func (ev *event) firesBefore(o *event) bool {
+	if ev.schedAt != o.schedAt {
+		return ev.schedAt < o.schedAt
+	}
+	return ev.seq < o.seq
+}
+
+// insert places ev keeping the bucket sorted by (schedAt, seq).
+// Schedule-time inserts always hit the O(1) tail fast path (both keys
+// are monotonic); cascades, heap merges and cross-shard drains may walk
+// backward, which is rare.
 func (b *bucket) insert(ev *event) {
 	ev.in = b
 	if b.tail == nil {
@@ -69,7 +85,7 @@ func (b *bucket) insert(ev *event) {
 		return
 	}
 	p := b.tail
-	for p != nil && p.seq > ev.seq {
+	for p != nil && ev.firesBefore(p) {
 		p = p.prev
 	}
 	if p == nil { // new head
@@ -139,6 +155,7 @@ type Engine struct {
 	stopped bool
 	fired   uint64
 	budget  uint64 // max events to fire; 0 = unlimited
+	shard   int    // logical-process index when owned by a Cluster
 
 	due bucket // events at exactly cur, ready to fire, seq-ordered
 
@@ -159,8 +176,84 @@ func New(seed uint64) *Engine {
 	return e
 }
 
+// NewShared returns an engine whose root RNG is the caller-supplied
+// generator r, shared with other engines. A Cluster builds every
+// logical process this way so that construction-time Fork() calls
+// consume the single root stream in exactly the order the serial
+// engine would — the foundation of shard-count byte-identity.
+func NewShared(r *Rand) *Engine {
+	e := &Engine{rng: r}
+	e.due.level = -1
+	return e
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetClock advances the clock to t without executing anything. The
+// wheel cursor is untouched (advance already tolerates a cursor behind
+// the clock). It is the Cluster's barrier primitive: parked logical
+// processes are moved to the window boundary so relative scheduling
+// (After) from coordinator context uses correct absolute times. The
+// caller must guarantee no pending event is earlier than t; calling
+// with t <= now is a no-op.
+func (e *Engine) SetClock(t Time) {
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// NextAt returns a lower bound on the firing time of the engine's next
+// event, and whether any event is pending. The bound is exact when the
+// next event sits in the due list, in wheel level 0 or in the overflow
+// heap; for events parked in upper wheel levels it may return the next
+// cascade boundary instead (a time strictly before the event, never
+// after it). Underestimation is safe for window-based synchronization:
+// the window merely shrinks to the boundary and the next iteration
+// makes strict progress.
+func (e *Engine) NextAt() (Time, bool) {
+	if e.live == 0 {
+		return 0, false
+	}
+	if e.due.head != nil { // only after Stop mid-run
+		return e.now, true
+	}
+	m := uint64(math.MaxUint64)
+	if e.levelCount[0] > 0 {
+		if d := nextOccupied(&e.occ[0], int(e.cur&wheelMask)); d > 0 {
+			m = e.cur + uint64(d)
+		}
+	}
+	for l := 1; l < wheelLevels; l++ {
+		if e.levelCount[l] == 0 {
+			continue
+		}
+		shift := uint(wheelBits * l)
+		if d := nextOccupied(&e.occ[l], int((e.cur>>shift)&wheelMask)); d > 0 {
+			if b := ((e.cur >> shift) + uint64(d)) << shift; b < m {
+				m = b
+			}
+		}
+	}
+	if hm, ok := e.heapMin(); ok && hm < m {
+		m = hm
+	}
+	if m == math.MaxUint64 {
+		return 0, false
+	}
+	t := Time(m)
+	if t < e.now {
+		t = e.now
+	}
+	return t, true
+}
+
+// Shard returns the engine itself: a serial engine is its own (only)
+// logical process, so hosts mapped to any shard index share it.
+func (e *Engine) Shard(int) *Engine { return e }
+
+// NumShards returns 1: the serial engine is a single logical process.
+func (e *Engine) NumShards() int { return 1 }
 
 // Rand returns the engine's root RNG. Components should Fork it.
 func (e *Engine) Rand() *Rand { return e.rng }
@@ -274,7 +367,7 @@ func (e *Engine) At(t Time, fn func()) Timer {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	ev := e.alloc()
-	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	ev.at, ev.schedAt, ev.seq, ev.fn = t, e.now, e.seq, fn
 	e.seq++
 	e.schedule(ev)
 	return Timer{ev: ev, gen: ev.gen}
@@ -288,10 +381,25 @@ func (e *Engine) AtArg(t Time, fn func(any), arg any) Timer {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	ev := e.alloc()
-	ev.at, ev.seq, ev.afn, ev.arg = t, e.seq, fn, arg
+	ev.at, ev.schedAt, ev.seq, ev.afn, ev.arg = t, e.now, e.seq, fn, arg
 	e.seq++
 	e.schedule(ev)
 	return Timer{ev: ev, gen: ev.gen}
+}
+
+// atPosted schedules fn(arg) at absolute time t with an explicit
+// schedule-time tie-break key — the Cluster's barrier drain uses the
+// sending shard's clock here, so a cross-shard delivery interleaves
+// with the destination's same-nanosecond events exactly as it would
+// have on a single serial engine.
+func (e *Engine) atPosted(t, schedAt Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := e.alloc()
+	ev.at, ev.schedAt, ev.seq, ev.afn, ev.arg = t, schedAt, e.seq, fn, arg
+	e.seq++
+	e.schedule(ev)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -474,13 +582,13 @@ func (e *Engine) cascade(l, slot int) {
 	}
 }
 
-// Overflow heap: a plain binary min-heap on (at, seq).
+// Overflow heap: a plain binary min-heap on (at, schedAt, seq).
 
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	return a.firesBefore(b)
 }
 
 func (e *Engine) heapPush(ev *event) {

@@ -123,9 +123,10 @@ type SKB struct {
 	// including unused headroom, with Data starting at back[off]. Push
 	// grows Data into the headroom (the kernel's skb_push, used for
 	// in-place VXLAN encapsulation).
-	buf  *[pooledBufCap]byte
-	back []byte
-	off  int
+	buf   *[pooledBufCap]byte
+	jumbo *[jumboBufCap]byte
+	back  []byte
+	off   int
 
 	// Parsed-header cache: the flow dissector output for the current
 	// Data, carried across device stages so each hop does not re-parse
@@ -148,17 +149,24 @@ type SKB struct {
 	aud   Auditor
 }
 
-// pooledBufCap is the frame-buffer pool's size class: an MTU frame plus
-// VXLAN overhead and headroom with room to spare. Larger frames (jumbo,
-// GRO super-packets) fall back to plain allocation.
-const pooledBufCap = 2048
+// pooledBufCap is the frame-buffer pool's small size class: an MTU
+// frame plus VXLAN overhead and headroom with room to spare.
+// jumboBufCap is the large class, sized for a maximum IP datagram plus
+// encapsulation headroom (the jumbo-frame sends of the large-message
+// experiments previously heap-allocated a fresh 64 KB buffer per
+// packet). Frames beyond both fall back to plain allocation.
+const (
+	pooledBufCap = 2048
+	jumboBufCap  = 65536 + 128
+)
 
 // ErrBadFrame is returned by Frame for unparsable frames.
 var ErrBadFrame = errors.New("skb: unparsable frame")
 
 var (
 	skbPool = sync.Pool{New: func() any { return new(SKB) }}
-	bufPool = sync.Pool{New: func() any { return new([pooledBufCap]byte) }}
+	bufPool   = sync.Pool{New: func() any { return new([pooledBufCap]byte) }}
+	jumboPool = sync.Pool{New: func() any { return new([jumboBufCap]byte) }}
 )
 
 func getSKB() *SKB {
@@ -190,6 +198,29 @@ func (s *SKB) Audit(a Auditor, site string) {
 	a.SKBGet(s, site)
 }
 
+// Handoffer is implemented by auditors whose tracking state is
+// partitioned (per PDES shard): SKBHandoff moves the SKB's ledger
+// record from the implementing auditor to the destination auditor.
+type Handoffer interface {
+	SKBHandoff(s *SKB, to Auditor)
+}
+
+// AuditHandoff re-homes the SKB's audit tracking onto auditor `to` —
+// called at a cluster barrier when a frame crosses a shard boundary, so
+// subsequent Stage/Free hooks run against the shard-local ledger that
+// owns the receiving host. A no-op when untracked, already home, or
+// `to` is nil; if the current auditor implements Handoffer its ledger
+// record migrates along.
+func (s *SKB) AuditHandoff(to Auditor) {
+	if s.aud == nil || s.aud == to || to == nil {
+		return
+	}
+	if h, ok := s.aud.(Handoffer); ok {
+		h.SKBHandoff(s, to)
+	}
+	s.aud = to
+}
+
 // Stage records that the packet reached the named device stage. A no-op
 // (one nil-check) when no auditor is attached. Stage names should be
 // static string literals so auditing adds no per-packet allocation.
@@ -212,6 +243,9 @@ func NewTx(size, headroom int) *SKB {
 	if total <= pooledBufCap {
 		s.buf = bufPool.Get().(*[pooledBufCap]byte)
 		s.back = s.buf[:]
+	} else if total <= jumboBufCap {
+		s.jumbo = jumboPool.Get().(*[jumboBufCap]byte)
+		s.back = s.jumbo[:]
 	} else {
 		s.back = make([]byte, total)
 	}
@@ -246,6 +280,7 @@ func (s *SKB) SetData(b []byte) {
 // longer-lived structure (e.g. the IP reassembler).
 func (s *SKB) DisownBuf() {
 	s.buf = nil
+	s.jumbo = nil
 	s.back = nil
 }
 
@@ -271,6 +306,9 @@ func (s *SKB) Free() {
 	}
 	if s.buf != nil {
 		bufPool.Put(s.buf)
+	}
+	if s.jumbo != nil {
+		jumboPool.Put(s.jumbo)
 	}
 	aud, gen := s.aud, s.gen
 	*s = SKB{}

@@ -65,6 +65,11 @@ type Config struct {
 // Conn is an established TCP connection.
 type Conn struct {
 	cfg Config
+	// e is the shard engine both endpoints live on. Conn state is
+	// shared between the sender path (ACK processing, RTO) and the
+	// receiver path (reassembly, delayed ACKs), so Dial requires the
+	// two hosts to be colocated on one shard.
+	e *sim.Engine
 
 	srcIP, dstIP proto.IPv4Addr
 
@@ -125,8 +130,13 @@ func Dial(cfg Config, appWork sim.Time) (*Conn, error) {
 	if cfg.MaxCwnd == 0 {
 		cfg.MaxCwnd = DefaultMaxCwnd
 	}
+	if cfg.SenderHost.E != cfg.ReceiverHost.E {
+		return nil, fmt.Errorf("transport: TCP endpoints must be colocated on one shard (%s and %s live on different engines)",
+			cfg.SenderHost.Name, cfg.ReceiverHost.Name)
+	}
 	c := &Conn{
 		cfg:      cfg,
+		e:        cfg.SenderHost.E,
 		cwnd:     float64(cfg.InitialCwnd),
 		ssthresh: float64(cfg.MaxCwnd),
 		rto:      DefaultRTO,
@@ -239,7 +249,7 @@ func (c *Conn) transmit(seq uint64, isRetrans bool, done func()) {
 	} else if !c.sampling {
 		c.sampling = true
 		c.sampleSeq = seq
-		c.sampleAt = c.cfg.Net.E.Now()
+		c.sampleAt = c.e.Now()
 	}
 	hdr := proto.TCPHdr{
 		SrcPort: c.cfg.SrcPort,
@@ -272,7 +282,7 @@ func (c *Conn) transmit(seq uint64, isRetrans bool, done func()) {
 // package-level trampoline instead of allocating a method-value closure.
 func (c *Conn) armRTO() {
 	c.rtoTimer.Stop()
-	c.rtoTimer = c.cfg.Net.E.AfterArg(c.rto, connRTO, c)
+	c.rtoTimer = c.e.AfterArg(c.rto, connRTO, c)
 }
 
 func connRTO(v any) { v.(*Conn).onRTO() }
@@ -308,7 +318,7 @@ func (c *Conn) updateRTT(ack uint64) {
 		return
 	}
 	c.sampling = false
-	sample := c.cfg.Net.E.Now() - c.sampleAt
+	sample := c.e.Now() - c.sampleAt
 	if c.srtt == 0 {
 		c.srtt = sample
 		c.rttvar = sample / 2

@@ -86,7 +86,7 @@ func (c *Conn) armDelayedAck(core *cpu.Core) {
 		return
 	}
 	coreID := core.ID()
-	c.ackTimer = c.cfg.Net.E.After(delayedAckTimeout, func() {
+	c.ackTimer = c.e.After(delayedAckTimeout, func() {
 		if c.ackEvery > 0 && !c.closed {
 			c.sendAck(c.cfg.ReceiverHost.M.Core(coreID), false)
 		}

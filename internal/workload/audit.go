@@ -81,7 +81,10 @@ func (tb *Testbed) EnableAudit(cfg audit.Config) *audit.Auditor {
 
 	for _, h := range hosts {
 		h := h
-		h.Audit = a
+		// Each host attaches the ledger of its own shard engine, so the
+		// per-packet hooks stay lock-free; on a serial run both hosts
+		// resolve to the same single ledger.
+		h.Audit = a.LedgerFor(h.E)
 		h.OnReset = a.NoteReset
 		h.OnSocketOpen = func(port uint16, sk *socket.Socket) {
 			name := fmt.Sprintf("%s:sock:%d", h.Name, port)

@@ -53,7 +53,7 @@ func (f *UDPFlow) SendIMIXAtRate(mix []IMIXEntry, pps float64, until sim.Time) {
 	}
 	var tick func()
 	tick = func() {
-		if f.stopped || f.tb.E.Now() >= until || f.rate <= 0 {
+		if f.stopped || f.tb.Client.E.Now() >= until || f.rate <= 0 {
 			return
 		}
 		f.Size = pick()
@@ -62,7 +62,7 @@ func (f *UDPFlow) SendIMIXAtRate(mix []IMIXEntry, pps float64, until sim.Time) {
 		if gap < 1 {
 			gap = 1
 		}
-		f.tb.E.After(gap, tick)
+		f.tb.Client.E.After(gap, tick)
 	}
 	tick()
 }

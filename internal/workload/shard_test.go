@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"falcon/internal/audit"
+	"falcon/internal/devices"
+	"falcon/internal/faults"
+	"falcon/internal/sim"
+	"falcon/internal/socket"
+)
+
+// runJittery runs the two-host testbed with fault-injected link jitter
+// and loss on both directions of the inter-host wire, and returns a
+// fingerprint of everything measurable. With shards=2 the client and
+// server live on different PDES shards and every frame crosses the
+// shard boundary through a PostSource whose horizon guard panics if a
+// frame ever arrives earlier than now+Lookahead() — so this doubles as
+// the runtime proof that devices.Link.Lookahead is never overestimated:
+// jitter only adds delay and a busy serializer only pushes arrivals
+// later, and the guard re-checks that bound on every single frame.
+func runJittery(t *testing.T, shards int, withAudit bool) []uint64 {
+	t.Helper()
+	tb := NewTestbed(TestbedConfig{
+		LinkRate: 10 * devices.Gbps, Cores: 8, Containers: 1,
+		RSSCores: []int{0}, RPSCores: []int{1},
+		GRO: true, InnerGRO: true, Seed: 7, Shards: shards,
+	})
+	var a *audit.Auditor
+	if withAudit {
+		a = tb.EnableAudit(audit.Config{OnViolation: func(v *audit.Violation) {
+			t.Errorf("audit violation: %v", v)
+		}})
+	}
+	in := faults.NewInjector(tb.E)
+	link := tb.Client.LinkTo(ServerIP)
+	back := tb.Server.LinkTo(ClientIP)
+	in.Install(faults.Plan{Name: "jitter+loss", Items: []faults.Item{
+		{At: 2 * sim.Millisecond, For: 6 * sim.Millisecond,
+			Fault: &faults.LinkJitterBurst{Link: link, Jitter: 30 * sim.Microsecond}},
+		{At: 3 * sim.Millisecond, For: 4 * sim.Millisecond,
+			Fault: &faults.LinkLossBurst{Link: link, Rate: 0.02}},
+		{At: 4 * sim.Millisecond, For: 3 * sim.Millisecond,
+			Fault: &faults.LinkJitterBurst{Link: back, Jitter: 10 * sim.Microsecond}},
+	}})
+	until := 12 * sim.Millisecond
+	f := tb.NewUDPFlow(tb.ClientCtrs[0], tb.ServerCtrs[0].IP, 7000, 5001, 256, 2, 2, 1)
+	f.SendAtRate(200_000, until)
+	res := MeasureWindow(tb, []*socket.Socket{f.Sock}, 2*sim.Millisecond, 9*sim.Millisecond)
+	if withAudit {
+		deadline := until
+		tb.Run(deadline)
+		for i := 0; i < 10 && a.LiveCount() > 0; i++ {
+			deadline += 2 * sim.Millisecond
+			tb.Run(deadline)
+		}
+		for _, v := range a.Final() {
+			t.Errorf("teardown violation: %v", v)
+		}
+	}
+	return []uint64{
+		res.Delivered, uint64(res.Latency.P50), uint64(res.Latency.P99),
+		uint64(res.Latency.Max), res.NICDrops, res.BacklogDrops,
+		res.SocketDrops, link.Sent.Value(), link.Lost.Value(),
+		link.Dropped.Value(), f.Sent(),
+	}
+}
+
+// TestShardInvarianceUnderLinkFaults: the sharded testbed must survive
+// fault-injected jitter and loss on the cross-shard wire without ever
+// tripping the lookahead horizon guard, and must reproduce the serial
+// run's results exactly.
+func TestShardInvarianceUnderLinkFaults(t *testing.T) {
+	want := runJittery(t, 0, false)
+	for _, shards := range []int{2, 4} {
+		got := runJittery(t, shards, false)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d field %d: %d != serial %d", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardAuditUnderLinkFaults: same workload with the audit harness
+// attached — per-shard ledgers, SKB handoffs across the jittery lossy
+// boundary, conservation balances and the end-of-run leak check must
+// all stay clean, and results must still match the serial audited run.
+func TestShardAuditUnderLinkFaults(t *testing.T) {
+	want := runJittery(t, 0, true)
+	got := runJittery(t, 2, true)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("audited shards=2 field %d: %d != serial %d", i, got[i], want[i])
+		}
+	}
+}

@@ -49,6 +49,15 @@ type TestbedConfig struct {
 	MTU int
 	// Seed for the engine.
 	Seed uint64
+	// Shards > 1 runs the testbed on a conservative PDES cluster with
+	// that many shards: the client lives on shard 0 and the server on
+	// shard 1 (extra shards idle — the two-host testbed exposes at most
+	// two-way parallelism). 0 or 1 uses the plain serial engine.
+	Shards int
+	// Colocate forces both hosts onto shard 0 even when Shards > 1 —
+	// required by workloads whose endpoints share state across hosts
+	// (TCP connections and closed-loop RPC apps).
+	Colocate bool
 }
 
 // Defaults fills zero fields with the paper's standard setup.
@@ -73,7 +82,7 @@ func (c TestbedConfig) withDefaults() TestbedConfig {
 
 // Testbed is the standard client/server pair.
 type Testbed struct {
-	E              *sim.Engine
+	E              sim.Sim
 	Net            *overlay.Network
 	Client, Server *overlay.Host
 	// ClientCtrs and ServerCtrs are the per-side containers.
@@ -85,16 +94,26 @@ type Testbed struct {
 // NewTestbed builds the standard testbed.
 func NewTestbed(cfg TestbedConfig) *Testbed {
 	cfg = cfg.withDefaults()
-	e := sim.New(cfg.Seed)
+	var e sim.Sim
+	if cfg.Shards > 1 {
+		e = sim.NewCluster(cfg.Seed, cfg.Shards, 0)
+	} else {
+		e = sim.New(cfg.Seed)
+	}
 	n := overlay.NewNetwork(e)
-	mk := func(name string, ip proto.IPv4Addr) *overlay.Host {
+	mk := func(name string, ip proto.IPv4Addr, shard int) *overlay.Host {
 		return n.AddHost(overlay.HostConfig{
 			Name: name, IP: ip, Cores: cfg.Cores,
 			RSSCores: cfg.RSSCores, RPSCores: cfg.RPSCores,
 			GRO: cfg.GRO, InnerGRO: cfg.InnerGRO, Kernel: cfg.Kernel,
+			Shard: shard,
 		})
 	}
-	tb := &Testbed{E: e, Net: n, Client: mk("client", ClientIP), Server: mk("server", ServerIP)}
+	serverShard := 1
+	if cfg.Colocate {
+		serverShard = 0
+	}
+	tb := &Testbed{E: e, Net: n, Client: mk("client", ClientIP, 0), Server: mk("server", ServerIP, serverShard)}
 	n.Connect(tb.Client, tb.Server, cfg.LinkRate, sim.Microsecond)
 	if cfg.MTU > 0 {
 		tb.Client.LinkTo(ServerIP).MTU = cfg.MTU

@@ -89,12 +89,16 @@ func (f *UDPFlow) send(done func(ok bool)) {
 // identical senders phase-lock against full queues and deterministic
 // drop patterns starve individual flows.
 func (f *UDPFlow) Flood(until sim.Time) {
+	// next and fire are allocated once and reference each other; the
+	// per-packet schedule reuses fire instead of wrapping a fresh
+	// closure around every send.
 	var next func(bool)
+	fire := func() { f.send(next) }
 	next = func(bool) {
-		if f.stopped || f.tb.E.Now() >= until {
+		if f.stopped || f.tb.Client.E.Now() >= until {
 			return
 		}
-		f.tb.E.After(sim.Time(f.rng.Intn(200)), func() { f.send(next) })
+		f.tb.Client.E.After(sim.Time(f.rng.Intn(200)), fire)
 	}
 	f.send(next)
 }
@@ -106,7 +110,7 @@ func (f *UDPFlow) SendAtRate(pps float64, until sim.Time) {
 	f.rate = pps
 	var tick func()
 	tick = func() {
-		if f.stopped || f.tb.E.Now() >= until || f.rate <= 0 {
+		if f.stopped || f.tb.Client.E.Now() >= until || f.rate <= 0 {
 			return
 		}
 		f.send(nil)
@@ -114,7 +118,7 @@ func (f *UDPFlow) SendAtRate(pps float64, until sim.Time) {
 		if gap < 1 {
 			gap = 1
 		}
-		f.tb.E.After(gap, tick)
+		f.tb.Client.E.After(gap, tick)
 	}
 	tick()
 }
