@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race audit fuzz bench-smoke bench-report bench-baseline experiments profile clean
+.PHONY: all build vet test race audit reconfig fuzz bench-smoke bench-report bench-baseline experiments profile clean
 
 all: vet build test
 
@@ -24,10 +24,22 @@ audit:
 	$(GO) run -race ./cmd/falconsim -exp fig10,abl-chaos -audit -parallel 2 \
 		-deadline 20m -max-events 2000000000
 
+# Hot reconfiguration under load: generation swaps (kernel roll,
+# graceful drain + re-add, steering flips) with convergence SLOs and
+# full runtime verification, serial and sharded — the experiment's
+# verdict column FAILs on any unaccounted packet, steady-state ratio
+# < 0.98x, blackout > 2ms, or an incomplete drain quiesce.
+reconfig:
+	$(GO) run ./cmd/falconsim -exp abl-reconfig -audit -deadline 20m \
+		-max-events 2000000000
+	$(GO) run ./cmd/falconsim -exp abl-reconfig -audit -shards 4 \
+		-deadline 20m -max-events 2000000000
+
 # Scenario fuzzing: 50 random-but-valid scenarios through the
 # metamorphic oracle battery (determinism, conservation, equivalence,
-# monotonicity, fault sanity). Violations are shrunk and written as
-# falcon-fuzz-*.json reproducers (replay: falconsim -scenario <file>).
+# monotonicity, fault sanity, reconfig conservation). Violations are
+# shrunk and written as falcon-fuzz-*.json reproducers (replay:
+# falconsim -scenario <file>).
 fuzz:
 	$(GO) run ./cmd/falconsim -fuzz -seeds 50 -parallel 4 -deadline 10m
 

@@ -37,6 +37,7 @@ import (
 
 	"falcon/internal/audit"
 	"falcon/internal/experiments"
+	"falcon/internal/reconfig"
 	"falcon/internal/scenario"
 	"falcon/internal/sim"
 	"falcon/internal/skb"
@@ -64,6 +65,7 @@ func run() int {
 		deadline  = flag.Duration("deadline", 0, "abort the whole run after this wall-clock duration (0 = no limit)")
 		maxEvents = flag.Uint64("max-events", 0, "abort any single experiment after firing this many engine events (0 = no limit)")
 		replay    = flag.String("replay", "", "re-run the exact experiment/seed/config named in an audit dump's header and exit")
+		reconfigF = flag.String("reconfig", "", "JSON generation schedule for abl-reconfig (replaces its built-in rolling-upgrade/drain/flip plan)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -165,6 +167,14 @@ func run() int {
 	opt := experiments.Options{
 		Quick: *quick, Kernel: *kernel, Seed: *seed,
 		Audit: *auditOn, MaxEvents: *maxEvents, Shards: *shards,
+	}
+	if *reconfigF != "" {
+		sched, err := reconfig.LoadFile(*reconfigF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
+			return 1
+		}
+		opt.Reconfig = sched
 	}
 	failures := runExperiments(exps, opt, *parallel, os.Stdout)
 	if n := skb.PoolMisuses(); n > 0 {

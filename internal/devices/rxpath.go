@@ -92,6 +92,17 @@ func (rx *RxPath) InnerGROMerged() uint64 {
 	return total
 }
 
+// InnerGROHeld counts super-packets currently buffered inside the
+// per-core gro_cells engines — in-flight work a host drain must see
+// flushed before declaring the datapath quiesced.
+func (rx *RxPath) InnerGROHeld() int {
+	var total int
+	for _, e := range rx.innerGRO {
+		total += e.HeldCount()
+	}
+	return total
+}
+
 // Install wires the path into its NIC. Call once after filling fields.
 func (rx *RxPath) Install() {
 	if rx.innerGRO == nil {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"falcon/internal/reconfig"
 	"falcon/internal/sim"
 	"falcon/internal/stats"
 )
@@ -36,6 +37,10 @@ type Options struct {
 	// cross-host state (TCP, closed-loop RPC apps) colocate their hosts
 	// on one shard; the memcached beds stay serial.
 	Shards int
+	// Reconfig, when non-nil, replaces abl-reconfig's built-in
+	// generation schedule (the -reconfig flag loads one from JSON; host
+	// names must match the reconfig bed: client/server/spare).
+	Reconfig *reconfig.Schedule
 }
 
 func (o Options) seed() uint64 {

@@ -64,45 +64,36 @@ func (n *meshNode) tick() {
 	n.host.E.After(gap, n.tick)
 }
 
-// buildMesh constructs the ring on a serial engine (shards <= 1) or a
-// PDES cluster with host i pinned to shard i%shards. Everything a host
-// owns — its machine, stack, NIC, links and the traffic driver — runs
-// on its own shard; only the inter-host wires cross shards.
+// buildMesh constructs the ring via the shared fabric builder: host i is
+// pinned to shard i%shards (serial engine when shards <= 1), and each
+// node's traffic-driver RNG forks at the host's construction point so
+// the draw order — and thus the golden output — matches the pre-fabric
+// wiring exactly.
 func buildMesh(opt Options) (sim.Sim, []*meshNode) {
-	var e sim.Sim
-	if opt.Shards > 1 {
-		e = sim.NewCluster(opt.seed(), opt.Shards, 0)
-	} else {
-		e = sim.New(opt.seed())
-	}
-	net := overlay.NewNetwork(e)
 	nodes := make([]*meshNode, meshHosts)
-	for i := range nodes {
-		h := net.AddHost(overlay.HostConfig{
-			Name: fmt.Sprintf("m%d", i),
-			IP:   proto.IP4(192, 168, 2, byte(10+i)),
-			// 8 cores: RSS on 0, RPS to 1, app on 2 — the single-flow
-			// layout scaled down to a rack node.
-			Cores: 8, RSSCores: []int{0}, RPSCores: []int{1},
-			GRO: true, InnerGRO: true, Kernel: opt.Kernel,
-			Shard: i,
-		})
-		ctr := h.AddContainer(fmt.Sprintf("m%d-c1", i), proto.IP4(10, 33, byte(i), 1))
-		nodes[i] = &meshNode{host: h, ctr: ctr, rng: e.Rand().Fork()}
-	}
+	fb := buildFabric(opt, fabricConfig{
+		Hosts: meshHosts,
+		// 8 cores: RSS on 0, RPS to 1, app on 2 — the single-flow layout
+		// scaled down to a rack node.
+		Cores: 8, RSSCores: []int{0}, RPSCores: []int{1},
+		GRO: true, InnerGRO: true,
+		LinkRate: meshLinkRate, LinkDelay: meshLinkDelay,
+		HostName: func(i int) string { return fmt.Sprintf("m%d", i) },
+		HostIP:   func(i int) proto.IPv4Addr { return proto.IP4(192, 168, 2, byte(10+i)) },
+		CtrIP:    func(i int) proto.IPv4Addr { return proto.IP4(10, 33, byte(i), 1) },
+		Links:    ringLinks(meshHosts),
+		OnHost: func(i int, h *overlay.Host, ctr *overlay.Container) {
+			nodes[i] = &meshNode{host: h, ctr: ctr, rng: h.Net.E.Rand().Fork()}
+		},
+	})
 	for i, n := range nodes {
-		next := nodes[(i+1)%meshHosts]
-		net.Connect(n.host, next.host, meshLinkRate, meshLinkDelay)
-		n.dst = next.ctr.IP
+		n.dst = nodes[(i+1)%meshHosts].ctr.IP
 	}
 	// Open sockets after all links exist so rings and KV are complete.
 	for _, n := range nodes {
 		n.sock = n.host.OpenUDP(n.ctr.IP, meshPort, 2)
 	}
-	if opt.MaxEvents > 0 {
-		e.SetEventBudget(opt.MaxEvents)
-	}
-	return e, nodes
+	return fb.E, nodes
 }
 
 // mesh8 runs the ring for one measured window and reports per-host

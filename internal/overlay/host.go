@@ -78,7 +78,7 @@ type Host struct {
 	containers []*Container
 	handlers   map[SockKey]L4Handler
 	links      map[proto.IPv4Addr]*devices.Link // by peer host IP
-	negCache   map[proto.IPv4Addr]sim.Time      // KV miss → suppress-until
+	negCache   map[proto.IPv4Addr]negEntry      // KV miss suppression
 	flowCache  map[txFlowKey]*txFlowEntry       // tx fast-path flow table
 
 	// L4Drops counts packets with no bound endpoint.
@@ -160,7 +160,7 @@ func newHost(n *Network, cfg HostConfig, hostID uint64) *Host {
 		St:        st,
 		handlers:  make(map[SockKey]L4Handler),
 		links:     make(map[proto.IPv4Addr]*devices.Link),
-		negCache:  make(map[proto.IPv4Addr]sim.Time),
+		negCache:  make(map[proto.IPv4Addr]negEntry),
 		flowCache: make(map[txFlowKey]*txFlowEntry),
 	}
 	h.NIC = devices.NewPNIC(st, cfg.Name+"-eth0", steering.RSS{QueueCores: cfg.RSSCores}, cfg.GRO)
@@ -215,8 +215,77 @@ func (h *Host) AddContainer(name string, ip proto.IPv4Addr) *Container {
 	return c
 }
 
+// AddStandbyContainer creates a container exactly like AddContainer but
+// without publishing it in the overlay KV store: a migration target that
+// stays dark until a reconfiguration remaps its IP onto this host. The
+// container MAC derives from the IP, so the standby's endpoint identity
+// matches the primary's — a migrated container keeps its MAC.
+func (h *Host) AddStandbyContainer(name string, ip proto.IPv4Addr) *Container {
+	id := len(h.containers) + 1
+	mac := proto.MACFromUint64(uint64(ip))
+	brIf := h.St.RegisterDevice(fmt.Sprintf("%s-veth%d", h.Name, id))
+	ctIf := h.St.RegisterDevice(fmt.Sprintf("%s-c%d-eth0", h.Name, id))
+	vbr, vct := devices.NewVethPair(
+		fmt.Sprintf("%s-veth%d", h.Name, id),
+		fmt.Sprintf("%s-c%d-eth0", h.Name, id),
+		brIf, ctIf, mac, id)
+	c := &Container{Host: h, ID: id, Name: name, IP: ip, MAC: mac, VethBr: vbr, VethCt: vct}
+	port := h.Bridge.AddPort(vbr.Name)
+	h.Bridge.Learn(mac, port)
+	h.Rx.VethByMAC[mac] = vbr
+	h.containers = append(h.containers, c)
+	return c
+}
+
+// Endpoint returns the KV mapping that routes overlay traffic for this
+// container to its current host.
+func (c *Container) Endpoint() EndpointInfo {
+	return EndpointInfo{ContainerMAC: c.MAC, HostIP: c.Host.IP, HostMAC: c.Host.MAC}
+}
+
 // Containers returns the host's containers.
 func (h *Host) Containers() []*Container { return h.containers }
+
+// ContainerByIP finds a container on this host by overlay IP (nil when
+// absent).
+func (h *Host) ContainerByIP(ip proto.IPv4Addr) *Container {
+	for _, c := range h.containers {
+		if c.IP == ip {
+			return c
+		}
+	}
+	return nil
+}
+
+// SetKernel swaps the host's cost profile to the named kernel — the
+// simulation analogue of a reboot into a new kernel, applied instantly
+// once the host is quiesced. Costs charged before the swap keep their
+// old values; only work submitted afterwards prices at the new profile.
+func (h *Host) SetKernel(name string) {
+	h.M.Model = costmodel.ByName(name)
+}
+
+// Quiesced reports whether the host's datapath is empty: no message
+// inside the transmit path, no held inner-GRO segments, and every core
+// idle with empty backlog and NIC ring. Wire occupancy (frames still in
+// flight on links toward this host) is the caller's responsibility —
+// links belong to their sending host.
+func (h *Host) Quiesced() bool {
+	if h.txPending != 0 || h.Rx.InnerGROHeld() != 0 {
+		return false
+	}
+	for c := 0; c < h.M.NumCores(); c++ {
+		if !h.M.Core(c).Idle() {
+			return false
+		}
+		local, remote, _, _ := h.St.BacklogState(c)
+		ring, _, _ := h.NIC.QueueState(c)
+		if local+remote+ring != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Bind registers an L4 handler for (ip, port, proto).
 func (h *Host) Bind(key SockKey, fn L4Handler) {

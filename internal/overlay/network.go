@@ -21,6 +21,26 @@ type Network struct {
 	VNI uint32
 
 	hosts []*Host
+
+	// gen is the configuration generation: 0 is the construction-time
+	// configuration, and every reconfiguration action applied by
+	// internal/reconfig bumps it. TX flow-cache entries revalidate
+	// against it (alongside the KV version), so a generation swap
+	// invalidates every cached resolution even when the change did not
+	// touch the KV store (steering flips, topology membership).
+	gen uint64
+}
+
+// Generation returns the current configuration generation.
+func (n *Network) Generation() uint64 { return n.gen }
+
+// BumpGeneration advances the configuration generation. Call from
+// control context only (a coordinator event on a cluster, with every
+// logical process parked): hosts read the generation on their transmit
+// paths.
+func (n *Network) BumpGeneration() uint64 {
+	n.gen++
+	return n.gen
 }
 
 // NewNetwork returns an empty network on simulation e.
@@ -90,6 +110,18 @@ func (r *remoteEgress) Send(s *skb.SKB, arrival sim.Time) {
 func (h *Host) LinkTo(dstIP proto.IPv4Addr) *devices.Link {
 	return h.links[dstIP]
 }
+
+// EachLink yields every outgoing link of h with its peer host IP.
+// Iteration order is unspecified (map order), so callers must only
+// aggregate order-insensitive facts: counter sums, emptiness checks.
+func (h *Host) EachLink(yield func(peer proto.IPv4Addr, l *devices.Link)) {
+	for ip, l := range h.links {
+		yield(ip, l)
+	}
+}
+
+// HostByIP finds a host by its public IP (nil when absent).
+func (n *Network) HostByIP(ip proto.IPv4Addr) *Host { return n.hostByIP(ip) }
 
 // hostByIP finds a host by its public IP.
 func (n *Network) hostByIP(ip proto.IPv4Addr) *Host {

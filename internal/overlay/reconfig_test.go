@@ -1,0 +1,186 @@
+package overlay
+
+import (
+	"testing"
+
+	"falcon/internal/devices"
+	"falcon/internal/proto"
+	"falcon/internal/sim"
+)
+
+var spareIP = proto.IP4(192, 168, 1, 3)
+
+// newDrainBed is newBed plus a spare host carrying a standby twin of the
+// server container — the topology a graceful drain migrates across.
+func newDrainBed(t *testing.T) (*bed, *Host, *Container) {
+	t.Helper()
+	b := newBed(t, "", 100*devices.Gbps)
+	spare := b.n.AddHost(HostConfig{
+		Name: "spare", IP: spareIP, Cores: 8,
+		RSSCores: []int{0}, RPSCores: []int{1}, GRO: true, InnerGRO: true,
+	})
+	b.n.Connect(b.client, spare, 100*devices.Gbps, sim.Microsecond)
+	b.n.Connect(b.server, spare, 100*devices.Gbps, sim.Microsecond)
+	twin := spare.AddStandbyContainer("c-srv-twin", srvCtrIP)
+	return b, spare, twin
+}
+
+// sendOne transmits a single container UDP packet at the current time
+// and reports (via Done) whether it made it onto the wire.
+func sendOne(b *bed, seq uint64, done func(ok bool)) {
+	b.client.SendUDP(SendParams{
+		From: b.cliCtr, SrcPort: 7000, DstIP: srvCtrIP, DstPort: 5001,
+		Payload: 64, Core: 2, FlowID: 1, Seq: seq, Done: done,
+	})
+}
+
+// TestFlowCacheGenerationInvalidation: a generation bump that never
+// touches the KV store (the steering-flip/topology-membership class of
+// swap) must still invalidate cached transmit flows.
+func TestFlowCacheGenerationInvalidation(t *testing.T) {
+	b := newBed(t, "", 100*devices.Gbps)
+	b.server.OpenUDP(srvCtrIP, 5001, 2)
+
+	b.e.At(0, func() { sendOne(b, 1, nil) })
+	b.e.RunUntil(sim.Millisecond)
+	if len(b.client.flowCache) != 1 {
+		t.Fatalf("flow cache has %d entries, want 1", len(b.client.flowCache))
+	}
+	var before *txFlowEntry
+	for _, e := range b.client.flowCache {
+		before = e
+	}
+	if before.gen != b.n.Generation() {
+		t.Fatalf("cached gen %d != network gen %d", before.gen, b.n.Generation())
+	}
+
+	// Same flow again without a bump: the entry must be reused.
+	b.e.At(sim.Millisecond, func() { sendOne(b, 2, nil) })
+	b.e.RunUntil(2 * sim.Millisecond)
+	for _, e := range b.client.flowCache {
+		if e != before {
+			t.Fatal("cache entry rebuilt without any configuration change")
+		}
+	}
+
+	// Bump the generation (no KV mutation): next send must rebuild.
+	b.n.BumpGeneration()
+	b.e.At(2*sim.Millisecond, func() { sendOne(b, 3, nil) })
+	b.e.RunUntil(3 * sim.Millisecond)
+	for _, e := range b.client.flowCache {
+		if e == before {
+			t.Fatal("stale flow-cache entry survived a generation bump")
+		}
+		if e.gen != b.n.Generation() {
+			t.Fatalf("rebuilt entry gen %d != network gen %d", e.gen, b.n.Generation())
+		}
+	}
+}
+
+// TestDrainedHostNotSteeredTo is the post-swap steering regression: once
+// a drain remaps the server container onto the spare's standby twin, a
+// warm transmit flow cache must not put a single further frame on the
+// wire toward the drained host.
+func TestDrainedHostNotSteeredTo(t *testing.T) {
+	b, spare, twin := newDrainBed(t)
+	b.server.OpenUDP(srvCtrIP, 5001, 2)
+	twinSock := spare.OpenUDP(srvCtrIP, 5001, 2)
+
+	const warm = 50
+	for i := 0; i < warm; i++ {
+		seq := uint64(i + 1)
+		b.e.At(sim.Time(i)*5*sim.Microsecond, func() { sendOne(b, seq, nil) })
+	}
+	b.e.RunUntil(2 * sim.Millisecond)
+	toServer := b.client.LinkTo(serverIP).Sent.Value()
+	if toServer != warm {
+		t.Fatalf("warm phase: %d frames toward server, want %d", toServer, warm)
+	}
+
+	// The drain swap, exactly as the reconfig manager applies it: mapping
+	// removed, generation bumped, twin landed (in-transit window elided —
+	// steering correctness is about the post-swap state).
+	b.e.At(2*sim.Millisecond, func() {
+		b.n.KV.Delete(srvCtrIP)
+		b.n.BumpGeneration()
+		b.n.KV.Put(srvCtrIP, twin.Endpoint())
+	})
+	for i := 0; i < warm; i++ {
+		seq := uint64(warm + i + 1)
+		b.e.At(2*sim.Millisecond+sim.Time(i+1)*5*sim.Microsecond, func() { sendOne(b, seq, nil) })
+	}
+	b.e.RunUntil(5 * sim.Millisecond)
+
+	if got := b.client.LinkTo(serverIP).Sent.Value(); got != toServer {
+		t.Fatalf("drained host received %d new frames after the swap", got-toServer)
+	}
+	if got := b.client.LinkTo(spareIP).Sent.Value(); got != warm {
+		t.Fatalf("spare link carried %d frames, want %d", got, warm)
+	}
+	if got := twinSock.Delivered.Value(); got != warm {
+		t.Fatalf("twin socket delivered %d, want %d", got, warm)
+	}
+}
+
+// nullFault is a LookupFault that neither delays nor fails: it forces
+// the degraded per-packet resolution path (where the negative cache
+// lives) without perturbing timing.
+type nullFault struct{}
+
+func (nullFault) Lookup(_, _ proto.IPv4Addr) (sim.Time, bool) { return 0, false }
+
+// TestNegCachePurgedByRemap: a definitive KV miss recorded while a
+// container is in transit between hosts (drain window) must die with the
+// Put that lands the container — recovery is bounded by the remap
+// itself, not by NegCacheTTL.
+func TestNegCachePurgedByRemap(t *testing.T) {
+	b, spare, twin := newDrainBed(t)
+	twinSock := spare.OpenUDP(srvCtrIP, 5001, 2)
+	b.n.KV.SetFault(nullFault{})
+
+	// Drain begins: the mapping disappears while the container is in
+	// transit.
+	b.e.At(0, func() { b.n.KV.Delete(srvCtrIP) })
+
+	// A send during the transit window records the definitive miss...
+	b.e.At(10*sim.Microsecond, func() {
+		sendOne(b, 1, func(ok bool) {
+			if ok {
+				t.Error("send during transit window succeeded")
+			}
+		})
+	})
+	// ...and a second one must be served from the negative cache.
+	b.e.At(20*sim.Microsecond, func() { sendOne(b, 2, nil) })
+	b.e.RunUntil(30 * sim.Microsecond)
+	if got := b.client.NegCacheHits.Value(); got != 1 {
+		t.Fatalf("negative-cache hits = %d, want 1", got)
+	}
+	if got := b.client.TxResolveDrops.Value(); got != 2 {
+		t.Fatalf("resolve drops = %d, want 2", got)
+	}
+
+	// The container lands on the spare. The very next send — still deep
+	// inside the 2ms NegCacheTTL — must resolve and deliver immediately:
+	// the KV version pin invalidates the stale negative entry.
+	landAt := 200 * sim.Microsecond
+	b.e.At(landAt, func() { b.n.KV.Put(srvCtrIP, twin.Endpoint()) })
+	recoverAt := landAt + 10*sim.Microsecond
+	if recoverAt >= NegCacheTTL {
+		t.Fatalf("test geometry broken: recovery probe at %v not inside TTL %v", recoverAt, NegCacheTTL)
+	}
+	b.e.At(recoverAt, func() {
+		sendOne(b, 3, func(ok bool) {
+			if !ok {
+				t.Error("send after remap blackholed by stale negative cache")
+			}
+		})
+	})
+	b.e.RunUntil(2 * sim.Millisecond)
+	if got := twinSock.Delivered.Value(); got != 1 {
+		t.Fatalf("twin delivered %d, want 1 (post-remap packet)", got)
+	}
+	if got := b.client.NegCacheHits.Value(); got != 1 {
+		t.Fatalf("negative-cache hits after remap = %d, want 1 (no further hits)", got)
+	}
+}

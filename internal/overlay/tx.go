@@ -64,12 +64,15 @@ type txFlowKey struct {
 // construction) across a flow. The inner template carries IP ID 0 (and a
 // zero TCP header); each packet copies the template and patches only the
 // ID (+ TCP header), which produces byte-identical frames to a from-
-// scratch build. Entries revalidate against the KV store's version so
-// endpoint moves invalidate them, and the cache is bypassed entirely
-// while a KV fault is installed (the degraded path draws RNG per lookup;
+// scratch build. Entries revalidate against the KV store's version AND
+// the network's configuration generation, so both endpoint moves and
+// reconfigurations that never touch the KV (steering flips, topology
+// membership) invalidate them; the cache is bypassed entirely while a
+// KV fault is installed (the degraded path draws RNG per lookup;
 // skipping those draws would change deterministic schedules).
 type txFlowEntry struct {
 	kvVersion uint64
+	gen       uint64
 	info      EndpointInfo
 	sameHost  bool
 	hostNet   bool
@@ -255,11 +258,11 @@ func (h *Host) txFlow(p SendParams, ipProto uint8, tcp *proto.TCPHdr) (e *txFlow
 	} else {
 		key.srcPort, key.dstPort = p.SrcPort, p.DstPort
 	}
-	ver := h.Net.KV.Version()
-	if e, ok := h.flowCache[key]; ok && e.kvVersion == ver {
+	ver, gen := h.Net.KV.Version(), h.Net.Generation()
+	if e, ok := h.flowCache[key]; ok && e.kvVersion == ver && e.gen == gen {
 		return e, true
 	}
-	e = &txFlowEntry{kvVersion: ver}
+	e = &txFlowEntry{kvVersion: ver, gen: gen}
 	if p.From == nil {
 		peer := h.Net.hostByIP(p.DstIP)
 		if peer == nil {
@@ -386,6 +389,17 @@ const (
 	NegCacheTTL = 2 * sim.Millisecond
 )
 
+// negEntry is one negative-cache record: a definitive KV miss suppresses
+// lookups of the same IP until the TTL expires OR the KV store mutates.
+// The version pin matters during reconfiguration: a miss recorded while
+// a container is in transit between hosts must not outlive the Put that
+// lands it on its new host, or the sender would keep blackholing traffic
+// for up to a full TTL after the mapping recovered.
+type negEntry struct {
+	until     sim.Time
+	kvVersion uint64
+}
+
 // resolve produces the EndpointInfo for p's destination and calls cont
 // exactly once. On the healthy path it is fully synchronous (cont runs
 // inline, zero extra simulation events). With a KV lookup fault
@@ -409,8 +423,8 @@ func (h *Host) resolve(p SendParams, cont func(EndpointInfo, bool)) {
 		cont(info, err == nil)
 		return
 	}
-	if exp, ok := h.negCache[p.DstIP]; ok {
-		if h.E.Now() < exp {
+	if ne, ok := h.negCache[p.DstIP]; ok {
+		if h.E.Now() < ne.until && ne.kvVersion == h.Net.KV.Version() {
 			h.NegCacheHits.Inc()
 			cont(EndpointInfo{}, false)
 			return
@@ -435,7 +449,10 @@ func (h *Host) resolve(p SendParams, cont func(EndpointInfo, bool)) {
 			}
 			info, err := h.Net.KV.Get(p.DstIP)
 			if err != nil {
-				h.negCache[p.DstIP] = h.E.Now() + NegCacheTTL
+				h.negCache[p.DstIP] = negEntry{
+					until:     h.E.Now() + NegCacheTTL,
+					kvVersion: h.Net.KV.Version(),
+				}
 				cont(EndpointInfo{}, false)
 				return
 			}

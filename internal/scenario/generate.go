@@ -78,7 +78,36 @@ func Generate(seed uint64) Scenario {
 			sc.Faults = append(sc.Faults, genFault(r, sc))
 		}
 	}
+
+	// Reconfig draws come LAST: every earlier field is already fixed, so
+	// pre-reconfig fuzz seeds keep generating byte-identical scenarios
+	// (the seeded-defect corpus and CI self-tests depend on that).
+	if r.Float64() < 0.2 {
+		n := 1 + r.Intn(MaxReconfigs)
+		for i := 0; i < n; i++ {
+			sc.Reconfigs = append(sc.Reconfigs, genReconfig(r, sc))
+		}
+	}
 	return sc
+}
+
+// genReconfig samples one hot-reconfiguration window that fits the
+// scenario. Drains are only legal on overlay-only UDP scenarios (the
+// validator's rule), and at most one per scenario.
+func genReconfig(r *sim.Rand, sc Scenario) ReconfigSpec {
+	kinds := []string{"kernel-upgrade", "rps-flip"}
+	if sc.UDPOnly() && sc.OverlayOnly() && sc.Containers >= 1 && !sc.HasDrain() {
+		kinds = append(kinds, "drain")
+	}
+	rc := ReconfigSpec{Kind: kinds[r.Intn(len(kinds))]}
+	rc.AtMs = 1 + r.Intn(max(1, sc.WindowMs/2))
+	if rc.Kind != "kernel-upgrade" {
+		rc.ForMs = 1 + r.Intn(max(1, sc.WindowMs/4))
+		if rc.AtMs+rc.ForMs > sc.WindowMs {
+			rc.ForMs = sc.WindowMs - rc.AtMs
+		}
+	}
+	return rc
 }
 
 // genFault samples one impairment whose window fits inside the

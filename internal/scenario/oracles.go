@@ -105,6 +105,15 @@ func (c *Ctx) account(sc Scenario, falcon bool) AccountResult {
 // hasFalcon reports whether the scenario's primary mode is Falcon.
 func hasFalcon(sc Scenario) bool { return len(sc.FalconCPUs) > 0 }
 
+// applicableModes lists the modes a scenario runs under: scenarios
+// without Falcon CPUs only run vanilla.
+func applicableModes(sc Scenario) []bool {
+	if !hasFalcon(sc) {
+		return []bool{false}
+	}
+	return []bool{false, true}
+}
+
 // withinEnvelope holds when got >= tol*base - SlackPackets.
 func withinEnvelope(got, base uint64, tol float64) bool {
 	return float64(got)+SlackPackets >= tol*float64(base)
@@ -130,6 +139,21 @@ func lossFault(sc Scenario) bool {
 func reorderingFault(sc Scenario) bool {
 	for _, ft := range sc.Faults {
 		if ft.Kind == "kv-flaky" {
+			return true
+		}
+	}
+	return false
+}
+
+// reorderingReconfig reports whether a scheduled generation swap can
+// legitimately reorder a flow: an rps-flip moves the flow's processing
+// off the RPS core mid-stream, so packets still queued on the old
+// core's backlog finish after newer packets that took the direct RSS
+// path. (Drain does not count: each socket — primary or twin — still
+// sees its own packets in order, which the drain corpus pins.)
+func reorderingReconfig(sc Scenario) bool {
+	for _, rc := range sc.Reconfigs {
+		if rc.Kind == "rps-flip" {
 			return true
 		}
 	}
@@ -167,24 +191,36 @@ func Oracles() []Oracle {
 			// fragmented TCP in a ms-scale ramp is dominated by
 			// reassembly latency); fragmented runs stay covered by the
 			// determinism and conservation oracles.
+			// Reconfig swaps (like faults) perturb throughput by design,
+			// so the steady-state comparisons below only apply without
+			// them; reconfig scenarios get their own conservation oracle.
 			Applies: func(sc Scenario) bool {
-				return len(sc.Faults) == 0 && hasFalcon(sc) && sc.OverlayOnly() && sc.MTU == 0
+				return len(sc.Faults) == 0 && len(sc.Reconfigs) == 0 &&
+					hasFalcon(sc) && sc.OverlayOnly() && sc.MTU == 0
 			},
 			Check: checkEquivalence,
 		},
 		{
 			Name:    "monotonicity",
 			Desc:    "more cores / link rate never reduce fault-free throughput beyond tolerance",
-			Applies: func(sc Scenario) bool { return len(sc.Faults) == 0 },
+			Applies: func(sc Scenario) bool { return len(sc.Faults) == 0 && len(sc.Reconfigs) == 0 },
 			Check:   checkMonotonicity,
 		},
 		{
 			Name: "fault-sanity",
 			Desc: "falcon stays within the never-worse envelope vs vanilla under the same fault schedule",
 			Applies: func(sc Scenario) bool {
-				return len(sc.Faults) > 0 && hasFalcon(sc)
+				return len(sc.Faults) > 0 && len(sc.Reconfigs) == 0 && hasFalcon(sc)
 			},
 			Check: checkFaultSanity,
+		},
+		{
+			Name: "reconfig-conservation",
+			Desc: "no packet unaccounted across any generation swap; audit ledger clean in both modes",
+			Applies: func(sc Scenario) bool {
+				return len(sc.Reconfigs) > 0
+			},
+			Check: checkReconfigConservation,
 		},
 	}
 }
@@ -223,7 +259,7 @@ func checkConservation(c *Ctx) *Violation {
 	if v := conservationOn(sc, av, "vanilla"); v != nil {
 		return v
 	}
-	if sc.UDPOnly() && !reorderingFault(sc) && av.OrderViols > 0 {
+	if sc.UDPOnly() && !reorderingFault(sc) && !reorderingReconfig(sc) && av.OrderViols > 0 {
 		return &Violation{"conservation",
 			fmt.Sprintf("vanilla: %d per-flow order violations on UDP sockets", av.OrderViols)}
 	}
@@ -266,6 +302,27 @@ func conservationOn(sc Scenario, ac AccountResult, mode string) *Violation {
 			fmt.Sprintf("%s: server side: wire=%d != delivered=%d + nic=%d + backlog=%d + sock=%d + path=%d + l4=%d + lost=%d",
 				mode, ac.Wire, ac.Delivered, ac.NICDrops, ac.BacklogDrops,
 				ac.SocketDrops, ac.PathDrops, ac.L4Drops, ac.LinkLost)}
+	}
+	return nil
+}
+
+// checkReconfigConservation is the "no packet unaccounted across any
+// generation swap" property: the drain-complete accounting run — with
+// the generation schedule armed — must still satisfy the exact
+// conservation equations (generalized over the client's links and both
+// receive hosts) and keep the audit ledger silent, in every applicable
+// mode. A packet silently eaten by a drain, a stale flow-cache entry, or
+// the standby-twin handoff breaks one of the equations.
+func checkReconfigConservation(c *Ctx) *Violation {
+	sc := c.SC
+	for _, mode := range applicableModes(sc) {
+		label := "vanilla+reconfig"
+		if mode {
+			label = "falcon+reconfig"
+		}
+		if v := conservationOn(sc, c.account(sc, mode), label); v != nil {
+			return &Violation{"reconfig-conservation", v.Detail}
+		}
 	}
 	return nil
 }

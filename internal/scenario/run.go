@@ -2,12 +2,16 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"falcon/internal/audit"
 	falconcore "falcon/internal/core"
 	"falcon/internal/devices"
 	"falcon/internal/faults"
+	"falcon/internal/overlay"
+	"falcon/internal/proto"
+	"falcon/internal/reconfig"
 	"falcon/internal/sim"
 	"falcon/internal/socket"
 	"falcon/internal/transport"
@@ -76,6 +80,11 @@ type bed struct {
 	tcp      []*transport.Conn
 	socks    []*socket.Socket // unique sockets, UDP then TCP
 	udpSocks []*socket.Socket
+	// twins holds the spare-host twin socket per UDP flow (nil entries
+	// when the scenario has no drain): same overlay IP and port as the
+	// primary, live the moment the drain remaps the container.
+	twins    []*socket.Socket
+	mgr      *reconfig.Manager
 	audViols []string
 }
 
@@ -93,6 +102,9 @@ func build(sc Scenario, falcon, withAudit bool) *bed {
 		// TCP endpoints share connection state, so scenarios with any
 		// TCP flow colocate both hosts on one shard.
 		Shards: sc.Shards, Colocate: !sc.UDPOnly(),
+		// A drain needs the spare host carrying standby twins of every
+		// server container.
+		Spare: sc.HasDrain(),
 	})
 	tb.E.SetEventBudget(eventBudget)
 	b := &bed{tb: tb}
@@ -138,6 +150,13 @@ func build(sc Scenario, falcon, withAudit bool) *bed {
 			b.udp = append(b.udp, fl)
 			b.socks = append(b.socks, fl.Sock)
 			b.udpSocks = append(b.udpSocks, fl.Sock)
+			var twin *socket.Socket
+			if tb.Spare != nil && f.Ctr > 0 {
+				twin = tb.Spare.OpenUDP(tb.ServerCtrs[f.Ctr-1].IP, uint16(5001+i), sc.AppCore)
+				b.socks = append(b.socks, twin)
+				b.udpSocks = append(b.udpSocks, twin)
+			}
+			b.twins = append(b.twins, twin)
 		case "tcp":
 			cfg := transport.Config{
 				Net:        tb.Net,
@@ -158,7 +177,41 @@ func build(sc Scenario, falcon, withAudit bool) *bed {
 			b.socks = append(b.socks, c.Socket())
 		}
 	}
+	if len(sc.Reconfigs) > 0 {
+		b.mgr = reconfig.New(tb.Net, reconfigSchedule(sc))
+		if err := b.mgr.Arm(sc.Warmup()); err != nil {
+			panic(fmt.Sprintf("scenario: arming reconfig schedule: %v", err))
+		}
+	}
 	return b
+}
+
+// reconfigSchedule translates the scenario's reconfig specs into the
+// concrete generation schedule on the server host (a drain lands the
+// containers on the spare's standby twins and re-adds the server ForMs
+// later). Actions are sorted by effective time, as Arm requires.
+func reconfigSchedule(sc Scenario) *reconfig.Schedule {
+	on, off := true, false
+	var acts []reconfig.Action
+	for _, rc := range sc.Reconfigs {
+		switch rc.Kind {
+		case "drain":
+			acts = append(acts,
+				reconfig.Action{Kind: reconfig.KindDrain, AtMs: rc.AtMs,
+					Host: "server", To: "spare", TransitUs: 200},
+				reconfig.Action{Kind: reconfig.KindAdd, AtMs: rc.AtMs + rc.ForMs, Host: "server"})
+		case "kernel-upgrade":
+			acts = append(acts,
+				reconfig.Action{Kind: reconfig.KindKernelUpgrade, AtMs: rc.AtMs,
+					Host: "server", Kernel: "linux-5.4"})
+		case "rps-flip":
+			acts = append(acts,
+				reconfig.Action{Kind: reconfig.KindRPSFlip, AtMs: rc.AtMs, Host: "server", Enable: &off},
+				reconfig.Action{Kind: reconfig.KindRPSFlip, AtMs: rc.AtMs + rc.ForMs, Host: "server", Enable: &on})
+		}
+	}
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].AtMs < acts[j].AtMs })
+	return &reconfig.Schedule{Actions: acts}
 }
 
 // buildFault resolves a FaultSpec against the concrete testbed.
@@ -237,9 +290,13 @@ func Account(sc Scenario, falcon bool) AccountResult {
 	}
 
 	out := AccountResult{Violations: dedupe(b.audViols)}
-	for _, f := range b.udp {
+	for i, f := range b.udp {
+		delivered := f.Sock.Delivered.Value()
+		if tw := b.twins[i]; tw != nil {
+			delivered += tw.Delivered.Value()
+		}
 		out.PerFlowSent = append(out.PerFlowSent, f.Sent())
-		out.PerFlowDelivered = append(out.PerFlowDelivered, f.Sock.Delivered.Value())
+		out.PerFlowDelivered = append(out.PerFlowDelivered, delivered)
 		out.Sent += f.Sent()
 	}
 	for _, sk := range b.socks {
@@ -249,18 +306,34 @@ func Account(sc Scenario, falcon bool) AccountResult {
 	for _, sk := range b.udpSocks {
 		out.OrderViols += sk.OrderViols
 	}
-	link := b.tb.Client.LinkTo(workload.ServerIP)
-	out.Wire = link.Sent.Value()
-	out.LinkLost = link.Lost.Value()
-	out.LinkDropped = link.Dropped.Value()
-	srv, cli := b.tb.Server, b.tb.Client
-	out.NICDrops = srv.NIC.Drops.Value()
-	out.BacklogDrops = srv.St.Drops.Value()
-	out.PathDrops = srv.Rx.PathDrops.Value()
-	out.L4Drops = srv.L4Drops.Value()
+	// Wire accounting sums every client egress link: without a spare
+	// host that is exactly the client→server link; a drained scenario
+	// also puts post-migration frames on the client→spare link.
+	b.tb.Client.EachLink(func(_ proto.IPv4Addr, l *devices.Link) {
+		out.Wire += l.Sent.Value()
+		out.LinkLost += l.Lost.Value()
+		out.LinkDropped += l.Dropped.Value()
+	})
+	cli := b.tb.Client
+	for _, h := range rxHosts(b.tb) {
+		out.NICDrops += h.NIC.Drops.Value()
+		out.BacklogDrops += h.St.Drops.Value()
+		out.PathDrops += h.Rx.PathDrops.Value()
+		out.L4Drops += h.L4Drops.Value()
+	}
 	out.TxResolveDrops = cli.TxResolveDrops.Value()
 	out.TxBuildDrops = cli.TxBuildDrops.Value()
 	return out
+}
+
+// rxHosts returns every host packets can be delivered on: the server,
+// plus the spare when the scenario provisioned one.
+func rxHosts(tb *workload.Testbed) []*overlay.Host {
+	hs := []*overlay.Host{tb.Server}
+	if tb.Spare != nil {
+		hs = append(hs, tb.Spare)
+	}
+	return hs
 }
 
 // dedupe collapses repeated violation strings (a stuck balance fires

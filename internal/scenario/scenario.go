@@ -25,12 +25,13 @@ import (
 // and link choices mirror the paper's testbed (20-core servers, 10G
 // and 100G NICs).
 const (
-	MinCores   = 6
-	MaxCores   = 16
-	MaxFlows   = 4
-	MaxFaults  = 2
-	MaxWarmpMs = 4
-	MaxWindow  = 12 // ms
+	MinCores     = 6
+	MaxCores     = 16
+	MaxFlows     = 4
+	MaxFaults    = 2
+	MaxReconfigs = 2
+	MaxWarmpMs   = 4
+	MaxWindow    = 12 // ms
 )
 
 // FlowSpec is one traffic source in a scenario.
@@ -69,6 +70,22 @@ type FaultSpec struct {
 	Cores []int `json:"cores,omitempty"`
 }
 
+// ReconfigSpec is one hot-reconfiguration window, resolved against the
+// concrete testbed at run time (see reconfigSchedule): the runner
+// translates it into internal/reconfig generation swaps on the server
+// host, applied at deterministic effective times after warmup.
+type ReconfigSpec struct {
+	// Kind names the swap: "drain" (graceful drain of the server onto
+	// the spare's standby twins, re-added ForMs later), "kernel-upgrade"
+	// (cost-profile swap to 5.4; ForMs ignored), "rps-flip" (RPS
+	// disabled at AtMs, re-enabled ForMs later).
+	Kind string `json:"kind"`
+	// AtMs is the swap's effective time in ms after warmup; ForMs the
+	// window until the reverse swap for drain/rps-flip.
+	AtMs  int `json:"at_ms"`
+	ForMs int `json:"for_ms,omitempty"`
+}
+
 // Scenario is one fully specified simulation configuration: topology,
 // kernel/steering config, workload, and optional fault schedule. It is
 // the unit the fuzzer generates, the oracles check, and the shrinker
@@ -101,6 +118,9 @@ type Scenario struct {
 
 	Flows  []FlowSpec  `json:"flows"`
 	Faults []FaultSpec `json:"faults,omitempty"`
+	// Reconfigs schedules hot generation swaps during the window. A
+	// drain additionally provisions the spare host with standby twins.
+	Reconfigs []ReconfigSpec `json:"reconfigs,omitempty"`
 
 	// Shards > 1 runs the scenario on a conservative PDES cluster
 	// (internal/sim.Cluster) instead of the serial engine. Excluded from
@@ -147,6 +167,22 @@ func (sc Scenario) OverlayOnly() bool {
 		}
 	}
 	return true
+}
+
+// HasDrain reports whether the reconfig schedule drains the server (the
+// runner then provisions the spare host and twin sockets).
+func (sc Scenario) HasDrain() bool {
+	for _, rc := range sc.Reconfigs {
+		if rc.Kind == "drain" {
+			return true
+		}
+	}
+	return false
+}
+
+// validReconfigKinds is the closed set reconfigSchedule translates.
+var validReconfigKinds = map[string]bool{
+	"drain": true, "kernel-upgrade": true, "rps-flip": true,
 }
 
 // validFaultKinds is the closed set buildFault resolves.
@@ -235,6 +271,39 @@ func (sc Scenario) Validate() error {
 				return fmt.Errorf("scenario: fault %d: core %d outside machine", i, c)
 			}
 		}
+	}
+	if len(sc.Reconfigs) > MaxReconfigs {
+		return fmt.Errorf("scenario: %d reconfigs (max %d)", len(sc.Reconfigs), MaxReconfigs)
+	}
+	drains := 0
+	for i, rc := range sc.Reconfigs {
+		if !validReconfigKinds[rc.Kind] {
+			return fmt.Errorf("scenario: reconfig %d: unknown kind %q", i, rc.Kind)
+		}
+		if rc.Kind == "kernel-upgrade" {
+			if rc.AtMs < 0 || rc.AtMs > sc.WindowMs {
+				return fmt.Errorf("scenario: reconfig %d: at_ms %d outside the %dms window",
+					i, rc.AtMs, sc.WindowMs)
+			}
+			continue
+		}
+		if rc.AtMs < 0 || rc.ForMs < 1 || rc.AtMs+rc.ForMs > sc.WindowMs {
+			return fmt.Errorf("scenario: reconfig %d: window [%d,%d)ms outside the %dms measurement window",
+				i, rc.AtMs, rc.AtMs+rc.ForMs, sc.WindowMs)
+		}
+		if rc.Kind == "drain" {
+			drains++
+			// A drain remaps every server container onto the spare's
+			// standby twins: it needs overlay UDP flows only (TCP state
+			// and host-networking sockets cannot migrate) and at least
+			// one container to remap.
+			if !sc.UDPOnly() || !sc.OverlayOnly() || sc.Containers < 1 {
+				return fmt.Errorf("scenario: reconfig %d: drain requires overlay-only UDP flows and containers >= 1", i)
+			}
+		}
+	}
+	if drains > 1 {
+		return fmt.Errorf("scenario: %d drains (max 1)", drains)
 	}
 	return nil
 }

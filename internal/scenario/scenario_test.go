@@ -155,8 +155,8 @@ func TestLoadFileReproducer(t *testing.T) {
 
 func TestByNameSelection(t *testing.T) {
 	all, err := ByName(nil)
-	if err != nil || len(all) != 5 {
-		t.Fatalf("full battery = %d oracles, err %v; want 5", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("full battery = %d oracles, err %v; want 6", len(all), err)
 	}
 	sel, err := ByName([]string{"conservation", "fault-sanity"})
 	if err != nil || len(sel) != 2 || sel[0].Name != "conservation" || sel[1].Name != "fault-sanity" {

@@ -56,15 +56,6 @@ func TestCorpusShardInvariance(t *testing.T) {
 	}
 }
 
-// applicableModes mirrors the oracle battery's mode selection: scenarios
-// without Falcon CPUs only run vanilla.
-func applicableModes(sc Scenario) []bool {
-	if len(sc.FalconCPUs) == 0 {
-		return []bool{false}
-	}
-	return []bool{false, true}
-}
-
 // accountFingerprint renders an AccountResult for byte comparison.
 func accountFingerprint(a AccountResult) string {
 	out := ""

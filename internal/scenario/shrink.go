@@ -73,12 +73,17 @@ func mutations(sc Scenario) []Scenario {
 		m.Faults = append(append([]FaultSpec(nil), sc.Faults[:i]...), sc.Faults[i+1:]...)
 		add(m)
 	}
+	for i := range sc.Reconfigs {
+		m := sc
+		m.Reconfigs = append(append([]ReconfigSpec(nil), sc.Reconfigs[:i]...), sc.Reconfigs[i+1:]...)
+		add(m)
+	}
 
 	// Shorter run.
 	if sc.WindowMs > 2 {
 		m := sc
 		m.WindowMs = max(2, sc.WindowMs/2)
-		m = clampFaults(m)
+		m = clampReconfigs(clampFaults(m))
 		add(m)
 	}
 	if sc.WarmupMs > 1 {
@@ -158,6 +163,19 @@ func mutations(sc Scenario) []Scenario {
 		}
 	}
 	return out
+}
+
+// clampReconfigs drops reconfig windows that no longer fit a shrunken
+// measurement window.
+func clampReconfigs(sc Scenario) Scenario {
+	var kept []ReconfigSpec
+	for _, rc := range sc.Reconfigs {
+		if rc.AtMs+rc.ForMs <= sc.WindowMs {
+			kept = append(kept, rc)
+		}
+	}
+	sc.Reconfigs = kept
+	return sc
 }
 
 // clampFaults pulls fault windows back inside a shrunken measurement

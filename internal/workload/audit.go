@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"falcon/internal/audit"
+	"falcon/internal/devices"
 	"falcon/internal/overlay"
 	"falcon/internal/proto"
 	"falcon/internal/skb"
@@ -24,7 +25,7 @@ import (
 func (tb *Testbed) EnableAudit(cfg audit.Config) *audit.Auditor {
 	a := audit.New(tb.E, cfg)
 	tb.Audit = a
-	hosts := []*overlay.Host{tb.Client, tb.Server}
+	hosts := tb.Hosts()
 
 	sum := func(get func(h *overlay.Host) uint64) func() uint64 {
 		return func() uint64 {
@@ -46,10 +47,10 @@ func (tb *Testbed) EnableAudit(cfg audit.Config) *audit.Auditor {
 		[]audit.Term{audit.T("stack.Drops", sum(func(h *overlay.Host) uint64 { return h.St.Drops.Value() }))},
 		[]audit.Term{audit.T("ledger", a.Disposed("drop:backlog"))})
 	a.Balance("link-loss",
-		[]audit.Term{audit.T("link.Lost", sum(func(h *overlay.Host) uint64 { return h.LinkTo(peerIP(h)).Lost.Value() }))},
+		[]audit.Term{audit.T("link.Lost", sum(func(h *overlay.Host) uint64 { return linkSum(h, func(l *devices.Link) uint64 { return l.Lost.Value() }) }))},
 		[]audit.Term{audit.T("ledger", a.Disposed("drop:link-loss"))})
 	a.Balance("link-txq",
-		[]audit.Term{audit.T("link.Dropped", sum(func(h *overlay.Host) uint64 { return h.LinkTo(peerIP(h)).Dropped.Value() }))},
+		[]audit.Term{audit.T("link.Dropped", sum(func(h *overlay.Host) uint64 { return linkSum(h, func(l *devices.Link) uint64 { return l.Dropped.Value() }) }))},
 		[]audit.Term{audit.T("ledger", a.Disposed("drop:link-txq"))})
 	a.Balance("gro-absorbed",
 		[]audit.Term{
@@ -116,13 +117,13 @@ func (tb *Testbed) EnableAudit(cfg audit.Config) *audit.Auditor {
 	return a
 }
 
-// peerIP returns the other testbed host's IP (the only link each
-// standard-testbed host has).
-func peerIP(h *overlay.Host) proto.IPv4Addr {
-	if h.IP == ClientIP {
-		return ServerIP
-	}
-	return ClientIP
+// linkSum aggregates a counter over every outgoing link of h. Each
+// unidirectional link is owned by exactly one sending host, so summing
+// per-host egress links visits every link in the testbed exactly once.
+func linkSum(h *overlay.Host, get func(l *devices.Link) uint64) uint64 {
+	var n uint64
+	h.EachLink(func(_ proto.IPv4Addr, l *devices.Link) { n += get(l) })
+	return n
 }
 
 // dumpHost renders one host's per-core state for watchdog reports and

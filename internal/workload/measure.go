@@ -36,6 +36,9 @@ func MeasureWindow(tb *Testbed, socks []*socket.Socket, warmup, window sim.Time)
 	tb.Run(warmup)
 	tb.Server.ResetMeasurement()
 	tb.Client.ResetMeasurement()
+	if tb.Spare != nil {
+		tb.Spare.ResetMeasurement()
+	}
 	for _, sk := range socks {
 		sk.ResetMeasurement()
 	}

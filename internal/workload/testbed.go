@@ -21,6 +21,10 @@ import (
 var (
 	ClientIP = proto.IP4(192, 168, 1, 1)
 	ServerIP = proto.IP4(192, 168, 1, 2)
+	// SpareIP is the optional third host (TestbedConfig.Spare): the
+	// migration target reconfiguration drains the server's containers
+	// onto.
+	SpareIP = proto.IP4(192, 168, 1, 3)
 )
 
 // ContainerIP returns the private IP of container i (1-based) on the
@@ -58,6 +62,11 @@ type TestbedConfig struct {
 	// required by workloads whose endpoints share state across hosts
 	// (TCP connections and closed-loop RPC apps).
 	Colocate bool
+	// Spare adds a third host (SpareIP, shard 2) carrying one standby
+	// twin per server-side container — the landing zone for a
+	// reconfiguration drain of the server. Twins are dark (not in the
+	// KV) until a drain remaps them.
+	Spare bool
 }
 
 // Defaults fills zero fields with the paper's standard setup.
@@ -80,13 +89,17 @@ func (c TestbedConfig) withDefaults() TestbedConfig {
 	return c
 }
 
-// Testbed is the standard client/server pair.
+// Testbed is the standard client/server pair, optionally with a spare
+// migration-target host.
 type Testbed struct {
 	E              sim.Sim
 	Net            *overlay.Network
 	Client, Server *overlay.Host
-	// ClientCtrs and ServerCtrs are the per-side containers.
-	ClientCtrs, ServerCtrs []*overlay.Container
+	// Spare is the standby host (nil unless TestbedConfig.Spare).
+	Spare *overlay.Host
+	// ClientCtrs and ServerCtrs are the per-side containers; SpareCtrs
+	// are the spare host's standby twins (same IPs as ServerCtrs).
+	ClientCtrs, ServerCtrs, SpareCtrs []*overlay.Container
 	// Audit is non-nil after EnableAudit.
 	Audit *audit.Auditor
 }
@@ -119,13 +132,41 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		tb.Client.LinkTo(ServerIP).MTU = cfg.MTU
 		tb.Server.LinkTo(ClientIP).MTU = cfg.MTU
 	}
+	if cfg.Spare {
+		spareShard := 2
+		if cfg.Colocate {
+			spareShard = 0
+		}
+		tb.Spare = mk("spare", SpareIP, spareShard)
+		n.Connect(tb.Client, tb.Spare, cfg.LinkRate, sim.Microsecond)
+		n.Connect(tb.Server, tb.Spare, cfg.LinkRate, sim.Microsecond)
+		if cfg.MTU > 0 {
+			tb.Client.LinkTo(SpareIP).MTU = cfg.MTU
+			tb.Spare.LinkTo(ClientIP).MTU = cfg.MTU
+			tb.Server.LinkTo(SpareIP).MTU = cfg.MTU
+			tb.Spare.LinkTo(ServerIP).MTU = cfg.MTU
+		}
+	}
 	for i := 1; i <= cfg.Containers; i++ {
 		tb.ClientCtrs = append(tb.ClientCtrs,
 			tb.Client.AddContainer(fmt.Sprintf("cli-%d", i), ContainerIP(0, i)))
 		tb.ServerCtrs = append(tb.ServerCtrs,
 			tb.Server.AddContainer(fmt.Sprintf("srv-%d", i), ContainerIP(1, i)))
+		if tb.Spare != nil {
+			tb.SpareCtrs = append(tb.SpareCtrs,
+				tb.Spare.AddStandbyContainer(fmt.Sprintf("srv-%d-twin", i), ContainerIP(1, i)))
+		}
 	}
 	return tb
+}
+
+// Hosts returns the testbed's live hosts (2 or 3 with a spare).
+func (tb *Testbed) Hosts() []*overlay.Host {
+	hosts := []*overlay.Host{tb.Client, tb.Server}
+	if tb.Spare != nil {
+		hosts = append(hosts, tb.Spare)
+	}
+	return hosts
 }
 
 // EnableFalconOnServer attaches Falcon to the receive-heavy side.
