@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race audit reconfig fuzz bench-smoke bench-report bench-baseline experiments profile clean
+.PHONY: all build vet test race audit reconfig fuzz scale bench-smoke bench-report bench-baseline experiments profile clean
 
 all: vet build test
 
@@ -17,11 +17,11 @@ race:
 	$(GO) test -race ./...
 
 # Full self-audit: fig10 and abl-chaos with runtime verification on
-# (SKB ledger, conservation invariants, watchdog), through the parallel
-# runner, fenced by wall-clock and event budgets. Any invariant breach
-# aborts nonzero and leaves a falcon-audit-*.dump for -replay.
+# (SKB ledger, conservation invariants, watchdog), fenced by wall-clock
+# and event budgets. Any invariant breach aborts nonzero and leaves a
+# falcon-audit-*.dump for -replay.
 audit:
-	$(GO) run -race ./cmd/falconsim -exp fig10,abl-chaos -audit -parallel 2 \
+	$(GO) run -race ./cmd/falconsim -exp fig10,abl-chaos -audit \
 		-deadline 20m -max-events 2000000000
 
 # Hot reconfiguration under load: generation swaps (kernel roll,
@@ -41,7 +41,13 @@ reconfig:
 # shrunk and written as falcon-fuzz-*.json reproducers (replay:
 # falconsim -scenario <file>).
 fuzz:
-	$(GO) run ./cmd/falconsim -fuzz -seeds 50 -parallel 4 -deadline 10m
+	$(GO) run ./cmd/falconsim -fuzz -seeds 50 -fuzz-workers 4 -deadline 10m
+
+# PDES scaling sweep: the mesh8 benchmark at -shards {1,2,4,auto} with
+# window synchronization metrics (windows/sec, width, cross-shard
+# traffic, worker idle fraction) per configuration.
+scale:
+	$(GO) run ./cmd/falconsim -scale
 
 # One full pass of every experiment benchmark (quick windows).
 bench-smoke:

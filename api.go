@@ -114,7 +114,15 @@ func NewEngine(seed uint64) *Engine { return sim.New(seed) }
 
 // NewCluster returns a deterministic multi-shard PDES simulation whose
 // printed results are byte-identical to the serial engine's.
-func NewCluster(seed uint64, shards, workers int) *Cluster { return sim.NewCluster(seed, shards, workers) }
+func NewCluster(seed uint64, shards, workers int) *Cluster {
+	return sim.NewCluster(seed, shards, workers)
+}
+
+// AutoShards picks a (shards, workers) pair for a topology with the
+// given host count from runtime.NumCPU() — the CLI's `-shards auto`.
+// (1, 1) means "use the serial engine". A negative TestbedConfig.Shards
+// applies the same heuristic inside NewTestbed.
+func AutoShards(hosts int) (shards, workers int) { return sim.AutoShards(hosts) }
 
 // NewTestbed builds the standard client/server testbed.
 func NewTestbed(cfg TestbedConfig) *Testbed { return workload.NewTestbed(cfg) }

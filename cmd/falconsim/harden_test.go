@@ -25,11 +25,12 @@ func chdirTemp(t *testing.T) string {
 	return dir
 }
 
-// TestParallelSurvivesWorkerPanic pins the hardened pool contract: a
-// panicking shard (here an audit selftest that aborts by design) must
-// not take down the process or the other shards — its failure is
-// counted, its dump written, and every healthy experiment still renders.
-func TestParallelSurvivesWorkerPanic(t *testing.T) {
+// TestRunnerSurvivesPanic pins the hardened runner contract: a
+// panicking experiment (here an audit selftest that aborts by design)
+// must not take down the process or the remaining experiments — its
+// failure is counted, its dump written, and every healthy experiment
+// still renders.
+func TestRunnerSurvivesPanic(t *testing.T) {
 	chdirTemp(t)
 	var exps []experiments.Experiment
 	for _, id := range []string{"audit-leak", "fig4"} {
@@ -40,15 +41,15 @@ func TestParallelSurvivesWorkerPanic(t *testing.T) {
 		exps = append(exps, e)
 	}
 	var out bytes.Buffer
-	failures := runExperiments(exps, experiments.Options{Quick: true, Seed: 1}, 2, &out)
+	failures := runExperiments(exps, experiments.Options{Quick: true, Seed: 1}, &out)
 	if failures != 1 {
 		t.Fatalf("failures = %d, want 1", failures)
 	}
 	if !strings.Contains(out.String(), "### fig4") {
-		t.Fatal("healthy shard's output lost when a sibling panicked")
+		t.Fatal("healthy experiment's output lost when a sibling panicked")
 	}
 	if strings.Contains(out.String(), "audit-leak —") {
-		t.Fatal("failed shard still rendered tables")
+		t.Fatal("failed experiment still rendered tables")
 	}
 	if _, err := os.Stat("falcon-audit-audit-leak.dump"); err != nil {
 		t.Fatalf("audit abort did not write its replay dump: %v", err)
@@ -62,7 +63,7 @@ func TestReplayReproducesDump(t *testing.T) {
 	chdirTemp(t)
 	e, _ := experiments.ByID("audit-double-free")
 	var out bytes.Buffer
-	if f := runExperiments([]experiments.Experiment{e}, experiments.Options{Quick: true, Seed: 1}, 1, &out); f != 1 {
+	if f := runExperiments([]experiments.Experiment{e}, experiments.Options{Quick: true, Seed: 1}, &out); f != 1 {
 		t.Fatalf("selftest did not fail (failures=%d)", f)
 	}
 	if code := runReplay("falcon-audit-audit-double-free.dump", 0); code != 1 {

@@ -2,25 +2,26 @@
 //
 // Usage:
 //
-//	falconsim -list                 # list available experiments
-//	falconsim -exp fig10            # run one experiment
-//	falconsim -exp fig10,fig13      # run several
-//	falconsim -all                  # run everything
-//	falconsim -all -quick           # shorter measurement windows
-//	falconsim -all -parallel 8      # run experiments concurrently
-//	falconsim -exp mesh8 -shards 4  # PDES: shard one simulation across goroutines
+//	falconsim -list                    # list available experiments
+//	falconsim -exp fig10               # run one experiment
+//	falconsim -exp fig10,fig13         # run several
+//	falconsim -all                     # run everything
+//	falconsim -all -quick              # shorter measurement windows
+//	falconsim -exp mesh8 -shards 4     # PDES: shard one simulation across goroutines
+//	falconsim -exp mesh8 -shards auto  # pick shards/workers from topology × NumCPU
 //	falconsim -exp fig10 -kernel 5.4
 //	falconsim -exp fig10 -cpuprofile cpu.out -memprofile mem.out
 //	falconsim -bench-report BENCH_sim.json
+//	falconsim -scale                 # sweep -shards {1,2,4,auto} over the PDES bench
 //	falconsim -fuzz -seeds 50        # scenario fuzzing under the oracle battery
 //	falconsim -scenario repro.json   # replay a fuzz reproducer
 //
 // Tables always print to stdout in the order the experiments were
-// requested, whatever the parallelism; per-experiment timing goes to
-// stderr so stdout is byte-deterministic for a given seed. -shards runs
-// each simulation on a conservative PDES cluster (one logical process
-// per simulated host); outputs are byte-identical to the serial engine
-// for every shard count.
+// requested; per-experiment timing goes to stderr so stdout is
+// byte-deterministic for a given seed. -shards runs each simulation on
+// a conservative PDES cluster (one logical process per simulated
+// host); outputs are byte-identical to the serial engine for every
+// shard count, including auto.
 package main
 
 import (
@@ -31,8 +32,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"falcon/internal/audit"
@@ -57,8 +58,7 @@ func run() int {
 		quick     = flag.Bool("quick", false, "short measurement windows")
 		kernel    = flag.String("kernel", "", `kernel cost profile ("4.19" default, "5.4")`)
 		seed      = flag.Uint64("seed", 1, "simulation seed")
-		parallel  = flag.Int("parallel", 1, "experiments run concurrently (each on its own engine)")
-		shards    = flag.Int("shards", 0, "PDES shards per simulation (0/1 = serial engine; outputs are byte-identical for every value)")
+		shardsF   = flag.String("shards", "", `PDES shards per simulation: a count (0/1 = serial engine), or "auto" to derive shards and workers from each bed's topology and runtime.NumCPU(); outputs are byte-identical for every value`)
 		report    = flag.String("bench-report", "", "write a hot-path benchmark report to this JSON file and exit")
 		baseline  = flag.String("bench-baseline", "", "with -bench-report: fail on regression against this baseline JSON (allocs/pkt, ns/pkt, sharded speedup)")
 		auditOn   = flag.Bool("audit", false, "enable runtime verification (SKB ledger, conservation invariants, watchdog); breaches abort with a replayable dump")
@@ -70,16 +70,25 @@ func run() int {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 
-		fuzz       = flag.Bool("fuzz", false, "generate random scenarios and check them against the metamorphic oracle battery")
-		seeds      = flag.Int("seeds", 50, "with -fuzz: how many consecutive fuzz seeds to run")
-		fuzzSeed   = flag.Uint64("fuzz-seed", 1, "with -fuzz: first fuzz seed")
-		oracleSel  = flag.String("oracles", "", "with -fuzz/-scenario: comma-separated oracle subset (default all)")
-		reproDir   = flag.String("repro-dir", ".", "with -fuzz: directory for shrunk reproducer files")
-		noShrink   = flag.Bool("no-shrink", false, "with -fuzz: skip minimization of violating scenarios")
-		scenarioF  = flag.String("scenario", "", "replay a scenario or fuzz-reproducer JSON file and exit")
-		fuzzDefect = flag.String("fuzz-defect", "", "seed a known datapath defect (fuzzer self-test): drop-falcon-cpu")
+		scale = flag.Bool("scale", false, "sweep the PDES benchmark over -shards {1,2,4,auto} and print a scaling table")
+
+		fuzz        = flag.Bool("fuzz", false, "generate random scenarios and check them against the metamorphic oracle battery")
+		fuzzWorkers = flag.Int("fuzz-workers", 1, "with -fuzz: seeds run concurrently (each scenario owns its engine)")
+		seeds       = flag.Int("seeds", 50, "with -fuzz: how many consecutive fuzz seeds to run")
+		fuzzSeed    = flag.Uint64("fuzz-seed", 1, "with -fuzz: first fuzz seed")
+		oracleSel   = flag.String("oracles", "", "with -fuzz/-scenario: comma-separated oracle subset (default all)")
+		reproDir    = flag.String("repro-dir", ".", "with -fuzz: directory for shrunk reproducer files")
+		noShrink    = flag.Bool("no-shrink", false, "with -fuzz: skip minimization of violating scenarios")
+		scenarioF   = flag.String("scenario", "", "replay a scenario or fuzz-reproducer JSON file and exit")
+		fuzzDefect  = flag.String("fuzz-defect", "", "seed a known datapath defect (fuzzer self-test): drop-falcon-cpu")
 	)
 	flag.Parse()
+
+	shards, err := parseShards(*shardsF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -119,7 +128,7 @@ func run() int {
 	}
 
 	if *scenarioF != "" {
-		return runScenario(*scenarioF, *shards)
+		return runScenario(*scenarioF, shards)
 	}
 
 	if *fuzz {
@@ -134,7 +143,7 @@ func run() int {
 		return runFuzz(scenario.FuzzOptions{
 			Seeds: *seeds, StartSeed: *fuzzSeed, Oracles: sel,
 			ReproDir: *reproDir, NoShrink: *noShrink,
-			Workers: *parallel, ExtraArgs: extra,
+			Workers: *fuzzWorkers, ExtraArgs: extra,
 		})
 	}
 
@@ -143,8 +152,12 @@ func run() int {
 	}
 
 	if *report != "" {
-		return benchReport(*report, *baseline, *parallel, *shards,
+		return benchReport(*report, *baseline, shards,
 			experiments.Options{Kernel: *kernel, Seed: *seed})
+	}
+
+	if *scale {
+		return runScale(experiments.Options{Kernel: *kernel, Seed: *seed})
 	}
 
 	var exps []experiments.Experiment
@@ -166,7 +179,7 @@ func run() int {
 
 	opt := experiments.Options{
 		Quick: *quick, Kernel: *kernel, Seed: *seed,
-		Audit: *auditOn, MaxEvents: *maxEvents, Shards: *shards,
+		Audit: *auditOn, MaxEvents: *maxEvents, Shards: shards,
 	}
 	if *reconfigF != "" {
 		sched, err := reconfig.LoadFile(*reconfigF)
@@ -176,7 +189,7 @@ func run() int {
 		}
 		opt.Reconfig = sched
 	}
-	failures := runExperiments(exps, opt, *parallel, os.Stdout)
+	failures := runExperiments(exps, opt, os.Stdout)
 	if n := skb.PoolMisuses(); n > 0 {
 		fmt.Fprintf(os.Stderr, "falconsim: WARNING: %d SKB pool misuses (double-free or stale-generation free) were dropped; run with -audit for attribution\n", n)
 	}
@@ -259,32 +272,39 @@ func runReplay(path string, maxEvents uint64) int {
 	return code
 }
 
-// runExperiments runs every experiment, up to `workers` concurrently
-// (each builds its own engine, so runs share nothing but buffer pools),
-// and streams rendered tables to out in request order. A worker panic
-// (audit abort, event-budget breach, or a genuine bug) is recovered and
+// parseShards maps the -shards flag to an Options.Shards value: empty or
+// a number pass through (0/1 = serial), "auto" becomes the sentinel each
+// bed resolves against its own topology via sim.AutoShards.
+func parseShards(s string) (int, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "auto":
+		return experiments.ShardsAuto, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf(`-shards: want a non-negative count or "auto", got %q`, s)
+	}
+	return n, nil
+}
+
+// runExperiments runs the experiments sequentially — simulation-level
+// parallelism now lives inside each run (-shards), where it speeds up a
+// single simulation instead of merely overlapping independent ones —
+// and streams rendered tables to out in request order. A panic (audit
+// abort, event-budget breach, or a genuine bug) is recovered and
 // reported on stderr with the failing experiment/seed — audit aborts
 // additionally write a replayable dump — and the failure count is
-// returned instead of crashing the pool mid-run.
-func runExperiments(exps []experiments.Experiment, opt experiments.Options, workers int, out io.Writer) int {
-	if workers < 1 {
-		workers = 1
-	}
-	var failures atomic.Int64
-	done := make([]chan string, len(exps))
-	for i := range done {
-		done[i] = make(chan string, 1)
-	}
-	sem := make(chan struct{}, workers)
+// returned instead of crashing the run.
+func runExperiments(exps []experiments.Experiment, opt experiments.Options, out io.Writer) int {
+	failures := 0
 	for i, e := range exps {
-		go func(i int, e experiments.Experiment) {
-			sem <- struct{}{}
-			defer func() { <-sem }()
+		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					failures.Add(1)
-					reportWorkerPanic(e, opt, i, len(exps), r)
-					done[i] <- ""
+					failures++
+					reportRunPanic(e, opt, i, len(exps), r)
 				}
 			}()
 			start := time.Now()
@@ -295,25 +315,22 @@ func runExperiments(exps []experiments.Experiment, opt experiments.Options, work
 				fmt.Fprintln(&b, t)
 			}
 			fmt.Fprintf(os.Stderr, "falconsim: %s  [%.1fs]\n", e.ID, time.Since(start).Seconds())
-			done[i] <- b.String()
-		}(i, e)
+			fmt.Fprint(out, b.String())
+		}()
 	}
-	for i := range exps {
-		fmt.Fprint(out, <-done[i])
-	}
-	return int(failures.Load())
+	return failures
 }
 
-// reportWorkerPanic renders one recovered worker failure: the failing
-// experiment, seed and shard on stderr, plus a replayable dump file for
-// audit aborts and a state dump for event-budget breaches.
-func reportWorkerPanic(e experiments.Experiment, opt experiments.Options, shard, total int, r any) {
+// reportRunPanic renders one recovered experiment failure: the failing
+// experiment and seed on stderr, plus a replayable dump file for audit
+// aborts and a state dump for event-budget breaches.
+func reportRunPanic(e experiments.Experiment, opt experiments.Options, idx, total int, r any) {
 	seed := opt.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	fmt.Fprintf(os.Stderr, "falconsim: PANIC in %s (seed %d, shard %d/%d): %v\n",
-		e.ID, seed, shard+1, total, r)
+	fmt.Fprintf(os.Stderr, "falconsim: PANIC in %s (seed %d, experiment %d/%d): %v\n",
+		e.ID, seed, idx+1, total, r)
 	info := audit.RunInfo{Exp: e.ID, Seed: int64(seed), Kernel: opt.Kernel, Quick: opt.Quick}
 	switch v := r.(type) {
 	case *audit.Abort:
@@ -328,16 +345,21 @@ func reportWorkerPanic(e experiments.Experiment, opt experiments.Options, shard,
 	}
 }
 
-// parallelBench records the -all wall-clock comparison between a serial
-// run and a worker-pool run (quick windows keep the double run cheap).
-// This is experiment-level parallelism: independent simulations sharing
-// nothing but buffer pools.
-type parallelBench struct {
-	Workers         int     `json:"workers"`
-	Quick           bool    `json:"quick"`
-	SerialSeconds   float64 `json:"serial_seconds"`
-	ParallelSeconds float64 `json:"parallel_seconds"`
-	Speedup         float64 `json:"speedup"`
+// windowBench summarizes the cluster's synchronization behaviour over
+// one sharded run: how many safe-horizon windows the coordinator cut,
+// how wide they were in simulated time, how much cross-shard traffic
+// each carried, and what fraction of worker slots sat idle (busy-shard
+// deficit, not OS scheduling).
+type windowBench struct {
+	Windows          uint64  `json:"windows"`
+	WindowsPerSec    float64 `json:"windows_per_sec"`
+	AvgWidthSimNs    float64 `json:"avg_width_sim_ns"`
+	CrossShardMsgs   uint64  `json:"cross_shard_msgs"`
+	MsgsPerWindow    float64 `json:"msgs_per_window"`
+	WorkerIdleFrac   float64 `json:"worker_idle_fraction"`
+	AvgBusyShards    float64 `json:"avg_busy_shards"`
+	GlobalEvents     uint64  `json:"global_events"`
+	AdaptiveHorizons bool    `json:"adaptive_horizons"`
 }
 
 // shardedBench records the intra-simulation PDES comparison: one
@@ -346,18 +368,31 @@ type parallelBench struct {
 // host's core count at measurement time — on fewer cores than shards the
 // speedup honestly reflects synchronization overhead, not parallelism.
 type shardedBench struct {
-	Shards         int     `json:"shards"`
-	Experiment     string  `json:"experiment"`
-	NumCPU         int     `json:"num_cpu"`
-	SerialSeconds  float64 `json:"serial_seconds"`
-	ShardedSeconds float64 `json:"sharded_seconds"`
-	Speedup        float64 `json:"speedup"`
+	Shards         int         `json:"shards"`
+	Experiment     string      `json:"experiment"`
+	NumCPU         int         `json:"num_cpu"`
+	SerialSeconds  float64     `json:"serial_seconds"`
+	ShardedSeconds float64     `json:"sharded_seconds"`
+	Speedup        float64     `json:"speedup"`
+	Windows        windowBench `json:"windows"`
+}
+
+// autoBench records the -shards auto resolution and its wall-clock
+// against the same serial baseline: the counts sim.AutoShards picked for
+// the benchmark topology on this machine. On a single-CPU host auto
+// degrades to the serial engine and the speedup is exactly 1.0x by
+// construction.
+type autoBench struct {
+	Shards  int     `json:"shards"`
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup"`
 }
 
 type benchReportFile struct {
-	HotPath  experiments.HotPathBench `json:"hot_path"`
-	Parallel parallelBench            `json:"parallel"`
-	Sharded  shardedBench             `json:"sharded"`
+	HotPath experiments.HotPathBench `json:"hot_path"`
+	Sharded shardedBench             `json:"sharded"`
+	Auto    autoBench                `json:"sharded_auto"`
 }
 
 // shardBenchExp is the experiment the sharded-vs-serial benchmark times:
@@ -365,32 +400,43 @@ type benchReportFile struct {
 // and receives cross-shard traffic.
 const shardBenchExp = "mesh8"
 
-// benchReport produces BENCH_sim.json: full-window hot-path metrics, the
-// experiment-level parallel-runner speedup, and the intra-simulation
-// PDES speedup, optionally guarded against a committed baseline. Returns
-// the process exit code.
-func benchReport(path, baselinePath string, workers, shards int, opt experiments.Options) int {
-	if workers <= 1 {
-		workers = runtime.GOMAXPROCS(0)
-		if workers < 2 {
-			// Still exercise the pool on single-core machines; the
-			// recorded speedup is then honestly ~1.0x (hardware-bound).
-			workers = 2
-		}
+// shardBenchHosts is shardBenchExp's host count, used to report what
+// -shards auto resolves to on this machine.
+const shardBenchHosts = 8
+
+// fillWindowBench derives the report's window metrics from the raw
+// cluster counters and the run's wall-clock.
+func fillWindowBench(ws sim.ClusterStats, seconds float64, adaptive bool) windowBench {
+	wb := windowBench{
+		Windows:          ws.Windows,
+		CrossShardMsgs:   ws.Msgs,
+		GlobalEvents:     ws.Globals,
+		AdaptiveHorizons: adaptive,
 	}
+	if ws.Windows > 0 {
+		wb.AvgWidthSimNs = float64(ws.WidthSum) / float64(ws.Windows)
+		wb.MsgsPerWindow = float64(ws.Msgs) / float64(ws.Windows)
+		wb.AvgBusyShards = float64(ws.BusySum) / float64(ws.Windows)
+	}
+	if seconds > 0 {
+		wb.WindowsPerSec = float64(ws.Windows) / seconds
+	}
+	if ws.Slots > 0 {
+		wb.WorkerIdleFrac = 1 - float64(ws.UsedSlots)/float64(ws.Slots)
+	}
+	return wb
+}
+
+// benchReport produces BENCH_sim.json: full-window hot-path metrics and
+// the intra-simulation PDES speedup (forced shard count plus the
+// -shards auto resolution), optionally guarded against a committed
+// baseline. Returns the process exit code.
+func benchReport(path, baselinePath string, shards int, opt experiments.Options) int {
 	if shards <= 1 {
 		shards = 4
 	}
 	fmt.Fprintf(os.Stderr, "falconsim: bench: hot path (full windows)...\n")
 	hot := experiments.BenchHotPath(opt)
-
-	qopt := opt
-	qopt.Quick = true
-	exps := experiments.All()
-	fmt.Fprintf(os.Stderr, "falconsim: bench: -all serial (quick)...\n")
-	serial := timeAll(exps, qopt, 1)
-	fmt.Fprintf(os.Stderr, "falconsim: bench: -all -parallel %d (quick)...\n", workers)
-	par := timeAll(exps, qopt, workers)
 
 	mesh, ok := experiments.ByID(shardBenchExp)
 	if !ok {
@@ -399,22 +445,32 @@ func benchReport(path, baselinePath string, workers, shards int, opt experiments
 	}
 	fmt.Fprintf(os.Stderr, "falconsim: bench: %s serial (full windows)...\n", shardBenchExp)
 	meshSerial := timeExp(mesh, opt)
+
 	sopt := opt
 	sopt.Shards = shards
+	var ws sim.ClusterStats
+	sopt.WindowStats = &ws
 	fmt.Fprintf(os.Stderr, "falconsim: bench: %s -shards %d (full windows)...\n", shardBenchExp, shards)
 	meshSharded := timeExp(mesh, sopt)
 
+	aopt := opt
+	aopt.Shards = experiments.ShardsAuto
+	autoShards, autoWorkers := sim.AutoShards(shardBenchHosts)
+	fmt.Fprintf(os.Stderr, "falconsim: bench: %s -shards auto → %d shards, %d workers (full windows)...\n",
+		shardBenchExp, autoShards, autoWorkers)
+	meshAuto := timeExp(mesh, aopt)
+
 	rep := benchReportFile{
 		HotPath: hot,
-		Parallel: parallelBench{
-			Workers: workers, Quick: true,
-			SerialSeconds: serial, ParallelSeconds: par,
-			Speedup: serial / par,
-		},
 		Sharded: shardedBench{
 			Shards: shards, Experiment: shardBenchExp, NumCPU: runtime.NumCPU(),
 			SerialSeconds: meshSerial, ShardedSeconds: meshSharded,
 			Speedup: meshSerial / meshSharded,
+			Windows: fillWindowBench(ws, meshSharded, true),
+		},
+		Auto: autoBench{
+			Shards: autoShards, Workers: autoWorkers,
+			Seconds: meshAuto, Speedup: meshSerial / meshAuto,
 		},
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -428,10 +484,12 @@ func benchReport(path, baselinePath string, workers, shards int, opt experiments
 		return 1
 	}
 	fmt.Fprintf(os.Stderr,
-		"falconsim: bench: %.0f events/s, %.0f ns/pkt, %.1f allocs/pkt, -all speedup %.2fx (%d workers), %s speedup %.2fx (%d shards, %d cpus)\n",
+		"falconsim: bench: %.0f events/s, %.0f ns/pkt, %.1f allocs/pkt, %s speedup %.2fx (%d shards, %d cpus; auto → %dx%d, %.2fx), %d windows (%.0f sim-ns avg, %.1f msgs/window, %.0f%% idle)\n",
 		hot.EventsPerSec, hot.NsPerPacket, hot.AllocsPerPacket,
-		rep.Parallel.Speedup, workers,
-		shardBenchExp, rep.Sharded.Speedup, shards, rep.Sharded.NumCPU)
+		shardBenchExp, rep.Sharded.Speedup, shards, rep.Sharded.NumCPU,
+		autoShards, autoWorkers, rep.Auto.Speedup,
+		ws.Windows, rep.Sharded.Windows.AvgWidthSimNs, rep.Sharded.Windows.MsgsPerWindow,
+		rep.Sharded.Windows.WorkerIdleFrac*100)
 
 	if baselinePath != "" {
 		return guardBaseline(baselinePath, hot, rep.Sharded)
@@ -439,12 +497,51 @@ func benchReport(path, baselinePath string, workers, shards int, opt experiments
 	return 0
 }
 
-// timeAll runs every experiment with the given worker count, discarding
-// output, and returns wall-clock seconds.
-func timeAll(exps []experiments.Experiment, opt experiments.Options, workers int) float64 {
-	start := time.Now()
-	runExperiments(exps, opt, workers, io.Discard)
-	return time.Since(start).Seconds()
+// runScale sweeps the PDES benchmark over shard configurations and
+// prints one row per configuration: wall-clock, speedup vs the serial
+// row, and the window synchronization metrics. Timing noise makes this
+// output non-deterministic, so it prints to stdout as a tool report,
+// not an experiment table.
+func runScale(opt experiments.Options) int {
+	mesh, ok := experiments.ByID(shardBenchExp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "falconsim: scale: experiment %q missing\n", shardBenchExp)
+		return 1
+	}
+	autoShards, autoWorkers := sim.AutoShards(shardBenchHosts)
+	fmt.Printf("PDES scaling sweep: %s, %d hosts, %d cpus (auto → %d shards, %d workers)\n",
+		shardBenchExp, shardBenchHosts, runtime.NumCPU(), autoShards, autoWorkers)
+	fmt.Printf("%-8s %10s %8s %9s %14s %12s %9s\n",
+		"shards", "seconds", "speedup", "windows", "width(sim-ns)", "msgs/window", "idle")
+	var serial float64
+	for _, cfg := range []int{1, 2, 4, experiments.ShardsAuto} {
+		label := fmt.Sprintf("%d", cfg)
+		if cfg == experiments.ShardsAuto {
+			label = "auto"
+		}
+		sopt := opt
+		sopt.Shards = cfg
+		var ws sim.ClusterStats
+		sopt.WindowStats = &ws
+		secs := timeExp(mesh, sopt)
+		if cfg == 1 {
+			serial = secs
+		}
+		speedup := 0.0
+		if secs > 0 {
+			speedup = serial / secs
+		}
+		wb := fillWindowBench(ws, secs, true)
+		if ws.Windows == 0 {
+			fmt.Printf("%-8s %10.3f %7.2fx %9s %14s %12s %9s\n",
+				label, secs, speedup, "-", "-", "-", "-")
+			continue
+		}
+		fmt.Printf("%-8s %10.3f %7.2fx %9d %14.0f %12.1f %8.1f%%\n",
+			label, secs, speedup, wb.Windows, wb.AvgWidthSimNs,
+			wb.MsgsPerWindow, wb.WorkerIdleFrac*100)
+	}
+	return 0
 }
 
 // timeExp runs one experiment, discarding its tables, and returns

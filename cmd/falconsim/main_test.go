@@ -7,28 +7,69 @@ import (
 	"falcon/internal/experiments"
 )
 
-// TestParallelOutputIdentical pins the parallel runner's contract:
-// stdout is byte-identical between -parallel 1 and -parallel 8, in
-// request order, because each experiment runs on its own engine and
-// rendering is buffered per experiment.
-func TestParallelOutputIdentical(t *testing.T) {
+// TestRunnerOutputIdentical pins the runner's rendering contract: stdout
+// is byte-identical across invocations and across engine choices —
+// serial, a forced shard count, and -shards auto (which resolves
+// per-bed via sim.AutoShards) must all render the same tables.
+func TestRunnerOutputIdentical(t *testing.T) {
 	var exps []experiments.Experiment
-	for _, id := range []string{"fig4", "fig2d", "fig5"} {
+	for _, id := range []string{"fig4", "fig2d", "mesh8"} {
 		e, ok := experiments.ByID(id)
 		if !ok {
 			t.Fatalf("experiment %q not registered", id)
 		}
 		exps = append(exps, e)
 	}
-	opt := experiments.Options{Quick: true, Seed: 1}
-	var serial, parallel bytes.Buffer
-	runExperiments(exps, opt, 1, &serial)
-	runExperiments(exps, opt, 8, &parallel)
+	base := experiments.Options{Quick: true, Seed: 1}
+	var serial bytes.Buffer
+	if failures := runExperiments(exps, base, &serial); failures != 0 {
+		t.Fatalf("serial run reported %d failures", failures)
+	}
 	if serial.Len() == 0 {
 		t.Fatal("no output")
 	}
-	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
-		t.Fatalf("-parallel 8 output differs from serial run:\n--- serial ---\n%s\n--- parallel ---\n%s",
-			serial.String(), parallel.String())
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"shards-4", 4},
+		{"shards-auto", experiments.ShardsAuto},
+	} {
+		opt := base
+		opt.Shards = tc.shards
+		var got bytes.Buffer
+		if failures := runExperiments(exps, opt, &got); failures != 0 {
+			t.Fatalf("%s run reported %d failures", tc.name, failures)
+		}
+		if !bytes.Equal(serial.Bytes(), got.Bytes()) {
+			t.Fatalf("%s output differs from serial run:\n--- serial ---\n%s\n--- %s ---\n%s",
+				tc.name, serial.String(), tc.name, got.String())
+		}
+	}
+}
+
+// TestParseShards covers the -shards flag grammar.
+func TestParseShards(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"1", 1, false},
+		{"4", 4, false},
+		{"auto", experiments.ShardsAuto, false},
+		{"-2", 0, true},
+		{"many", 0, true},
+	} {
+		got, err := parseShards(tc.in)
+		if tc.err != (err != nil) {
+			t.Errorf("parseShards(%q): err = %v, want err %t", tc.in, err, tc.err)
+			continue
+		}
+		if !tc.err && got != tc.want {
+			t.Errorf("parseShards(%q) = %d, want %d", tc.in, got, tc.want)
+		}
 	}
 }

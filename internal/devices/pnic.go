@@ -269,7 +269,7 @@ func (n *PNIC) poll(q *nicQueue) {
 	s.Touch(q.core)
 	q.cur = s
 	core := n.St.M.Core(q.core)
-	netdev.RunChain(core, stats.CtxSoftIRQ, []netdev.Step{
+	n.St.RunChain(core, stats.CtxSoftIRQ, []netdev.Step{
 		{Fn: costmodel.FnNAPIPoll},
 		{Fn: costmodel.FnSKBAlloc, Bytes: s.Len()},
 	}, q.afterAlloc)

@@ -1,8 +1,6 @@
 package devices
 
 import (
-	"sync"
-
 	"falcon/internal/costmodel"
 	"falcon/internal/cpu"
 	"falcon/internal/gro"
@@ -80,6 +78,11 @@ type RxPath struct {
 	hL3Backlog    netdev.Handler
 	hVxlanBacklog netdev.Handler
 	hVeth         netdev.Handler
+
+	// walks is the path's rxWalk free list: every walk starts and ends on
+	// this path's host (one PDES shard), so a plain single-owner list
+	// recycles them without the sync.Pool atomics the walks used to pay.
+	walks *rxWalk
 }
 
 // InnerGROMerged sums segments absorbed by the per-core gro_cells
@@ -120,7 +123,7 @@ func (rx *RxPath) Install() {
 
 // rxWalk threads one packet through the stage pipeline without per-stage
 // closures: the continuation passed to each Submit/Exec/RunChain is a
-// method value cached on the pooled object, so steady-state traffic
+// method value cached on the recycled object, so steady-state traffic
 // reuses the same handful of walk objects instead of allocating a chain
 // of closures per packet (previously the dominant rx-side allocation
 // source). A walk lives from a backlog entry point to the next stage
@@ -147,16 +150,14 @@ type rxWalk struct {
 	afterVethXmit  func()
 	afterVethPoll  func()
 	afterVethChain func()
+
+	next *rxWalk // RxPath free list
 }
 
-var rxWalkPool sync.Pool
-
-// The pool's New is assigned in init (not a composite literal) because
-// the method values reference rxWalk methods that in turn reference the
-// pool, which the compiler rejects as an initialization cycle.
-func init() {
-	rxWalkPool.New = func() any {
-		w := new(rxWalk)
+func newRxWalk(rx *RxPath, c *cpu.Core, s *skb.SKB, done func()) *rxWalk {
+	w := rx.walks
+	if w == nil {
+		w = new(rxWalk)
 		w.afterGRO = w.netifStage
 		w.afterNetif = w.steer
 		w.afterL3Poll = w.l3Stage
@@ -168,23 +169,28 @@ func init() {
 		w.afterVethXmit = w.vethHop
 		w.afterVethPoll = w.vethStage
 		w.afterVethChain = w.vethDeliver
-		return w
+	} else {
+		rx.walks = w.next
+		w.next = nil
 	}
-}
-
-func newRxWalk(rx *RxPath, c *cpu.Core, s *skb.SKB, done func()) *rxWalk {
-	w := rxWalkPool.Get().(*rxWalk)
 	w.rx, w.c, w.s, w.done = rx, c, s, done
 	return w
 }
 
+// release returns the walk to its path's free list.
+func (w *rxWalk) release() {
+	rx := w.rx
+	w.rx, w.c, w.s, w.done, w.eng = nil, nil, nil, nil, nil
+	w.next = rx.walks
+	rx.walks = w
+}
+
 // finish releases the walk and runs its completion. The walk is
-// returned to the pool before done runs: done may start a new walk (the
-// inner-GRO flush loop does) and should find this one available.
+// released before done runs: done may start a new walk (the inner-GRO
+// flush loop does) and should find this one available.
 func (w *rxWalk) finish() {
 	done := w.done
-	w.rx, w.c, w.s, w.done, w.eng = nil, nil, nil, nil, nil
-	rxWalkPool.Put(w)
+	w.release()
 	done()
 }
 
@@ -192,8 +198,7 @@ func (w *rxWalk) finish() {
 // processing (which may recirculate into the path) can reuse it.
 func (w *rxWalk) deliver() {
 	rx, c, s, done := w.rx, w.c, w.s, w.done
-	w.rx, w.c, w.s, w.done, w.eng = nil, nil, nil, nil, nil
-	rxWalkPool.Put(w)
+	w.release()
 	rx.DeliverL4(c, s, done)
 }
 
@@ -271,7 +276,7 @@ func (w *rxWalk) netifStage() {
 		{Fn: costmodel.FnNetifReceive},
 		{Fn: costmodel.FnRPS},
 	}
-	netdev.RunChain(w.c, stats.CtxSoftIRQ, steps, w.afterNetif)
+	w.rx.St.RunChain(w.c, stats.CtxSoftIRQ, steps, w.afterNetif)
 }
 
 func (w *rxWalk) steer() {
@@ -310,8 +315,7 @@ func (w *rxWalk) l3Branch() {
 		// Cold path: release the walk and hand off to the closure-based
 		// reassembler (only exercised in MTU mode).
 		c, done := w.c, w.done
-		w.rx, w.c, w.s, w.done, w.eng = nil, nil, nil, nil, nil
-		rxWalkPool.Put(w)
+		w.release()
 		rx.reassemble(c, s, done)
 		return
 	}
@@ -371,7 +375,7 @@ func (w *rxWalk) vxlanRcv() {
 		{Fn: costmodel.FnUDPRcv},
 		{Fn: costmodel.FnVXLANRcv, Bytes: w.s.Len()},
 	}
-	netdev.RunChain(w.c, stats.CtxSoftIRQ, steps, w.afterVxlanRcv)
+	w.rx.St.RunChain(w.c, stats.CtxSoftIRQ, steps, w.afterVxlanRcv)
 }
 
 func (w *rxWalk) decap() {
@@ -451,8 +455,7 @@ func (w *rxWalk) innerMerged() {
 	// flushed holds, in that order). Rare — batch boundaries only — so
 	// the sequencing closure is acceptable here.
 	c2, done := w.c, w.done
-	w.rx, w.c, w.s, w.done, w.eng = nil, nil, nil, nil, nil
-	rxWalkPool.Put(w)
+	w.release()
 	items := flushed
 	if out != nil {
 		items = append([]*skb.SKB{out}, flushed...)
@@ -481,7 +484,7 @@ func (w *rxWalk) bridgeChain() {
 		{Fn: costmodel.FnNetifReceive},
 		{Fn: costmodel.FnBridge},
 	}
-	netdev.RunChain(w.c, stats.CtxSoftIRQ, steps, w.afterBridge)
+	w.rx.St.RunChain(w.c, stats.CtxSoftIRQ, steps, w.afterBridge)
 }
 
 func (w *rxWalk) bridged() {
@@ -544,7 +547,7 @@ func (w *rxWalk) vethStage() {
 		{Fn: costmodel.FnNetifReceive},
 		{Fn: costmodel.FnIPRcv},
 	}
-	netdev.RunChain(w.c, stats.CtxSoftIRQ, steps, w.afterVethChain)
+	w.rx.St.RunChain(w.c, stats.CtxSoftIRQ, steps, w.afterVethChain)
 }
 
 func (w *rxWalk) vethDeliver() {

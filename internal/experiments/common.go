@@ -32,7 +32,7 @@ func newSingleFlowBed(mode workload.Mode, opt Options, link float64, colocate bo
 		Kernel: opt.Kernel, LinkRate: link, Cores: 12, Containers: 1,
 		RSSCores: []int{0}, RPSCores: []int{1},
 		GRO: true, InnerGRO: true, Seed: opt.seed(),
-		Shards: opt.Shards, Colocate: colocate,
+		Shards: opt.Shards, Colocate: colocate, FixedHorizon: opt.FixedHorizon,
 	})
 	if opt.MaxEvents > 0 {
 		tb.E.SetEventBudget(opt.MaxEvents)

@@ -41,6 +41,43 @@ type Options struct {
 	// generation schedule (the -reconfig flag loads one from JSON; host
 	// names must match the reconfig bed: client/server/spare).
 	Reconfig *reconfig.Schedule
+	// FixedHorizon disables adaptive safe-horizon windows on sharded
+	// runs (every window is clipped to the static global lookahead) —
+	// the A/B switch the shard-invariance tests sweep. Results are
+	// byte-identical either way; only synchronization counts change.
+	FixedHorizon bool
+	// WindowStats, when non-nil, receives the PDES cluster's
+	// synchronization counters after the run (zeroed for serial runs).
+	// Supported by the fabric-based experiments (mesh8).
+	WindowStats *sim.ClusterStats
+}
+
+// ShardsAuto is the Options.Shards sentinel for "pick shard and worker
+// counts from the topology size and runtime.NumCPU()" (the CLI's
+// -shards auto). Each bed resolves it against its own host count via
+// sim.AutoShards at construction time.
+const ShardsAuto = -1
+
+// resolveShards maps the auto sentinel to a concrete (shards, workers)
+// pair for a bed with the given host count. Explicit shard counts pass
+// through with workers 0 (GOMAXPROCS-derived).
+func resolveShards(shards, hosts int) (int, int) {
+	if shards == ShardsAuto {
+		return sim.AutoShards(hosts)
+	}
+	return shards, 0
+}
+
+// captureWindowStats fills opt.WindowStats from a finished run's engine.
+func captureWindowStats(opt Options, e sim.Sim) {
+	if opt.WindowStats == nil {
+		return
+	}
+	if cl, ok := e.(*sim.Cluster); ok {
+		*opt.WindowStats = cl.Stats()
+	} else {
+		*opt.WindowStats = sim.ClusterStats{}
+	}
 }
 
 func (o Options) seed() uint64 {

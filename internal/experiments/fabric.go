@@ -58,8 +58,10 @@ type fabric struct {
 // owns runs on its own shard; only the inter-host wires cross shards.
 func buildFabric(opt Options, cfg fabricConfig) *fabric {
 	var e sim.Sim
-	if opt.Shards > 1 {
-		e = sim.NewCluster(opt.seed(), opt.Shards, 0)
+	if shards, workers := resolveShards(opt.Shards, cfg.Hosts); shards > 1 {
+		cl := sim.NewCluster(opt.seed(), shards, workers)
+		cl.SetAdaptive(!opt.FixedHorizon)
+		e = cl
 	} else {
 		e = sim.New(opt.seed())
 	}

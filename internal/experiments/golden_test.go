@@ -46,8 +46,8 @@ func TestGoldenDeterminism(t *testing.T) {
 
 // TestParallelRunsIdentical asserts that experiments produce identical
 // output whether run alone or concurrently with others — each run owns
-// its engine, RNG and pools, so worker-pool scheduling (falconsim
-// -parallel N) cannot perturb results.
+// its engine, RNG and pools, so concurrent execution (test shuffling,
+// sharded workers inside one run) cannot perturb results.
 func TestParallelRunsIdentical(t *testing.T) {
 	ids := []string{"fig10", "abl-chaos"}
 	sequential := make(map[string]string)

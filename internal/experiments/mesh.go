@@ -132,5 +132,6 @@ func mesh8(opt Options) []*stats.Table {
 	a := agg.Summarize()
 	t.AddRow("aggregate", fKpps(stats.Rate(total, int64(window))), fUs(a.P50), fUs(a.P99), "-")
 
+	captureWindowStats(opt, e)
 	return []*stats.Table{t}
 }

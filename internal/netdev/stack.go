@@ -37,11 +37,17 @@ type Step struct {
 	Bytes int
 }
 
-// chain is the pooled state of one RunChain invocation. Steps are copied
-// into the inline array (the datapath's chains are at most 2–3 steps), so
-// caller step-slice literals never escape, and the continuation passed to
-// Exec is the cached self method value — the whole multi-step charge
-// sequence costs zero allocations per packet.
+// chain is the recycled state of one RunChain invocation. Steps are
+// copied into the inline array (the datapath's chains are at most 2–3
+// steps), so caller step-slice literals never escape, and the
+// continuation passed to Exec is the cached self method value — the
+// whole multi-step charge sequence costs zero allocations per packet.
+//
+// Chains recycle through their owning entity's free list: per-Stack via
+// (*Stack).RunChain on the datapath (a stack — and thus its chains —
+// lives entirely on one PDES shard, so a plain single-owner list works
+// without atomics), or the package-level sync.Pool for the ownerless
+// helper RunChain.
 type chain struct {
 	c    *cpu.Core
 	ctx  stats.CPUContext
@@ -49,6 +55,8 @@ type chain struct {
 	n, i int
 	then func()
 	self func() // cached ch.step method value
+	put  func(*chain)
+	next *chain // Stack free list
 }
 
 var chainPool sync.Pool
@@ -59,15 +67,18 @@ func init() {
 	chainPool.New = func() any {
 		ch := new(chain)
 		ch.self = ch.step
+		ch.put = poolPutChain
 		return ch
 	}
 }
+
+func poolPutChain(ch *chain) { chainPool.Put(ch) }
 
 func (ch *chain) step() {
 	if ch.i >= ch.n {
 		then := ch.then
 		ch.c, ch.then = nil, nil
-		chainPool.Put(ch)
+		ch.put(ch)
 		if then != nil {
 			then()
 		}
@@ -78,32 +89,70 @@ func (ch *chain) step() {
 	ch.c.Exec(ch.ctx, s.Fn, s.Bytes, ch.self)
 }
 
-// RunChain executes steps sequentially on c in context ctx, charging each
-// through the machine's cost model, then calls then (which may be nil).
-func RunChain(c *cpu.Core, ctx stats.CPUContext, steps []Step, then func()) {
+// run copies steps into the chain and starts it (steps fits ch.buf).
+func (ch *chain) run(c *cpu.Core, ctx stats.CPUContext, steps []Step, then func()) {
+	ch.c, ch.ctx, ch.then = c, ctx, then
+	ch.n, ch.i = copy(ch.buf[:], steps), 0
+	ch.step()
+}
+
+// runChainSlow handles the degenerate RunChain shapes shared by both
+// entry points: empty chains and chains longer than the inline buffer.
+func runChainSlow(c *cpu.Core, ctx stats.CPUContext, steps []Step, then func()) {
 	if len(steps) == 0 {
 		if then != nil {
 			then()
 		}
 		return
 	}
-	if len(steps) > len(chain{}.buf) {
-		// Long chains fall back to the recursive form (none exist on the
-		// datapath today). The remainder is copied so the closure never
-		// captures the caller's slice: keeping the steps parameter
-		// non-escaping is what lets every per-packet step literal on the
-		// hot path live on the caller's stack.
-		rest := make([]Step, len(steps)-1)
-		copy(rest, steps[1:])
-		c.Exec(ctx, steps[0].Fn, steps[0].Bytes, func() {
-			RunChain(c, ctx, rest, then)
-		})
+	// Long chains fall back to the recursive form (none exist on the
+	// datapath today). The remainder is copied so the closure never
+	// captures the caller's slice: keeping the steps parameter
+	// non-escaping is what lets every per-packet step literal on the
+	// hot path live on the caller's stack.
+	rest := make([]Step, len(steps)-1)
+	copy(rest, steps[1:])
+	c.Exec(ctx, steps[0].Fn, steps[0].Bytes, func() {
+		RunChain(c, ctx, rest, then)
+	})
+}
+
+// RunChain executes steps sequentially on c in context ctx, charging each
+// through the machine's cost model, then calls then (which may be nil).
+// Chain state recycles through a global pool; datapath callers that own a
+// Stack should prefer (*Stack).RunChain, whose free list avoids the
+// pool's atomics.
+func RunChain(c *cpu.Core, ctx stats.CPUContext, steps []Step, then func()) {
+	if len(steps) == 0 || len(steps) > len(chain{}.buf) {
+		runChainSlow(c, ctx, steps, then)
 		return
 	}
-	ch := chainPool.Get().(*chain)
-	ch.c, ch.ctx, ch.then = c, ctx, then
-	ch.n, ch.i = copy(ch.buf[:], steps), 0
-	ch.step()
+	chainPool.Get().(*chain).run(c, ctx, steps, then)
+}
+
+// RunChain is the Stack-affine form of the package RunChain: chain state
+// recycles through the stack's single-owner free list (every chain a
+// stack runs starts and finishes on the stack's own shard).
+func (st *Stack) RunChain(c *cpu.Core, ctx stats.CPUContext, steps []Step, then func()) {
+	if len(steps) == 0 || len(steps) > len(chain{}.buf) {
+		runChainSlow(c, ctx, steps, then)
+		return
+	}
+	ch := st.chains
+	if ch == nil {
+		ch = new(chain)
+		ch.self = ch.step
+		ch.put = st.putChain
+	} else {
+		st.chains = ch.next
+		ch.next = nil
+	}
+	ch.run(c, ctx, steps, then)
+}
+
+func (st *Stack) putChain(ch *chain) {
+	ch.next = st.chains
+	st.chains = ch
 }
 
 type backlogEntry struct {
@@ -175,6 +224,9 @@ type Stack struct {
 
 	backlogs []perCPUBacklog
 	devices  []string // index = ifindex-1
+
+	// chains is the stack's chain free list (see (*Stack).RunChain).
+	chains *chain
 
 	// drainDone caches one drain continuation per core so the per-packet
 	// handler invocation in drain does not allocate a closure.

@@ -2,7 +2,6 @@ package overlay
 
 import (
 	"fmt"
-	"sync"
 
 	falconcore "falcon/internal/core"
 	"falcon/internal/costmodel"
@@ -70,6 +69,14 @@ type Host struct {
 	St *netdev.Stack
 	Rx *devices.RxPath
 
+	// Arena is the host's shard-local SKB/buffer allocator: the entire
+	// host datapath runs on one logical process, so frames recycle
+	// through single-owner free lists instead of the global sync.Pools
+	// (whose atomics bounce cache lines between PDES worker goroutines).
+	// Cross-shard frames rehome at the cluster barrier (see
+	// remoteEgress.prep).
+	Arena *skb.Arena
+
 	NIC    *devices.PNIC
 	Bridge *devices.Bridge
 
@@ -117,6 +124,14 @@ type Host struct {
 	txPending int
 
 	txSeq uint16 // IPv4 identification counter
+
+	// Per-host continuation free lists. These ops used to live in
+	// package-level sync.Pools; every op's lifetime is confined to its
+	// host's logical process, so plain single-owner lists recycle them
+	// without atomics or cross-shard cache traffic.
+	txOps   *txOp
+	l4Ops   *l4Op
+	sockOps *sockDeliverOp
 }
 
 // TxPending reports messages currently inside the transmit path (not
@@ -158,6 +173,7 @@ func newHost(n *Network, cfg HostConfig, hostID uint64) *Host {
 		MAC:       proto.MACFromUint64(0xA0000 + hostID),
 		M:         m,
 		St:        st,
+		Arena:     skb.NewArena(),
 		handlers:  make(map[SockKey]L4Handler),
 		links:     make(map[proto.IPv4Addr]*devices.Link),
 		negCache:  make(map[proto.IPv4Addr]negEntry),
@@ -296,22 +312,35 @@ func (h *Host) Bind(key SockKey, fn L4Handler) {
 func (h *Host) Unbind(key SockKey) { delete(h.handlers, key) }
 
 // sockDeliverOp carries one packet across the FnSocketDeliver charge
-// into Socket.Deliver without a per-packet closure (pooled, like the
-// transmit path's txOp).
+// into Socket.Deliver without a per-packet closure (recycled through the
+// host's free list, like the transmit path's txOp).
 type sockDeliverOp struct {
+	h    *Host
 	sk   *socket.Socket
 	c    *cpu.Core
 	s    *skb.SKB
 	done func()
 	run  func() // cached op.deliver
+	next *sockDeliverOp
 }
 
-var sockDeliverPool sync.Pool
+func (h *Host) getSockDeliverOp() *sockDeliverOp {
+	op := h.sockOps
+	if op == nil {
+		op = new(sockDeliverOp)
+		op.run = op.deliver
+	} else {
+		h.sockOps = op.next
+		op.next = nil
+	}
+	return op
+}
 
 func (op *sockDeliverOp) deliver() {
-	sk, c, s, done := op.sk, op.c, op.s, op.done
-	op.sk, op.c, op.s, op.done = nil, nil, nil, nil
-	sockDeliverPool.Put(op)
+	h, sk, c, s, done := op.h, op.sk, op.c, op.s, op.done
+	op.h, op.sk, op.c, op.s, op.done = nil, nil, nil, nil, nil
+	op.next = h.sockOps
+	h.sockOps = op
 	sk.Deliver(c, s)
 	done()
 }
@@ -325,15 +354,16 @@ func (h *Host) OpenUDP(ip proto.IPv4Addr, port uint16, appCore int) *socket.Sock
 	}
 	h.Bind(SockKey{IP: ip, Port: port, Proto: proto.ProtoUDP},
 		func(c *cpu.Core, s *skb.SKB, f *proto.Frame, done func()) {
-			op := sockDeliverPool.Get().(*sockDeliverOp)
-			op.sk, op.c, op.s, op.done = sk, c, s, done
+			op := h.getSockDeliverOp()
+			op.h, op.sk, op.c, op.s, op.done = h, sk, c, s, done
 			c.Exec(stats.CtxSoftIRQ, costmodel.FnSocketDeliver, 0, op.run)
 		})
 	return sk
 }
 
 // l4Op carries one packet across the L4 receive charge into handler
-// dispatch (pooled; the dispatch closure was a per-packet allocation).
+// dispatch (recycled through the host's free list; the dispatch closure
+// was a per-packet allocation).
 type l4Op struct {
 	h    *Host
 	c    *cpu.Core
@@ -341,29 +371,26 @@ type l4Op struct {
 	f    *proto.Frame
 	done func()
 	run  func() // cached op.dispatch
+	next *l4Op
 }
 
-var l4OpPool sync.Pool
-
-// Pool News are assigned in init: composite-literal New funcs would form
-// initialization cycles through the methods' own pool references.
-func init() {
-	sockDeliverPool.New = func() any {
-		op := new(sockDeliverOp)
-		op.run = op.deliver
-		return op
-	}
-	l4OpPool.New = func() any {
-		op := new(l4Op)
+func (h *Host) getL4Op() *l4Op {
+	op := h.l4Ops
+	if op == nil {
+		op = new(l4Op)
 		op.run = op.dispatch
-		return op
+	} else {
+		h.l4Ops = op.next
+		op.next = nil
 	}
+	return op
 }
 
 func (op *l4Op) dispatch() {
 	h, c, s, f, done := op.h, op.c, op.s, op.f, op.done
 	op.h, op.c, op.s, op.f, op.done = nil, nil, nil, nil, nil
-	l4OpPool.Put(op)
+	op.next = h.l4Ops
+	h.l4Ops = op
 	key := SockKey{IP: f.IP.Dst, Port: f.DstPort(), Proto: f.IP.Protocol}
 	fn, ok := h.handlers[key]
 	if !ok {
@@ -394,7 +421,7 @@ func (h *Host) deliverL4(c *cpu.Core, s *skb.SKB, done func()) {
 	default:
 		l4 = costmodel.FnUDPRcv
 	}
-	op := l4OpPool.Get().(*l4Op)
+	op := h.getL4Op()
 	op.h, op.c, op.s, op.f, op.done = h, c, s, f, done
 	c.Exec(stats.CtxSoftIRQ, l4, 0, op.run)
 }

@@ -72,10 +72,15 @@ func (n *Network) Connect(a, b *Host, rateBitsPerSec float64, delay sim.Time) {
 		ba.Deliver = a.NIC.Arrive
 	} else {
 		cl := n.E.(*sim.Cluster)
-		ab.Remote = newRemoteEgress(cl.Source(a.E, b.E), b)
-		ba.Remote = newRemoteEgress(cl.Source(b.E, a.E), a)
-		cl.Bound(ab.Lookahead())
-		cl.Bound(ba.Lookahead())
+		abs, bas := cl.Source(a.E, b.E), cl.Source(b.E, a.E)
+		ab.Remote = newRemoteEgress(abs, b)
+		ba.Remote = newRemoteEgress(bas, a)
+		// Per-source bounds: each direction declares its own link's
+		// minimum latency, so adaptive horizons can stretch windows past
+		// the slowest pair instead of clipping everything to the global
+		// minimum (PostSource.Bound also feeds the global floor).
+		abs.Bound(ab.Lookahead())
+		bas.Bound(ba.Lookahead())
 	}
 	a.links[b.IP] = ab
 	b.links[a.IP] = ba
@@ -85,8 +90,9 @@ func (n *Network) Connect(a, b *Host, rateBitsPerSec float64, delay sim.Time) {
 // far end of a cross-shard link. Delivery runs on the receiving shard at
 // the frame's wire-arrival time; the prep step — run at the barrier,
 // with both shards parked — migrates the SKB's audit record to the
-// receiving host's ledger. The closures are built once so the per-frame
-// send path does not allocate.
+// receiving host's ledger and rehomes its pool affinity to the receiving
+// host's arena (the frame will be freed on that shard). The closures are
+// built once so the per-frame send path does not allocate.
 type remoteEgress struct {
 	out     *sim.PostSource
 	dst     *Host
@@ -96,7 +102,11 @@ type remoteEgress struct {
 
 func newRemoteEgress(out *sim.PostSource, dst *Host) *remoteEgress {
 	r := &remoteEgress{out: out, dst: dst}
-	r.prep = func(v any) { v.(*skb.SKB).AuditHandoff(dst.Audit) }
+	r.prep = func(v any) {
+		s := v.(*skb.SKB)
+		s.AuditHandoff(dst.Audit)
+		s.Rehome(dst.Arena)
+	}
 	r.deliver = func(v any) { dst.NIC.Arrive(v.(*skb.SKB)) }
 	return r
 }

@@ -2,7 +2,6 @@ package overlay
 
 import (
 	"fmt"
-	"sync"
 
 	"falcon/internal/costmodel"
 	"falcon/internal/cpu"
@@ -102,31 +101,34 @@ type txOp struct {
 	afterVXLAN func() // cached op.vxlanDone
 	afterNIC   func() // cached op.nicDone (overlay wire-out)
 	afterHost  func() // cached op.hostDone (host-network wire-out)
+
+	next *txOp // host free list
 }
 
-var txOpPool sync.Pool
-
-func init() {
-	// Assigned in init: a composite-literal New would form an
-	// initialization cycle through finish's use of the pool.
-	txOpPool.New = func() any {
-		op := new(txOp)
+func (h *Host) getTxOp() *txOp {
+	op := h.txOps
+	if op == nil {
+		op = new(txOp)
 		op.afterStack = op.stackDone
 		op.afterVXLAN = op.vxlanDone
 		op.afterNIC = op.nicDone
 		op.afterHost = op.hostDone
-		return op
+	} else {
+		h.txOps = op.next
+		op.next = nil
 	}
+	return op
 }
 
-// finish releases the op back to the pool and reports the outcome. The
-// op is released first: Done may immediately send another packet and
-// legitimately reuse the same pooled op.
+// finish releases the op back to the host's free list and reports the
+// outcome. The op is released first: Done may immediately send another
+// packet and legitimately reuse the same recycled op.
 func (op *txOp) finish(ok bool) {
-	done := op.p.Done
+	h, done := op.h, op.p.Done
 	op.h, op.core, op.tcp, op.s, op.e = nil, nil, nil, nil, nil
 	op.p = SendParams{}
-	txOpPool.Put(op)
+	op.next = h.txOps
+	h.txOps = op
 	if done != nil {
 		done(ok)
 	}
@@ -142,7 +144,7 @@ func (h *Host) sendL4(p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
 	if p.FromSoftirq {
 		ctx = stats.CtxSoftIRQ
 	}
-	op := txOpPool.Get().(*txOp)
+	op := h.getTxOp()
 	op.h, op.core, op.ctx, op.p, op.ipProto, op.tcp = h, core, ctx, p, ipProto, tcp
 	// Fixed-size step buffer: appending to a 1-element literal reallocates
 	// on every overlay send, and RunChain copies the steps anyway.
@@ -154,7 +156,7 @@ func (h *Host) sendL4(p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
 		steps[2] = netdev.Step{Fn: costmodel.FnBridge}
 		n = 3
 	}
-	netdev.RunChain(core, ctx, steps[:n], op.afterStack)
+	h.St.RunChain(core, ctx, steps[:n], op.afterStack)
 }
 
 // stackDone runs once the stack/veth/bridge costs are charged and picks
@@ -193,7 +195,7 @@ func (h *Host) sendFast(op *txOp) {
 	if !e.sameHost && !e.hostNet {
 		headroom = proto.OverlayOverhead
 	}
-	s := skb.NewTx(len(e.inner), headroom)
+	s := h.Arena.NewTx(len(e.inner), headroom)
 	if h.Audit != nil {
 		s.Audit(h.Audit, "tx:fast")
 	}

@@ -101,7 +101,7 @@ func build(sc Scenario, falcon, withAudit bool) *bed {
 		MTU: sc.MTU, Seed: sc.Seed,
 		// TCP endpoints share connection state, so scenarios with any
 		// TCP flow colocate both hosts on one shard.
-		Shards: sc.Shards, Colocate: !sc.UDPOnly(),
+		Shards: sc.Shards, Colocate: !sc.UDPOnly(), FixedHorizon: sc.FixedHorizon,
 		// A drain needs the spare host carrying standby twins of every
 		// server container.
 		Spare: sc.HasDrain(),

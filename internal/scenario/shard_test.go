@@ -56,6 +56,44 @@ func TestCorpusShardInvariance(t *testing.T) {
 	}
 }
 
+// TestCorpusAdaptiveShardInvariance replays two fuzz-corpus scenarios
+// — the dense steady-datapath flood and the hardest reconfig shape
+// (graceful drain with twin handoff) — on a 2-shard cluster with
+// adaptive safe-horizon windows on and off, and requires bit-identical
+// measurement and accounting between the two. Unlike the serial
+// comparison, Fired is included: both runs are sharded, so even raw
+// event counts must match — adaptive horizons may only move window
+// barriers, never an event.
+func TestCorpusAdaptiveShardInvariance(t *testing.T) {
+	for _, name := range []string{"det-udp-flood.json", "reconfig-drain.json"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sc, _, err := LoadFile(filepath.Join("testdata", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Shards = 2
+			for _, falcon := range applicableModes(sc) {
+				adaptive, fixed := sc, sc
+				fixed.FixedHorizon = true
+
+				mWant := Measure(fixed, falcon)
+				mGot := Measure(adaptive, falcon)
+				if want, got := mWant.Fingerprint(), mGot.Fingerprint(); got != want {
+					t.Errorf("falcon=%t: adaptive Measure diverges\nfixed:    %s\nadaptive: %s", falcon, want, got)
+				}
+
+				aWant := Account(fixed, falcon)
+				aGot := Account(adaptive, falcon)
+				if want, got := accountFingerprint(aWant), accountFingerprint(aGot); got != want {
+					t.Errorf("falcon=%t: adaptive Account diverges\nfixed:    %s\nadaptive: %s", falcon, want, got)
+				}
+			}
+		})
+	}
+}
+
 // accountFingerprint renders an AccountResult for byte comparison.
 func accountFingerprint(a AccountResult) string {
 	out := ""

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -217,6 +218,157 @@ func TestClusterBudget(t *testing.T) {
 		}
 	}()
 	c.RunUntil(1_000_000)
+}
+
+// staleClockTopology builds the one hazard the adaptive horizon adds
+// over the static one: shard 0 sends through shard 1's endpoint while
+// shard 1 is still parked at the barrier. The per-endpoint lookahead
+// check is computed against the endpoint's own (stale) clock, so the
+// arrival can land inside a window that was widened using shard 1's
+// next *pending* event — which is later than its clock.
+func staleClockTopology(adaptive bool) (*Cluster, *Time) {
+	c := NewCluster(1, 2, 1)
+	c.SetAdaptive(adaptive)
+	s0, s1 := c.Shard(0), c.Shard(1)
+	out := c.Source(s1, s0)
+	out.Bound(10_000)
+	deliveredAt := Time(-1)
+	s0.After(0, func() {
+		// at=12_000 respects out's declared bound against s1's parked
+		// clock (0 + 10_000 <= 12_000) but the adaptive window runs to
+		// nexts[1] + 10_000 - 1 = 14_999, so the arrival is inside it.
+		out.Post(12_000, nil, func(any) { deliveredAt = s0.Now() }, nil)
+	})
+	s1.After(5_000, func() {})
+	return c, &deliveredAt
+}
+
+// TestClusterAdaptiveGuard: the runtime check behind the adaptive
+// horizon's safety argument. A stale-clock post that would land inside
+// the active window must abort deterministically rather than deliver a
+// message the window's derivation assumed impossible.
+func TestClusterAdaptiveGuard(t *testing.T) {
+	c, _ := staleClockTopology(true)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("stale-clock post inside the adaptive window did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "adaptive horizon unsafe") {
+			t.Fatalf("wrong panic: %v", r)
+		}
+	}()
+	c.RunUntil(100_000)
+}
+
+// TestClusterAdaptiveGuardFixedOK: the same post is legal under static
+// horizons (windows never extend past tLP+L-1, so the arrival is
+// outside every window) and must be delivered at its exact time — the
+// guard rejects only what the adaptive derivation cannot prove safe.
+func TestClusterAdaptiveGuardFixedOK(t *testing.T) {
+	c, deliveredAt := staleClockTopology(false)
+	c.RunUntil(100_000)
+	if *deliveredAt != 12_000 {
+		t.Fatalf("stale-clock post delivered at %v under static horizons, want 12000", *deliveredAt)
+	}
+}
+
+// runAsym is a workload where adaptive horizons should pay off: shard 0
+// steps densely but declares a wide outgoing bound (8000ns), while
+// shard 2 steps rarely with a tight bound (800ns) that also sets the
+// global floor. Static windows are clipped to the 800ns floor on every
+// round; adaptive windows stretch to shard 0's declared bound whenever
+// shard 2's next event is far away. Shard 1 only receives.
+func runAsym(t *testing.T, adaptive bool) ([]string, ClusterStats) {
+	t.Helper()
+	c := NewCluster(5, 3, 1)
+	c.SetAdaptive(adaptive)
+	ae, be, ce := c.Shard(0), c.Shard(1), c.Shard(2)
+	ab, cb := c.Source(ae, be), c.Source(ce, be)
+	ab.Bound(8000)
+	cb.Bound(800)
+	var trace []string
+	rngA, rngC := c.Rand().Fork(), c.Rand().Fork()
+	var stepA, stepC func()
+	stepA = func() {
+		ab.Post(ae.Now()+8000+Time(rngA.Intn(100)), nil, func(any) {
+			trace = append(trace, fmt.Sprintf("a@%d", be.Now()))
+		}, nil)
+		ae.After(Time(150+rngA.Intn(100)), stepA)
+	}
+	stepC = func() {
+		cb.Post(ce.Now()+800+Time(rngC.Intn(100)), nil, func(any) {
+			trace = append(trace, fmt.Sprintf("c@%d", be.Now()))
+		}, nil)
+		ce.After(Time(18_000+rngC.Intn(4_000)), stepC)
+	}
+	ae.After(0, stepA)
+	ce.After(7, stepC)
+	c.RunUntil(300_000)
+	return trace, c.Stats()
+}
+
+// TestClusterAdaptiveWindowsWider is the perf property of adaptive
+// horizons, asserted rather than eyeballed: on the asymmetric workload
+// the adaptive run needs a small fraction of the static run's barriers,
+// and the delivery schedule stays byte-identical — windows change, the
+// simulation does not.
+func TestClusterAdaptiveWindowsWider(t *testing.T) {
+	fixedTrace, fixedStats := runAsym(t, false)
+	adptTrace, adptStats := runAsym(t, true)
+	if len(fixedTrace) == 0 {
+		t.Fatal("workload produced no deliveries")
+	}
+	if !reflect.DeepEqual(adptTrace, fixedTrace) {
+		t.Fatalf("delivery schedule changed under adaptive horizons\nfixed:    %v\nadaptive: %v",
+			fixedTrace, adptTrace)
+	}
+	if adptStats.Msgs != fixedStats.Msgs {
+		t.Fatalf("cross-shard message count changed: fixed %d, adaptive %d",
+			fixedStats.Msgs, adptStats.Msgs)
+	}
+	if 2*adptStats.Windows >= fixedStats.Windows {
+		t.Fatalf("adaptive horizons did not widen windows: %d windows adaptive vs %d static",
+			adptStats.Windows, fixedStats.Windows)
+	}
+}
+
+// BenchmarkClusterDrain measures the barrier's k-way merge: 12 sources
+// (a 4-shard full mesh) each park a sorted run of messages, and drain
+// interleaves them into the destination engines. After warmup the merge
+// itself must not allocate — outboxes, the active-source list and the
+// engines' event pools are all reused, so allocs/op ~ 0.
+func BenchmarkClusterDrain(b *testing.B) {
+	const nShards, msgsPerSrc = 4, 64
+	c := NewCluster(1, nShards, 1)
+	c.Bound(100)
+	var srcs []*PostSource
+	for i := 0; i < nShards; i++ {
+		for j := 0; j < nShards; j++ {
+			if i != j {
+				srcs = append(srcs, c.Source(c.Shard(i), c.Shard(j)))
+			}
+		}
+	}
+	nop := func(any) {}
+	rng := NewRand(7)
+	base := Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for _, s := range srcs {
+			at := base + 100
+			for k := 0; k < msgsPerSrc; k++ {
+				at += Time(rng.Intn(16))
+				s.Post(at, nil, nop, nil)
+			}
+		}
+		c.drain()
+		base += 100 + Time(msgsPerSrc*16)
+		for i := 0; i < nShards; i++ {
+			c.Shard(i).RunUntil(base)
+		}
+	}
 }
 
 // TestClusterStop: Stop from a control event halts the run at that

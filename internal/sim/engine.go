@@ -166,12 +166,22 @@ type Engine struct {
 	heap     []*event // overflow: at - cur >= wheelHorizon when added
 	heapDead int      // cancelled events still in heap (lazily compacted)
 
+	// nextHint caches a lower bound on the next firing boundary so a
+	// Cluster's per-window NextAt sweep over idle logical processes is
+	// O(1) instead of a full wheel scan. math.MaxUint64 means "dirty":
+	// the next NextAt call rescans and re-caches. The invariant is
+	// one-sided — the hint may go stale-low (after a cancel or fire) but
+	// never stale-high, so NextAt's lower-bound contract holds; stale-low
+	// hints self-heal on the next advance(), which refreshes the cache
+	// with a fresh scan when it runs out of due events.
+	nextHint uint64
+
 	free *event // recycled event free list, linked via next
 }
 
 // New returns an engine with its clock at zero, seeded with seed.
 func New(seed uint64) *Engine {
-	e := &Engine{rng: NewRand(seed)}
+	e := &Engine{rng: NewRand(seed), nextHint: math.MaxUint64}
 	e.due.level = -1
 	return e
 }
@@ -182,7 +192,7 @@ func New(seed uint64) *Engine {
 // consume the single root stream in exactly the order the serial
 // engine would — the foundation of shard-count byte-identity.
 func NewShared(r *Rand) *Engine {
-	e := &Engine{rng: r}
+	e := &Engine{rng: r, nextHint: math.MaxUint64}
 	e.due.level = -1
 	return e
 }
@@ -218,6 +228,16 @@ func (e *Engine) NextAt() (Time, bool) {
 	if e.due.head != nil { // only after Stop mid-run
 		return e.now, true
 	}
+	if h := e.nextHint; h != math.MaxUint64 {
+		// Cached lower bound from the last scan (kept current by
+		// schedule's min-updates). Cancels may have left it stale-low,
+		// which only shrinks the caller's window — still correct.
+		t := Time(h)
+		if t < e.now {
+			t = e.now
+		}
+		return t, true
+	}
 	m := uint64(math.MaxUint64)
 	if e.levelCount[0] > 0 {
 		if d := nextOccupied(&e.occ[0], int(e.cur&wheelMask)); d > 0 {
@@ -241,6 +261,7 @@ func (e *Engine) NextAt() (Time, bool) {
 	if m == math.MaxUint64 {
 		return 0, false
 	}
+	e.nextHint = m
 	t := Time(m)
 	if t < e.now {
 		t = e.now
@@ -311,6 +332,11 @@ func (e *Engine) schedule(ev *event) {
 	e.live++
 	x := uint64(ev.at) ^ e.cur
 	if x == 0 {
+		// Due events fire at the cursor, at or below every other
+		// candidate boundary, so the cursor is always a safe hint.
+		if e.cur < e.nextHint {
+			e.nextHint = e.cur
+		}
 		e.due.insert(ev)
 		return
 	}
@@ -320,8 +346,20 @@ func (e *Engine) schedule(ev *event) {
 	// until it reaches the due list at exactly its firing time.
 	l := (bits.Len64(x) - 1) / wheelBits
 	if l >= wheelLevels {
+		if e.nextHint != math.MaxUint64 && uint64(ev.at) < e.nextHint {
+			e.nextHint = uint64(ev.at)
+		}
 		e.heapPush(ev)
 		return
+	}
+	// The new event's scan candidate at level l is its firing time with
+	// the sub-level digits cleared. Min-merging it keeps the cached hint
+	// a valid lower bound; when the hint is dirty (MaxUint64) it stays
+	// dirty — a partial min over new events only would overestimate.
+	if e.nextHint != math.MaxUint64 {
+		if f := uint64(ev.at) &^ (uint64(1)<<(wheelBits*l) - 1); f < e.nextHint {
+			e.nextHint = f
+		}
 	}
 	slot := int(uint64(ev.at)>>(wheelBits*l)) & wheelMask
 	b := &e.levels[l][slot]
@@ -521,9 +559,13 @@ func (e *Engine) advance(deadline uint64) bool {
 			m = hm
 		}
 		if m == math.MaxUint64 || m > deadline {
+			e.nextHint = m // fresh scan: exact boundary (or dirty if empty)
 			return false
 		}
 		e.cur = m
+		// Cursor moved: every cached candidate is relative to the old
+		// cursor position. Dirty the hint; the exit path above re-caches.
+		e.nextHint = math.MaxUint64
 		if t := Time(m); t > e.now {
 			e.now = t
 		}

@@ -147,6 +147,14 @@ type SKB struct {
 	gen   uint32
 	freed bool
 	aud   Auditor
+
+	// arena, when non-nil, is the shard-local allocator that owns this
+	// SKB: Free returns the SKB and its buffer there instead of the
+	// global pools, so hot-path recycling never contends with other
+	// shards' worker goroutines. It survives Free (the arena owns the
+	// pooled object) and moves at cluster barriers when the packet
+	// crosses a shard boundary (Rehome).
+	arena *Arena
 }
 
 // pooledBufCap is the frame-buffer pool's small size class: an MTU
@@ -164,7 +172,7 @@ const (
 var ErrBadFrame = errors.New("skb: unparsable frame")
 
 var (
-	skbPool = sync.Pool{New: func() any { return new(SKB) }}
+	skbPool   = sync.Pool{New: func() any { return new(SKB) }}
 	bufPool   = sync.Pool{New: func() any { return new([pooledBufCap]byte) }}
 	jumboPool = sync.Pool{New: func() any { return new([jumboBufCap]byte) }}
 )
@@ -303,6 +311,10 @@ func (s *SKB) Free() {
 	}
 	if s.aud != nil {
 		s.aud.SKBFree(s)
+	}
+	if a := s.arena; a != nil {
+		a.put(s)
+		return
 	}
 	if s.buf != nil {
 		bufPool.Put(s.buf)

@@ -56,8 +56,16 @@ type TestbedConfig struct {
 	// Shards > 1 runs the testbed on a conservative PDES cluster with
 	// that many shards: the client lives on shard 0 and the server on
 	// shard 1 (extra shards idle — the two-host testbed exposes at most
-	// two-way parallelism). 0 or 1 uses the plain serial engine.
+	// two-way parallelism). 0 or 1 uses the plain serial engine. A
+	// negative value (the CLI's -shards auto sentinel) resolves shard
+	// and worker counts from the bed's host count and runtime.NumCPU()
+	// via sim.AutoShards — serial when the bed colocates its hosts on
+	// one shard or the machine has a single CPU.
 	Shards int
+	// FixedHorizon disables adaptive safe-horizon windows on sharded
+	// runs (results are byte-identical either way; only synchronization
+	// counts change).
+	FixedHorizon bool
 	// Colocate forces both hosts onto shard 0 even when Shards > 1 —
 	// required by workloads whose endpoints share state across hosts
 	// (TCP connections and closed-loop RPC apps).
@@ -107,9 +115,25 @@ type Testbed struct {
 // NewTestbed builds the standard testbed.
 func NewTestbed(cfg TestbedConfig) *Testbed {
 	cfg = cfg.withDefaults()
+	shards, workers := cfg.Shards, 0
+	if shards < 0 {
+		// Auto: size from the bed's own parallelism. A colocated bed puts
+		// every host on shard 0, so sharding cannot help it — resolve
+		// against one host, which degrades to the serial engine.
+		hosts := 2
+		if cfg.Spare {
+			hosts = 3
+		}
+		if cfg.Colocate {
+			hosts = 1
+		}
+		shards, workers = sim.AutoShards(hosts)
+	}
 	var e sim.Sim
-	if cfg.Shards > 1 {
-		e = sim.NewCluster(cfg.Seed, cfg.Shards, 0)
+	if shards > 1 {
+		cl := sim.NewCluster(cfg.Seed, shards, workers)
+		cl.SetAdaptive(!cfg.FixedHorizon)
+		e = cl
 	} else {
 		e = sim.New(cfg.Seed)
 	}
