@@ -174,6 +174,14 @@ type (
 	KVFlaky = faults.KVFlaky
 	// NoisyNeighbor burns a utilization share of the given cores.
 	NoisyNeighbor = faults.NoisyNeighbor
+	// HostCrash kills a whole host for the window (queue-resident
+	// packets die accounted; arrivals blackhole until the reboot).
+	HostCrash = faults.HostCrash
+	// HostReboot brings a crashed host back at the window start.
+	HostReboot = faults.HostReboot
+	// KVPartition cuts one host off from the KV control plane (stale
+	// flow-cache serving, retry/backoff on misses, reconcile on heal).
+	KVPartition = faults.KVPartition
 )
 
 // NewFaultInjector returns an injector whose randomness forks from the

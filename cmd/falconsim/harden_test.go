@@ -56,6 +56,75 @@ func TestRunnerSurvivesPanic(t *testing.T) {
 	}
 }
 
+// TestScheduleFlagsRejectMalformedJSON pins the -reconfig/-crash flag
+// contract: any malformed input — missing file, broken JSON, or a
+// schedule that fails validation — produces one single-line error (the
+// caller prints it and exits nonzero) and never panics; valid files
+// load into the options.
+func TestScheduleFlagsRejectMalformedJSON(t *testing.T) {
+	dir := chdirTemp(t)
+	write := func(name, body string) string {
+		t.Helper()
+		p := dir + "/" + name
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name                 string
+		reconfig, crash      string
+		wantErr              bool
+		wantSched, wantCrash bool
+	}{
+		{name: "no-flags"},
+		{name: "reconfig-missing-file", reconfig: dir + "/nope.json", wantErr: true},
+		{name: "crash-missing-file", crash: dir + "/nope.json", wantErr: true},
+		{name: "reconfig-broken-json", reconfig: write("r1.json", "{"), wantErr: true},
+		{name: "crash-broken-json", crash: write("c1.json", `{"crashes":[`), wantErr: true},
+		{name: "reconfig-unknown-kind",
+			reconfig: write("r2.json", `{"actions":[{"kind":"warp","at_ms":0,"host":"h"}]}`), wantErr: true},
+		{name: "reconfig-wrong-shape", reconfig: write("r3.json", `[1,2,3]`), wantErr: true},
+		{name: "crash-empty-schedule", crash: write("c2.json", `{"crashes":[]}`), wantErr: true},
+		{name: "crash-reboot-before-crash",
+			crash: write("c3.json", `{"crashes":[{"host":"server","at_ms":5,"reboot_ms":2}]}`), wantErr: true},
+		{name: "crash-double-crash",
+			crash: write("c4.json", `{"crashes":[{"host":"server","at_ms":1},{"host":"server","at_ms":3}]}`), wantErr: true},
+		{name: "crash-wrong-shape", crash: write("c5.json", `"boom"`), wantErr: true},
+		{name: "both-valid",
+			reconfig:  write("r-ok.json", `{"actions":[{"kind":"kernel-upgrade","at_ms":1,"host":"server","kernel":"linux-5.4"}]}`),
+			crash:     write("c-ok.json", `{"crashes":[{"host":"server","at_ms":2,"reboot_ms":6}]}`),
+			wantSched: true, wantCrash: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("flag load panicked on user input: %v", r)
+				}
+			}()
+			var opt experiments.Options
+			err := loadScheduleFlags(&opt, tc.reconfig, tc.crash)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("malformed input accepted")
+				}
+				if strings.ContainsRune(strings.TrimSuffix(err.Error(), "\n"), '\n') {
+					t.Fatalf("error is not one line: %q", err.Error())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("valid input rejected: %v", err)
+			}
+			if (opt.Reconfig != nil) != tc.wantSched || (opt.Crash != nil) != tc.wantCrash {
+				t.Fatalf("loaded reconfig=%v crash=%v, want %v/%v",
+					opt.Reconfig != nil, opt.Crash != nil, tc.wantSched, tc.wantCrash)
+			}
+		})
+	}
+}
+
 // TestReplayReproducesDump closes the loop the dump header promises:
 // -replay on a just-written dump re-runs the exact experiment and exits
 // nonzero because the deterministic failure fires again.

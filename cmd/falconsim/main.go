@@ -66,6 +66,7 @@ func run() int {
 		maxEvents = flag.Uint64("max-events", 0, "abort any single experiment after firing this many engine events (0 = no limit)")
 		replay    = flag.String("replay", "", "re-run the exact experiment/seed/config named in an audit dump's header and exit")
 		reconfigF = flag.String("reconfig", "", "JSON generation schedule for abl-reconfig (replaces its built-in rolling-upgrade/drain/flip plan)")
+		crashF    = flag.String("crash", "", "JSON crash schedule for abl-crash (replaces its built-in server crash/reboot plan)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -181,13 +182,9 @@ func run() int {
 		Quick: *quick, Kernel: *kernel, Seed: *seed,
 		Audit: *auditOn, MaxEvents: *maxEvents, Shards: shards,
 	}
-	if *reconfigF != "" {
-		sched, err := reconfig.LoadFile(*reconfigF)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
-			return 1
-		}
-		opt.Reconfig = sched
+	if err := loadScheduleFlags(&opt, *reconfigF, *crashF); err != nil {
+		fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
+		return 1
 	}
 	failures := runExperiments(exps, opt, os.Stdout)
 	if n := skb.PoolMisuses(); n > 0 {
@@ -198,6 +195,29 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// loadScheduleFlags resolves the -reconfig and -crash JSON files into
+// the run options. Any malformed input — unreadable file, broken JSON,
+// or a schedule that fails validation — comes back as a single-line
+// error; the caller prints it and exits nonzero. This path must never
+// panic on user input.
+func loadScheduleFlags(opt *experiments.Options, reconfigPath, crashPath string) error {
+	if reconfigPath != "" {
+		sched, err := reconfig.LoadFile(reconfigPath)
+		if err != nil {
+			return err
+		}
+		opt.Reconfig = sched
+	}
+	if crashPath != "" {
+		cs, err := reconfig.LoadCrashFile(crashPath)
+		if err != nil {
+			return err
+		}
+		opt.Crash = cs
+	}
+	return nil
 }
 
 // writeMemProfile snapshots the heap at exit (after a GC, so the profile

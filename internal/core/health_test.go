@@ -78,6 +78,52 @@ func TestHealthReinstatesAfterWellStreak(t *testing.T) {
 	}
 }
 
+func TestHealthNoFlapUnderRepeatedStalls(t *testing.T) {
+	// Back-to-back stall faults: the core recovers for two ticks (below
+	// WellAfter = 4) and wedges again, five times in a row. The
+	// hysteresis must hold the core blacklisted through the whole churn —
+	// one transition out, zero flaps — and reinstate exactly once after
+	// the faults genuinely stop.
+	e, f, cpus := healthBed(3)
+	target := cpus[0]
+	wedge(f, target)
+	e.RunUntil(3*sim.Millisecond + 1)
+	if f.isHealthy(target) {
+		t.Fatal("stalled core not blacklisted")
+	}
+
+	for k := 0; k < 5; k++ {
+		at := sim.Time(4+4*k) * sim.Millisecond
+		e.At(at+100*sim.Microsecond, func() { f.m.Core(target).SetStalled(false) })
+		e.At(at+2*sim.Millisecond+100*sim.Microsecond, func() { wedge(f, target) })
+	}
+	flips := 0
+	for ms := 4; ms <= 23; ms++ {
+		e.At(sim.Time(ms)*sim.Millisecond+500*sim.Microsecond, func() {
+			if f.isHealthy(target) {
+				flips++
+			}
+		})
+	}
+	e.RunUntil(24 * sim.Millisecond)
+	if flips != 0 {
+		t.Fatalf("blacklist flapped: core read healthy on %d mid-churn ticks", flips)
+	}
+	if f.Degraded() {
+		t.Fatal("degraded with 2 healthy cores through the churn (floor is 2)")
+	}
+
+	// The faults stop for real: reinstatement after WellAfter clean ticks.
+	e.At(24*sim.Millisecond+100*sim.Microsecond, func() { f.m.Core(target).SetStalled(false) })
+	e.RunUntil(32 * sim.Millisecond)
+	if !f.isHealthy(target) {
+		t.Fatal("core never reinstated after the stalls stopped")
+	}
+	if len(f.HealthyCPUs()) != 3 {
+		t.Fatalf("healthy = %v after recovery", f.HealthyCPUs())
+	}
+}
+
 func TestHealthOfflineBlacklistsImmediately(t *testing.T) {
 	e, f, cpus := healthBed(3)
 	f.m.Core(cpus[2]).SetOffline(true)

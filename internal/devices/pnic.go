@@ -56,6 +56,13 @@ type PNIC struct {
 	// healthy full-depth ring.
 	ringLimit int
 
+	// down, when set, models a crashed host's NIC: every arriving frame
+	// is dropped (accounted into crashDrops) instead of DMA'd — the wire
+	// keeps delivering, the silicon is dead. Set via SetDown by the
+	// host-crash fault.
+	down       bool
+	crashDrops *stats.Counter
+
 	// Drops counts frames rejected by full rings.
 	Drops stats.Counter
 	// HardIRQs counts interrupt activations (coalesced).
@@ -203,11 +210,54 @@ func (n *PNIC) SetRingLimit(limit int) {
 	n.ringLimit = limit
 }
 
+// SetDown marks the NIC dead (crashed host) or alive again. While down,
+// every arriving frame is freed and counted into drops (the crash
+// census bucket), so wire-delivered frames stay conserved.
+func (n *PNIC) SetDown(down bool, drops *stats.Counter) {
+	n.down = down
+	n.crashDrops = drops
+}
+
+// PurgeRings frees every frame parked in an rx ring or held by an outer
+// GRO engine, in core order, counting each into drops. In-flight poll
+// state (q.cur, a flushed batch mid-delivery) is deliberately left
+// alone: those SKBs are owned by continuation chains that terminate at
+// the stack's own down checks.
+func (n *PNIC) PurgeRings(drops *stats.Counter) {
+	cores := make([]int, 0, len(n.queues))
+	for c := range n.queues {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
+		q := n.queues[c]
+		for q.ring.Len() > 0 {
+			s := q.ring.Dequeue()
+			s.Stage("drop:nic-down")
+			s.Free()
+			drops.Inc()
+		}
+		for _, s := range q.gro.Flush() {
+			s.Stage("drop:nic-down")
+			s.Free()
+			drops.Inc()
+		}
+	}
+}
+
 // Arrive is the link-delivery entry: DMA into the RSS-selected queue's
 // ring and raise a (coalesced) hardirq. The receiving host starts from a
 // fresh sk_buff: sender-side hash and core affinity do not carry over
 // the wire.
 func (n *PNIC) Arrive(s *skb.SKB) {
+	if n.down {
+		s.Stage("drop:nic-down")
+		s.Free()
+		if n.crashDrops != nil {
+			n.crashDrops.Inc()
+		}
+		return
+	}
 	s.ResetFlowHash()
 	s.LastCore = -1
 	s.Migrations = 0

@@ -1,6 +1,8 @@
 package devices
 
 import (
+	"sort"
+
 	"falcon/internal/costmodel"
 	"falcon/internal/cpu"
 	"falcon/internal/gro"
@@ -104,6 +106,24 @@ func (rx *RxPath) InnerGROHeld() int {
 		total += e.HeldCount()
 	}
 	return total
+}
+
+// PurgeHeld frees every segment the per-core gro_cells engines hold, in
+// core order, counting each into drops — a host crash kills held
+// inner-GRO state with the kernel that was accumulating it.
+func (rx *RxPath) PurgeHeld(drops *stats.Counter) {
+	cores := make([]int, 0, len(rx.innerGRO))
+	for c := range rx.innerGRO {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
+		for _, s := range rx.innerGRO[c].Flush() {
+			s.Stage("drop:host-crash")
+			s.Free()
+			drops.Inc()
+		}
+	}
 }
 
 // Install wires the path into its NIC. Call once after filling fields.

@@ -41,6 +41,11 @@ type Options struct {
 	// generation schedule (the -reconfig flag loads one from JSON; host
 	// names must match the reconfig bed: client/server/spare).
 	Reconfig *reconfig.Schedule
+	// Crash, when non-nil, replaces abl-crash's built-in crash/partition
+	// schedule (the -crash flag loads one from JSON; host names must
+	// match the reconfig bed: client/server — the spare is the standby
+	// twin target and cannot itself crash).
+	Crash *reconfig.CrashSchedule
 	// FixedHorizon disables adaptive safe-horizon windows on sharded
 	// runs (every window is clipped to the static global lookahead) —
 	// the A/B switch the shard-invariance tests sweep. Results are

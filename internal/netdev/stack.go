@@ -243,6 +243,13 @@ type Stack struct {
 
 	// Drops counts packets rejected by full backlogs.
 	Drops stats.Counter
+
+	// down, when set, models a crashed host's kernel: every NetifRx —
+	// fresh admission or same-core recirculation — is refused and the
+	// packet freed into crashDrops. In-flight handler chains thus
+	// terminate, accounted, at their next stage transition.
+	down       bool
+	crashDrops *stats.Counter
 }
 
 // NewStack returns a stack over machine m.
@@ -297,6 +304,14 @@ func (st *Stack) BacklogDropped(core int) uint64 { return st.backlogs[core].drop
 //
 // It reports false when the backlog is full and the packet was dropped.
 func (st *Stack) NetifRx(from *cpu.Core, target int, s *skb.SKB, h Handler) bool {
+	if st.down {
+		s.Stage("drop:stack-down")
+		s.Free()
+		if st.crashDrops != nil {
+			st.crashDrops.Inc()
+		}
+		return false
+	}
 	b := &st.backlogs[target]
 	local := from != nil && from.ID() == target
 	if local {
@@ -407,6 +422,37 @@ func (st *Stack) drain(core *cpu.Core) {
 func (st *Stack) chargeMigration(core *cpu.Core, s *skb.SKB) {
 	if s.Touch(core.ID()) {
 		core.Submit(stats.CtxSoftIRQ, costmodel.FnSoftIRQEntry, st.M.Model.Migration(), nil)
+	}
+}
+
+// SetDown marks the stack dead (crashed host) or alive again; while
+// down, NetifRx refuses everything into drops (the crash census
+// bucket).
+func (st *Stack) SetDown(down bool, drops *stats.Counter) {
+	st.down = down
+	st.crashDrops = drops
+}
+
+// PurgeBacklogs frees every packet queued in a per-CPU backlog — local
+// recirculation first, then remote admissions, cores in order —
+// counting each into drops. Softirq bookkeeping (pending/draining) is
+// left to wind down through the normal drain loop, which simply finds
+// the queues empty.
+func (st *Stack) PurgeBacklogs(drops *stats.Counter) {
+	for i := range st.backlogs {
+		b := &st.backlogs[i]
+		for b.local.len() > 0 {
+			e := b.local.pop()
+			e.s.Stage("drop:stack-down")
+			e.s.Free()
+			drops.Inc()
+		}
+		for b.remote.len() > 0 {
+			e := b.remote.pop()
+			e.s.Stage("drop:stack-down")
+			e.s.Free()
+			drops.Inc()
+		}
 	}
 }
 

@@ -107,6 +107,16 @@ type Host struct {
 	// cache.
 	KVRetries    stats.Counter
 	NegCacheHits stats.Counter
+	// CrashDrops counts packets destroyed by a host crash: frames purged
+	// from rings/backlogs/GRO holds at the instant of death plus
+	// everything blackholed at the NIC, stack, L4 and TX boundaries
+	// while the host is down. It is the crash bucket of the drop census,
+	// so conservation balances close across a crash window.
+	CrashDrops stats.Counter
+	// StaleServes counts transmissions a control-plane-partitioned host
+	// served from a stale (version-expired but within the staleness
+	// bound) TX flow-cache entry.
+	StaleServes stats.Counter
 
 	// Audit, when non-nil, attaches every SKB the transmit path creates
 	// to the run's lifecycle ledger (see internal/audit).
@@ -124,6 +134,12 @@ type Host struct {
 	txPending int
 
 	txSeq uint16 // IPv4 identification counter
+
+	// crashed marks a dead host: NIC and stack are down, arrivals and
+	// sends blackhole into CrashDrops, and the failure detector will
+	// detach the LP once the datapath quiesces. Set by Crash, cleared by
+	// Reboot — both coordinator-context only.
+	crashed bool
 
 	// Per-host continuation free lists. These ops used to live in
 	// package-level sync.Pools; every op's lifetime is confined to its
@@ -281,6 +297,79 @@ func (h *Host) SetKernel(name string) {
 	h.M.Model = costmodel.ByName(name)
 }
 
+// Crashed reports whether the host is currently dead.
+func (h *Host) Crashed() bool { return h.crashed }
+
+// Crash fails the host instantly: the NIC and stack go down (arrivals
+// blackhole into CrashDrops), every queue-resident packet — rx rings,
+// outer-GRO holds, per-CPU backlogs, inner-GRO holds — is purged
+// accounted, and the host's cached KV resolutions die with it.
+// In-execution continuation chains are deliberately left running: they
+// terminate, accounted, at the next stage boundary's down check, which
+// is what lets Quiesced() become true so the failure detector can
+// detach the LP. Coordinator context only (it touches one shard's
+// state while all shards are parked).
+func (h *Host) Crash() {
+	if h.crashed {
+		return
+	}
+	h.crashed = true
+	h.NIC.SetDown(true, &h.CrashDrops)
+	h.St.SetDown(true, &h.CrashDrops)
+	h.NIC.PurgeRings(&h.CrashDrops)
+	h.St.PurgeBacklogs(&h.CrashDrops)
+	h.Rx.PurgeHeld(&h.CrashDrops)
+	h.ReconcileKV()
+}
+
+// Reboot brings a crashed host back: NIC and stack come up, caches
+// start cold (ReconcileKV — the rebooted kernel holds no resolutions,
+// so reconciliation cannot double-deliver), and the machine ticker
+// restarts so the failure detector sees heartbeats again and can
+// re-admit the host through the reattach path. Coordinator context
+// only.
+func (h *Host) Reboot() {
+	if !h.crashed {
+		return
+	}
+	h.crashed = false
+	h.NIC.SetDown(false, nil)
+	h.St.SetDown(false, nil)
+	h.ReconcileKV()
+	h.M.StartTicker()
+}
+
+// ReconcileKV drops every cached KV resolution — the whole TX flow
+// cache and negative cache. Called on crash (the dead kernel's state is
+// gone), on reboot (cold caches), and when a control-plane partition
+// heals (stale mappings must not outlive reconciliation).
+func (h *Host) ReconcileKV() {
+	for k := range h.flowCache {
+		delete(h.flowCache, k)
+	}
+	for ip := range h.negCache {
+		delete(h.negCache, ip)
+	}
+}
+
+// PurgeDeadHost evicts every cached TX resolution that routes through a
+// host just declared dead — flow-cache entries resolving to its
+// endpoint (or host-network entries addressed to it) plus
+// negative-cache records for the container IPs it carried. The failure
+// detector calls this on every surviving host the moment it declares a
+// death, so senders stop steering packets at a corpse for however long
+// the current KV version would otherwise have validated the entries.
+func (h *Host) PurgeDeadHost(hostIP proto.IPv4Addr, containerIPs []proto.IPv4Addr) {
+	for k, e := range h.flowCache {
+		if e.info.HostIP == hostIP || (e.hostNet && k.dstIP == hostIP) {
+			delete(h.flowCache, k)
+		}
+	}
+	for _, ip := range containerIPs {
+		delete(h.negCache, ip)
+	}
+}
+
 // Quiesced reports whether the host's datapath is empty: no message
 // inside the transmit path, no held inner-GRO segments, and every core
 // idle with empty backlog and NIC ring. Wire occupancy (frames still in
@@ -406,6 +495,13 @@ func (op *l4Op) dispatch() {
 // deliverL4 terminates the receive path: it parses the (inner) frame,
 // charges the L4 receive cost, and dispatches to the bound handler.
 func (h *Host) deliverL4(c *cpu.Core, s *skb.SKB, done func()) {
+	if h.crashed {
+		h.CrashDrops.Inc()
+		s.Stage("drop:host-crash")
+		s.Free()
+		done()
+		return
+	}
 	f, err := s.Frame()
 	if err != nil {
 		h.L4Drops.Inc()
@@ -437,6 +533,8 @@ func (h *Host) ResetMeasurement() {
 	h.TxBuildDrops.Reset()
 	h.KVRetries.Reset()
 	h.NegCacheHits.Reset()
+	h.CrashDrops.Reset()
+	h.StaleServes.Reset()
 	if h.OnReset != nil {
 		h.OnReset()
 	}

@@ -32,6 +32,13 @@ type KVStore struct {
 	// version counts mutations; cached resolutions (the tx flow cache)
 	// revalidate against it so a Put/Delete invalidates them all.
 	version uint64
+	// partitioned marks hosts cut off from the control plane: a
+	// partitioned host cannot perform fresh lookups and instead serves
+	// version-pinned stale mappings from its TX flow cache (bounded
+	// staleness) with retry/backoff on misses — split-brain tolerance
+	// without a global fault. Keyed by host IP so everyone else stays on
+	// the healthy fast path.
+	partitioned map[proto.IPv4Addr]bool
 }
 
 // Version returns the store's mutation counter.
@@ -53,6 +60,26 @@ type LookupFault interface {
 
 // SetFault installs (or, with nil, removes) a lookup fault.
 func (kv *KVStore) SetFault(f LookupFault) { kv.fault = f }
+
+// SetPartitioned marks (or heals) a control-plane partition for the
+// host at hostIP. While set, that host's transmit path takes the
+// partition-tolerant branch (stale cache serving + backoff retries).
+func (kv *KVStore) SetPartitioned(hostIP proto.IPv4Addr, on bool) {
+	if on {
+		if kv.partitioned == nil {
+			kv.partitioned = make(map[proto.IPv4Addr]bool)
+		}
+		kv.partitioned[hostIP] = true
+		return
+	}
+	delete(kv.partitioned, hostIP)
+}
+
+// Partitioned reports whether the host at hostIP is cut off from the
+// control plane.
+func (kv *KVStore) Partitioned(hostIP proto.IPv4Addr) bool {
+	return kv.partitioned[hostIP]
+}
 
 // Fault returns the installed lookup fault, nil when healthy.
 func (kv *KVStore) Fault() LookupFault { return kv.fault }

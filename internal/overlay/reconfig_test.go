@@ -122,6 +122,113 @@ func TestDrainedHostNotSteeredTo(t *testing.T) {
 	}
 }
 
+// TestPurgeDeadHostEvictsCaches: when the failure detector declares a
+// host dead, every survivor's cached route to it — container flow-cache
+// entries resolving onto the dead host, host-network entries addressed
+// to it, and negative-cache entries for its containers — must go at
+// once; cached routes to other hosts survive.
+func TestCrashPurgeDeadHostEvictsCaches(t *testing.T) {
+	b, spare, _ := newDrainBed(t)
+	b.server.OpenUDP(srvCtrIP, 5001, 2)
+
+	// Warm three flows: container → dead host, host-network → dead host,
+	// host-network → surviving spare.
+	b.e.At(0, func() {
+		sendOne(b, 1, nil)
+		b.client.SendUDP(SendParams{SrcPort: 9000, DstIP: serverIP, DstPort: 9001,
+			Payload: 64, Core: 2, FlowID: 2, Seq: 1})
+		b.client.SendUDP(SendParams{SrcPort: 9000, DstIP: spare.IP, DstPort: 9001,
+			Payload: 64, Core: 2, FlowID: 3, Seq: 1})
+	})
+	b.e.RunUntil(sim.Millisecond)
+	if got := len(b.client.flowCache); got != 3 {
+		t.Fatalf("warm flow cache has %d entries, want 3", got)
+	}
+	// And a negative-cache entry for the dead host's container.
+	b.client.negCache[srvCtrIP] = negEntry{until: sim.Second, kvVersion: b.n.KV.Version()}
+
+	b.client.PurgeDeadHost(serverIP, []proto.IPv4Addr{srvCtrIP})
+
+	if got := len(b.client.flowCache); got != 1 {
+		t.Fatalf("flow cache has %d entries after purge, want 1 (spare only)", got)
+	}
+	for k := range b.client.flowCache {
+		if k.dstIP != spare.IP {
+			t.Fatalf("surviving flow-cache entry points at %v, want %v", k.dstIP, spare.IP)
+		}
+	}
+	if _, ok := b.client.negCache[srvCtrIP]; ok {
+		t.Fatal("negative-cache entry for the dead host's container survived the purge")
+	}
+}
+
+// TestPartitionStaleServeAndReconcile drives the split-brain transmit
+// path end to end: fresh entries transmit normally, a version-expired
+// entry serves stale within PartitionStaleBound, beyond the bound the
+// flow falls into retry/backoff and negative caching, and the heal's
+// reconciliation restores real resolution — with every delivery counted
+// exactly once.
+func TestCrashPartitionStaleServeAndReconcile(t *testing.T) {
+	b := newBed(t, "", 100*devices.Gbps)
+	sock := b.server.OpenUDP(srvCtrIP, 5001, 2)
+
+	// Warm the flow, then partition the client.
+	b.e.At(0, func() { sendOne(b, 1, nil) })
+	b.e.At(10*sim.Microsecond, func() { b.n.KV.SetPartitioned(b.client.IP, true) })
+
+	// Fresh entry: transmits normally, no stale serve counted.
+	b.e.At(20*sim.Microsecond, func() { sendOne(b, 2, nil) })
+
+	// A generation bump the partitioned host cannot resolve around:
+	// the entry is now version-expired but young — it serves stale.
+	b.e.At(30*sim.Microsecond, func() { b.n.BumpGeneration() })
+	b.e.At(40*sim.Microsecond, func() { sendOne(b, 3, nil) })
+	b.e.RunUntil(sim.Millisecond)
+	if got := b.client.StaleServes.Value(); got != 1 {
+		t.Fatalf("stale serves = %d, want 1", got)
+	}
+
+	// Past the staleness bound the entry is unusable: the send retries
+	// with backoff, fails definitively, and leaves a negative entry.
+	b.e.At(6*sim.Millisecond, func() {
+		sendOne(b, 4, func(ok bool) {
+			if ok {
+				t.Error("send beyond the staleness bound succeeded while partitioned")
+			}
+		})
+	})
+	b.e.RunUntil(7 * sim.Millisecond)
+	if got := b.client.TxResolveDrops.Value(); got != 1 {
+		t.Fatalf("resolve drops = %d, want 1", got)
+	}
+	if got := b.client.KVRetries.Value(); got == 0 {
+		t.Fatal("partitioned miss never retried")
+	}
+	b.e.At(7*sim.Millisecond, func() { sendOne(b, 5, nil) })
+	b.e.RunUntil(8 * sim.Millisecond)
+	if got := b.client.NegCacheHits.Value(); got != 1 {
+		t.Fatalf("negative-cache hits = %d, want 1", got)
+	}
+
+	// Heal: partition lifts, caches reconcile, resolution is real again.
+	b.e.At(8*sim.Millisecond, func() {
+		b.n.KV.SetPartitioned(b.client.IP, false)
+		b.client.ReconcileKV()
+	})
+	b.e.At(8*sim.Millisecond+10*sim.Microsecond, func() {
+		sendOne(b, 6, func(ok bool) {
+			if !ok {
+				t.Error("send after heal failed to resolve")
+			}
+		})
+	})
+	b.e.RunUntil(10 * sim.Millisecond)
+	// Exactly the four transmittable sends delivered — no duplicates.
+	if got := sock.Delivered.Value(); got != 4 {
+		t.Fatalf("delivered %d, want 4", got)
+	}
+}
+
 // nullFault is a LookupFault that neither delays nor fails: it forces
 // the degraded per-packet resolution path (where the negative cache
 // lives) without perturbing timing.

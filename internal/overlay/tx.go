@@ -72,6 +72,7 @@ type txFlowKey struct {
 type txFlowEntry struct {
 	kvVersion uint64
 	gen       uint64
+	builtAt   sim.Time // when the entry was resolved (staleness bound)
 	info      EndpointInfo
 	sameHost  bool
 	hostNet   bool
@@ -138,6 +139,15 @@ func (op *txOp) finish(ok bool) {
 // prebuilt TCP header (ports in hdr override p's).
 func (h *Host) sendL4(p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
 	h.TxMsgs.Inc()
+	if h.crashed {
+		// The host is dead: the (schedule-driven) send is counted and
+		// destroyed without charging work — dead silicon runs nothing.
+		h.CrashDrops.Inc()
+		if p.Done != nil {
+			p.Done(false)
+		}
+		return
+	}
 	h.txPending++
 	core := h.M.Core(p.Core)
 	ctx := stats.CtxTask
@@ -163,11 +173,23 @@ func (h *Host) sendL4(p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
 // the healthy or degraded resolution path.
 func (op *txOp) stackDone() {
 	h := op.h
+	if h.crashed {
+		// The host died while this message was inside the transmit path:
+		// it terminates here, accounted, so Quiesced() can drain.
+		h.CrashDrops.Inc()
+		h.txPending--
+		op.finish(false)
+		return
+	}
 	if h.Net.KV.Fault() != nil {
 		core, ctx, p, ipProto, tcp := op.core, op.ctx, op.p, op.ipProto, op.tcp
 		op.p.Done = nil // sendSlow owns completion now
 		op.finish(false)
 		h.sendSlow(core, ctx, p, ipProto, tcp)
+		return
+	}
+	if h.Net.KV.Partitioned(h.IP) {
+		h.sendPartitioned(op)
 		return
 	}
 	h.sendFast(op)
@@ -176,8 +198,7 @@ func (op *txOp) stackDone() {
 // sendFast is the healthy-path transmit: flow-cached resolution and
 // template-built frames in a pooled skb with VXLAN headroom.
 func (h *Host) sendFast(op *txOp) {
-	core, ctx, p := op.core, op.ctx, op.p
-	e, resolved := h.txFlow(p, op.ipProto, op.tcp)
+	e, resolved := h.txFlow(op.p, op.ipProto, op.tcp)
 	if !resolved {
 		h.TxResolveDrops.Inc()
 		h.txPending--
@@ -191,6 +212,14 @@ func (h *Host) sendFast(op *txOp) {
 		op.finish(false)
 		return
 	}
+	h.transmitEntry(op, e)
+}
+
+// transmitEntry builds the frame from a resolved flow-cache entry and
+// drives it out — the back half of sendFast, shared with the
+// partition-tolerant path (which resolves through stale entries).
+func (h *Host) transmitEntry(op *txOp, e *txFlowEntry) {
+	core, ctx, p := op.core, op.ctx, op.p
 	headroom := 0
 	if !e.sameHost && !e.hostNet {
 		headroom = proto.OverlayOverhead
@@ -264,7 +293,7 @@ func (h *Host) txFlow(p SendParams, ipProto uint8, tcp *proto.TCPHdr) (e *txFlow
 	if e, ok := h.flowCache[key]; ok && e.kvVersion == ver && e.gen == gen {
 		return e, true
 	}
-	e = &txFlowEntry{kvVersion: ver, gen: gen}
+	e = &txFlowEntry{kvVersion: ver, gen: gen, builtAt: h.E.Now()}
 	if p.From == nil {
 		peer := h.Net.hostByIP(p.DstIP)
 		if peer == nil {
@@ -389,7 +418,97 @@ const (
 	// NegCacheTTL is how long a definitive KV miss suppresses further
 	// lookups of the same IP.
 	NegCacheTTL = 2 * sim.Millisecond
+	// PartitionStaleBound bounds how old a version-expired flow-cache
+	// entry a control-plane-partitioned host may keep serving: within
+	// the bound the host transmits on the last mapping it saw (counted
+	// in StaleServes — the frame may land on a corpse, where it dies
+	// accounted); beyond it the host treats the flow as unresolvable and
+	// falls into retry/backoff until the partition heals.
+	PartitionStaleBound = 5 * sim.Millisecond
 )
+
+// sendPartitioned is the split-brain transmit path, taken while this
+// host is marked partitioned from the KV control plane. Fresh cache
+// entries transmit normally; version-expired entries within
+// PartitionStaleBound serve stale; misses cannot consult the KV and
+// retry with the same deterministic backoff schedule as the degraded
+// path, resolving for real only if the partition heals mid-retry. Cold
+// path — closures are acceptable here, as in sendSlow.
+func (h *Host) sendPartitioned(op *txOp) {
+	p := op.p
+	if p.From == nil {
+		// Host networking resolves through the local link map, not the
+		// KV: the partition does not apply.
+		h.sendFast(op)
+		return
+	}
+	key := txFlowKey{from: p.From, dstIP: p.DstIP, ipProto: op.ipProto, payload: p.Payload}
+	if op.tcp != nil {
+		key.srcPort, key.dstPort = op.tcp.SrcPort, op.tcp.DstPort
+	} else {
+		key.srcPort, key.dstPort = p.SrcPort, p.DstPort
+	}
+	ver, gen := h.Net.KV.Version(), h.Net.Generation()
+	if e, ok := h.flowCache[key]; ok {
+		fresh := e.kvVersion == ver && e.gen == gen
+		if fresh || h.E.Now()-e.builtAt <= PartitionStaleBound {
+			if !fresh {
+				h.StaleServes.Inc()
+			}
+			h.transmitEntry(op, e)
+			return
+		}
+		delete(h.flowCache, key)
+	}
+	core, ctx, ipProto, tcp := op.core, op.ctx, op.ipProto, op.tcp
+	op.p.Done = nil // the retry loop owns completion now
+	op.finish(false)
+	finish := func(ok bool) {
+		if p.Done != nil {
+			p.Done(ok)
+		}
+	}
+	if ne, ok := h.negCache[p.DstIP]; ok {
+		if h.E.Now() < ne.until && ne.kvVersion == ver {
+			h.NegCacheHits.Inc()
+			h.txPending--
+			finish(false)
+			return
+		}
+		delete(h.negCache, p.DstIP)
+	}
+	attempt := 0
+	var try func()
+	try = func() {
+		if h.crashed {
+			h.CrashDrops.Inc()
+			h.txPending--
+			finish(false)
+			return
+		}
+		if !h.Net.KV.Partitioned(h.IP) {
+			// Healed mid-retry: resolve for real through the uncached
+			// degraded path (the caches were reconciled on heal).
+			h.sendSlow(core, ctx, p, ipProto, tcp)
+			return
+		}
+		if attempt >= kvMaxRetries {
+			h.TxResolveDrops.Inc()
+			h.negCache[p.DstIP] = negEntry{
+				until:     h.E.Now() + NegCacheTTL,
+				kvVersion: h.Net.KV.Version(),
+			}
+			h.txPending--
+			finish(false)
+			return
+		}
+		backoff := kvRetryBase << attempt
+		attempt++
+		h.KVRetries.Inc()
+		h.E.After(backoff, try)
+	}
+	try()
+}
 
 // negEntry is one negative-cache record: a definitive KV miss suppresses
 // lookups of the same IP until the TTL expires OR the KV store mutates.

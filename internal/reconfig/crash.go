@@ -1,0 +1,110 @@
+package reconfig
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// CrashEvent kills one host at an absolute offset from the schedule
+// base and optionally reboots it later. Unlike reconfig Actions, a
+// crash is a fault: nothing is drained first — the host dies with
+// packets in its rings, and recovery is the failure detector's job.
+type CrashEvent struct {
+	Host string `json:"host"`
+	AtMs int    `json:"at_ms"`
+	// RebootMs, when positive, reboots the host at that offset (must be
+	// after AtMs). Zero means the host stays dead.
+	RebootMs int `json:"reboot_ms,omitempty"`
+}
+
+// PartitionEvent cuts one host off from the KV control plane for a
+// window: the host serves stale flow-cache mappings (bounded staleness)
+// and retries misses with backoff until the partition heals, at which
+// point its caches reconcile.
+type PartitionEvent struct {
+	Host string `json:"host"`
+	AtMs int    `json:"at_ms"`
+	// HealMs, when positive, heals the partition at that offset (must be
+	// after AtMs). Zero means the partition lasts the rest of the run.
+	HealMs int `json:"heal_ms,omitempty"`
+}
+
+// CrashSchedule is the declarative input of the -crash flag: host
+// crash/reboot windows and control-plane partitions, applied at
+// deterministic sim-times.
+type CrashSchedule struct {
+	Crashes    []CrashEvent     `json:"crashes"`
+	Partitions []PartitionEvent `json:"partitions,omitempty"`
+}
+
+// Validate checks structural well-formedness: named hosts, non-negative
+// time-ordered offsets, reboot/heal after the event they end, and at
+// most one crash per host (a second crash of the same host would race
+// its own detector ladder). Host-name resolution happens when the
+// schedule is installed against a concrete network.
+func (s *CrashSchedule) Validate() error {
+	if len(s.Crashes) == 0 && len(s.Partitions) == 0 {
+		return fmt.Errorf("reconfig: crash schedule has no events")
+	}
+	lastAt := 0
+	crashed := map[string]bool{}
+	for i, c := range s.Crashes {
+		if c.Host == "" {
+			return fmt.Errorf("reconfig: crash %d: missing host", i)
+		}
+		if c.AtMs < 0 {
+			return fmt.Errorf("reconfig: crash %d: negative at_ms %d", i, c.AtMs)
+		}
+		if c.AtMs < lastAt {
+			return fmt.Errorf("reconfig: crash %d: at_ms %d before previous %d (crashes must be time-ordered)", i, c.AtMs, lastAt)
+		}
+		lastAt = c.AtMs
+		if c.RebootMs != 0 && c.RebootMs <= c.AtMs {
+			return fmt.Errorf("reconfig: crash %d: reboot_ms %d not after at_ms %d", i, c.RebootMs, c.AtMs)
+		}
+		if crashed[c.Host] {
+			return fmt.Errorf("reconfig: crash %d: host %q crashed twice", i, c.Host)
+		}
+		crashed[c.Host] = true
+	}
+	lastAt = 0
+	for i, p := range s.Partitions {
+		if p.Host == "" {
+			return fmt.Errorf("reconfig: partition %d: missing host", i)
+		}
+		if p.AtMs < 0 {
+			return fmt.Errorf("reconfig: partition %d: negative at_ms %d", i, p.AtMs)
+		}
+		if p.AtMs < lastAt {
+			return fmt.Errorf("reconfig: partition %d: at_ms %d before previous %d (partitions must be time-ordered)", i, p.AtMs, lastAt)
+		}
+		lastAt = p.AtMs
+		if p.HealMs != 0 && p.HealMs <= p.AtMs {
+			return fmt.Errorf("reconfig: partition %d: heal_ms %d not after at_ms %d", i, p.HealMs, p.AtMs)
+		}
+	}
+	return nil
+}
+
+// CrashFromJSON parses a crash schedule and validates it.
+func CrashFromJSON(data []byte) (*CrashSchedule, error) {
+	var s CrashSchedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("reconfig: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadCrashFile reads a crash schedule from a JSON file (the -crash
+// flag).
+func LoadCrashFile(path string) (*CrashSchedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reconfig: %w", err)
+	}
+	return CrashFromJSON(data)
+}

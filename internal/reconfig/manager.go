@@ -33,11 +33,13 @@ type DropSnapshot struct {
 	L4          uint64 // no bound endpoint
 	LinkLost    uint64 // random wire loss
 	LinkDropped uint64 // link tx-queue overflow
+	Crash       uint64 // packets destroyed by a host crash (purged + blackholed)
 }
 
 // Total sums every bucket.
 func (d DropSnapshot) Total() uint64 {
-	return d.Resolve + d.Build + d.NIC + d.Backlog + d.Path + d.L4 + d.LinkLost + d.LinkDropped
+	return d.Resolve + d.Build + d.NIC + d.Backlog + d.Path + d.L4 +
+		d.LinkLost + d.LinkDropped + d.Crash
 }
 
 // Sub returns the per-bucket difference d - prev.
@@ -47,6 +49,7 @@ func (d DropSnapshot) Sub(prev DropSnapshot) DropSnapshot {
 		NIC: d.NIC - prev.NIC, Backlog: d.Backlog - prev.Backlog,
 		Path: d.Path - prev.Path, L4: d.L4 - prev.L4,
 		LinkLost: d.LinkLost - prev.LinkLost, LinkDropped: d.LinkDropped - prev.LinkDropped,
+		Crash: d.Crash - prev.Crash,
 	}
 }
 
@@ -86,6 +89,7 @@ type Manager struct {
 	falcons  map[string]*falconcore.Falcon
 	draining map[string]*GenRecord
 	armed    bool
+	det      *detector
 }
 
 // New builds a manager for the network and schedule.
@@ -111,6 +115,7 @@ func (m *Manager) Snapshot() DropSnapshot {
 		s.Backlog += h.St.Drops.Value()
 		s.Path += h.Rx.PathDrops.Value()
 		s.L4 += h.L4Drops.Value()
+		s.Crash += h.CrashDrops.Value()
 		h.EachLink(func(_ proto.IPv4Addr, l *devices.Link) {
 			s.LinkLost += l.Lost.Value()
 			s.LinkDropped += l.Dropped.Value()
@@ -248,6 +253,13 @@ func (m *Manager) beginDrain(a Action, h *overlay.Host, rec *GenRecord) {
 // drain, are no-ops.
 func (m *Manager) quiesceCheck(h *overlay.Host, rec *GenRecord) {
 	if rec.Detached || m.draining[h.Name] != rec {
+		return
+	}
+	if rec.Action.Kind == KindFailover && !h.Crashed() {
+		// The host rebooted before its fail-over ladder finished:
+		// detaching now would stop the rebooted ticker and starve the
+		// detector of the heartbeats re-admission needs. The rejoin
+		// record cancels the remaining rungs.
 		return
 	}
 	if !h.Quiesced() {

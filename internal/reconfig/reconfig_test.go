@@ -5,8 +5,10 @@ import (
 
 	falconcore "falcon/internal/core"
 	"falcon/internal/devices"
+	"falcon/internal/faults"
 	"falcon/internal/reconfig"
 	"falcon/internal/sim"
+	"falcon/internal/socket"
 	"falcon/internal/workload"
 )
 
@@ -33,12 +35,12 @@ func TestScheduleValidate(t *testing.T) {
 		"time-disordered": ok(
 			reconfig.Action{Kind: reconfig.KindKernelUpgrade, AtMs: 3, Host: "h", Kernel: "5.4"},
 			reconfig.Action{Kind: reconfig.KindKernelUpgrade, AtMs: 1, Host: "h", Kernel: "5.4"}),
-		"missing-host":          ok(reconfig.Action{Kind: reconfig.KindKernelUpgrade, AtMs: 0, Kernel: "5.4"}),
-		"upgrade-sans-kernel":   ok(reconfig.Action{Kind: reconfig.KindKernelUpgrade, AtMs: 0, Host: "h"}),
-		"flip-sans-enable":      ok(reconfig.Action{Kind: reconfig.KindRPSFlip, AtMs: 0, Host: "h"}),
-		"steer-sans-enable":     ok(reconfig.Action{Kind: reconfig.KindSteerFlip, AtMs: 0, Host: "h"}),
-		"drain-sans-target":     ok(reconfig.Action{Kind: reconfig.KindDrain, AtMs: 0, Host: "h"}),
-		"drain-onto-self":       ok(reconfig.Action{Kind: reconfig.KindDrain, AtMs: 0, Host: "h", To: "h"}),
+		"missing-host":           ok(reconfig.Action{Kind: reconfig.KindKernelUpgrade, AtMs: 0, Kernel: "5.4"}),
+		"upgrade-sans-kernel":    ok(reconfig.Action{Kind: reconfig.KindKernelUpgrade, AtMs: 0, Host: "h"}),
+		"flip-sans-enable":       ok(reconfig.Action{Kind: reconfig.KindRPSFlip, AtMs: 0, Host: "h"}),
+		"steer-sans-enable":      ok(reconfig.Action{Kind: reconfig.KindSteerFlip, AtMs: 0, Host: "h"}),
+		"drain-sans-target":      ok(reconfig.Action{Kind: reconfig.KindDrain, AtMs: 0, Host: "h"}),
+		"drain-onto-self":        ok(reconfig.Action{Kind: reconfig.KindDrain, AtMs: 0, Host: "h", To: "h"}),
 		"drain-negative-transit": ok(reconfig.Action{Kind: reconfig.KindDrain, AtMs: 0, Host: "h", To: "s", TransitUs: -1}),
 		"double-drain": ok(
 			reconfig.Action{Kind: reconfig.KindDrain, AtMs: 0, Host: "h", To: "s"},
@@ -136,6 +138,173 @@ func TestDrainQuiescesAndDetaches(t *testing.T) {
 	if unaccounted != 0 {
 		t.Fatalf("%d packets unaccounted across the drain/add (sent=%d delivered=%d drops=%d)",
 			unaccounted, f.Sent(), delivered, snap.Total())
+	}
+}
+
+func TestCrashScheduleValidate(t *testing.T) {
+	valid := []*reconfig.CrashSchedule{
+		{Crashes: []reconfig.CrashEvent{{Host: "server", AtMs: 1}}},
+		{Crashes: []reconfig.CrashEvent{{Host: "server", AtMs: 1, RebootMs: 4}}},
+		{Crashes: []reconfig.CrashEvent{
+			{Host: "server", AtMs: 1, RebootMs: 4},
+			{Host: "client", AtMs: 2}}},
+		{Partitions: []reconfig.PartitionEvent{{Host: "client", AtMs: 0, HealMs: 3}}},
+	}
+	for i, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("valid crash schedule %d rejected: %v", i, err)
+		}
+	}
+	invalid := map[string]*reconfig.CrashSchedule{
+		"empty":          {},
+		"missing-host":   {Crashes: []reconfig.CrashEvent{{AtMs: 1}}},
+		"negative-at":    {Crashes: []reconfig.CrashEvent{{Host: "h", AtMs: -1}}},
+		"reboot-before":  {Crashes: []reconfig.CrashEvent{{Host: "h", AtMs: 3, RebootMs: 2}}},
+		"reboot-equal":   {Crashes: []reconfig.CrashEvent{{Host: "h", AtMs: 3, RebootMs: 3}}},
+		"double-crash":   {Crashes: []reconfig.CrashEvent{{Host: "h", AtMs: 1}, {Host: "h", AtMs: 2}}},
+		"disordered":     {Crashes: []reconfig.CrashEvent{{Host: "a", AtMs: 3}, {Host: "b", AtMs: 1}}},
+		"part-no-host":   {Partitions: []reconfig.PartitionEvent{{AtMs: 1}}},
+		"heal-before-at": {Partitions: []reconfig.PartitionEvent{{Host: "h", AtMs: 3, HealMs: 1}}},
+	}
+	for name, s := range invalid {
+		if s.Validate() == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := reconfig.CrashFromJSON([]byte("{")); err == nil {
+		t.Fatal("malformed crash JSON accepted")
+	}
+	s, err := reconfig.CrashFromJSON([]byte(`{"crashes":[{"host":"server","at_ms":2,"reboot_ms":6}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Crashes) != 1 || s.Crashes[0].RebootMs != 6 {
+		t.Fatalf("parsed crash schedule mangled: %+v", s)
+	}
+}
+
+// newCrashTestbed builds the three-host bed with the failure detector
+// armed (server → spare twins) and a server crash window [1.5ms, 8ms).
+func newCrashTestbed(t *testing.T, shards int) (*workload.Testbed, *reconfig.Manager, *workload.UDPFlow, sim.Time) {
+	t.Helper()
+	tb := workload.NewTestbed(workload.TestbedConfig{
+		LinkRate: 100 * devices.Gbps, Cores: 12, Containers: 1,
+		RSSCores: []int{0}, RPSCores: []int{1},
+		GRO: true, InnerGRO: true, Seed: 1, Spare: true, Shards: shards,
+	})
+	mgr := reconfig.New(tb.Net, &reconfig.Schedule{})
+	if err := mgr.StartDetector(reconfig.DetectorConfig{TransitUs: 200},
+		map[string]string{"server": "spare"}, 0, 16*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	crashAt := 1500 * sim.Microsecond
+	faults.NewInjector(tb.E).Install(faults.Single(
+		crashAt, 8*sim.Millisecond-crashAt, &faults.HostCrash{Host: tb.Server}))
+	f := tb.NewUDPFlow(tb.ClientCtrs[0], tb.ServerCtrs[0].IP, 7000, 5001, 64, 2, 2, 1)
+	return tb, mgr, f, crashAt
+}
+
+// crashTimeline runs a crash bed to completion and reduces it to the
+// values the invariance test compares byte-for-byte.
+type crashTimeline struct {
+	kinds     []string
+	applied   []sim.Time
+	delivered uint64
+	crashed   uint64
+}
+
+func runCrashBed(t *testing.T, shards int) (*workload.Testbed, *reconfig.Manager, *workload.UDPFlow, *socket.Socket, sim.Time, crashTimeline) {
+	t.Helper()
+	tb, mgr, f, crashAt := newCrashTestbed(t, shards)
+	spareSock := tb.Spare.OpenUDP(tb.ServerCtrs[0].IP, 5001, 2)
+	f.SendAtRate(100_000, 14*sim.Millisecond)
+	tb.Run(16 * sim.Millisecond)
+	tl := crashTimeline{
+		delivered: f.Sock.Delivered.Value() + spareSock.Delivered.Value(),
+		crashed:   mgr.Snapshot().Crash,
+	}
+	for _, rec := range mgr.Records() {
+		tl.kinds = append(tl.kinds, rec.Action.Kind)
+		tl.applied = append(tl.applied, rec.Applied)
+	}
+	return tb, mgr, f, spareSock, crashAt, tl
+}
+
+// TestDetectorFailoverAndRejoin drives the full crash–recover fault
+// domain: heartbeats stop, the detector declares death within its
+// bound, containers remap onto the spare's standby twin, the corpse's
+// LP detaches, the reboot is re-admitted — and not one packet goes
+// unaccounted.
+func TestDetectorFailoverAndRejoin(t *testing.T) {
+	tb, mgr, f, spareSock, crashAt, tl := runCrashBed(t, 0)
+
+	recs := mgr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("%d generation records, want 2 (fail-over + rejoin): %v", len(recs), tl.kinds)
+	}
+	fo, rj := recs[0], recs[1]
+	if fo.Action.Kind != reconfig.KindFailover || fo.Action.To != "spare" {
+		t.Fatalf("first record is %+v, want fail-over onto spare", fo.Action)
+	}
+	// Detection bound: timeout (2ms) + SickAfter scans (2 x 0.5ms) +
+	// heartbeat age at death (< one 1ms tick).
+	if lat := fo.Applied - crashAt; lat > 4*sim.Millisecond {
+		t.Fatalf("detection latency %v exceeds the detector bound", lat)
+	}
+	if !fo.Detached {
+		t.Fatal("the corpse's LP never detached")
+	}
+	if fo.QuiescedAt < fo.Applied {
+		t.Fatalf("quiesce at %v before fail-over at %v", fo.QuiescedAt, fo.Applied)
+	}
+	if rj.Action.Kind != reconfig.KindRejoin || !rj.Reattached {
+		t.Fatalf("second record is %+v, want rejoin", rj.Action)
+	}
+	if rj.Applied < 8*sim.Millisecond {
+		t.Fatalf("rejoin at %v precedes the reboot", rj.Applied)
+	}
+
+	// Delivery moved to the twin and the crash destroyed real packets —
+	// all of them accounted.
+	if spareSock.Delivered.Value() == 0 {
+		t.Fatal("no packets delivered on the spare twin after fail-over")
+	}
+	snap := mgr.Snapshot()
+	if snap.Crash == 0 {
+		t.Fatal("crash drop bucket empty — the blackout destroyed nothing?")
+	}
+	delivered := f.Sock.Delivered.Value() + spareSock.Delivered.Value()
+	sockDrops := f.Sock.SocketDrops.Value() + spareSock.SocketDrops.Value()
+	unaccounted := int64(f.Sent()) - int64(delivered) - int64(sockDrops) -
+		int64(snap.Total()) - int64(tb.Client.TxPending())
+	if unaccounted != 0 {
+		t.Fatalf("%d packets unaccounted across crash+reboot (sent=%d delivered=%d crash=%d)",
+			unaccounted, f.Sent(), delivered, snap.Crash)
+	}
+}
+
+// TestCrashFailoverShardInvariance: the crash, the detector's scans and
+// the fail-over/rejoin generations are coordinator events with fixed
+// schedules, so the sharded cluster must produce the exact serial
+// timeline — same record kinds, same application times, same delivery
+// and crash-drop counts.
+func TestCrashFailoverShardInvariance(t *testing.T) {
+	_, _, _, _, _, serial := runCrashBed(t, 0)
+	_, _, _, _, _, sharded := runCrashBed(t, 4)
+	if len(serial.kinds) != len(sharded.kinds) {
+		t.Fatalf("record counts differ: serial %v, sharded %v", serial.kinds, sharded.kinds)
+	}
+	for i := range serial.kinds {
+		if serial.kinds[i] != sharded.kinds[i] || serial.applied[i] != sharded.applied[i] {
+			t.Fatalf("record %d differs: serial %s@%v, sharded %s@%v", i,
+				serial.kinds[i], serial.applied[i], sharded.kinds[i], sharded.applied[i])
+		}
+	}
+	if serial.delivered != sharded.delivered {
+		t.Fatalf("delivered differs: serial %d, sharded %d", serial.delivered, sharded.delivered)
+	}
+	if serial.crashed != sharded.crashed {
+		t.Fatalf("crash drops differ: serial %d, sharded %d", serial.crashed, sharded.crashed)
 	}
 }
 

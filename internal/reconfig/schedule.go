@@ -43,6 +43,15 @@ const (
 	// rejoins the cluster. Container mappings stay wherever the drain
 	// put them (rebalancing back is a second drain the other way).
 	KindAdd = "add"
+
+	// KindFailover and KindRejoin are failure-driven generations: the
+	// Manager's failure detector emits them when heartbeats stop
+	// (containers remap onto standby twins) and when a rebooted host
+	// beats again. They appear in GenRecords but are NOT valid in a
+	// declarative Schedule — failures are detected, never scheduled
+	// (Validate rejects them as unknown kinds).
+	KindFailover = "fail-over"
+	KindRejoin   = "rejoin"
 )
 
 // Action is one scheduled reconfiguration step. Effective times are

@@ -79,16 +79,42 @@ func Generate(seed uint64) Scenario {
 		}
 	}
 
-	// Reconfig draws come LAST: every earlier field is already fixed, so
-	// pre-reconfig fuzz seeds keep generating byte-identical scenarios
-	// (the seeded-defect corpus and CI self-tests depend on that).
+	// Reconfig draws come after every earlier field, and crash draws
+	// after every reconfig draw: each extension appends new draws
+	// strictly behind the frozen prefix, so pre-extension fuzz seeds
+	// keep generating byte-identical scenarios for everything they
+	// already contained (the seeded-defect corpus and CI self-tests
+	// depend on that).
 	if r.Float64() < 0.2 {
 		n := 1 + r.Intn(MaxReconfigs)
 		for i := 0; i < n; i++ {
 			sc.Reconfigs = append(sc.Reconfigs, genReconfig(r, sc))
 		}
 	}
+	// A crash must be the sole reconfig (the validator's rule) and needs
+	// the same migratable shape as a drain.
+	if len(sc.Reconfigs) == 0 && sc.UDPOnly() && sc.OverlayOnly() && sc.Containers >= 1 {
+		if r.Float64() < 0.12 {
+			sc.Reconfigs = append(sc.Reconfigs, genCrash(r, sc))
+		}
+	}
 	return sc
+}
+
+// genCrash samples one abrupt server outage: the crash lands in the
+// first half of the window and the reboot inside it, so the failure
+// detector's fail-over, and usually the reboot re-admission too, play
+// out under observation. Short outages (below the ~2ms detection bound)
+// are deliberately reachable: a host that reboots before being declared
+// dead exercises the no-failover recovery path.
+func genCrash(r *sim.Rand, sc Scenario) ReconfigSpec {
+	rc := ReconfigSpec{Kind: "crash"}
+	rc.AtMs = 1 + r.Intn(max(1, sc.WindowMs/2))
+	rc.ForMs = 1 + r.Intn(max(1, sc.WindowMs/2))
+	if rc.AtMs+rc.ForMs > sc.WindowMs {
+		rc.ForMs = sc.WindowMs - rc.AtMs
+	}
+	return rc
 }
 
 // genReconfig samples one hot-reconfiguration window that fits the

@@ -149,11 +149,15 @@ func reorderingFault(sc Scenario) bool {
 // legitimately reorder a flow: an rps-flip moves the flow's processing
 // off the RPS core mid-stream, so packets still queued on the old
 // core's backlog finish after newer packets that took the direct RSS
-// path. (Drain does not count: each socket — primary or twin — still
-// sees its own packets in order, which the drain corpus pins.)
+// path. A crash counts too: sends that miss the KV during the remap
+// wait out a retry backoff while later sends of the same flow resolve
+// against the repopulated store and overtake them (the same ARP-queue
+// reordering kv-flaky exhibits). (Drain does not count: each socket —
+// primary or twin — still sees its own packets in order, which the
+// drain corpus pins.)
 func reorderingReconfig(sc Scenario) bool {
 	for _, rc := range sc.Reconfigs {
-		if rc.Kind == "rps-flip" {
+		if rc.Kind == "rps-flip" || rc.Kind == "crash" {
 			return true
 		}
 	}
@@ -218,9 +222,17 @@ func Oracles() []Oracle {
 			Name: "reconfig-conservation",
 			Desc: "no packet unaccounted across any generation swap; audit ledger clean in both modes",
 			Applies: func(sc Scenario) bool {
-				return len(sc.Reconfigs) > 0
+				return len(sc.Reconfigs) > 0 && !sc.HasCrash()
 			},
 			Check: checkReconfigConservation,
+		},
+		{
+			Name: "crash-conservation",
+			Desc: "no packet unaccounted across a host crash: every frame delivered or in a named drop bucket (incl. crash); audit ledger clean",
+			Applies: func(sc Scenario) bool {
+				return sc.HasCrash()
+			},
+			Check: checkCrashConservation,
 		},
 	}
 }
@@ -296,12 +308,12 @@ func conservationOn(sc Scenario, ac AccountResult, mode string) *Violation {
 				mode, ac.Sent, ac.Wire, ac.TxResolveDrops, ac.TxBuildDrops, ac.LinkDropped)}
 	}
 	serverSide := ac.Delivered + ac.NICDrops + ac.BacklogDrops + ac.SocketDrops +
-		ac.PathDrops + ac.L4Drops + ac.LinkLost
+		ac.PathDrops + ac.L4Drops + ac.LinkLost + ac.CrashDrops
 	if ac.Wire != serverSide {
 		return &Violation{"conservation",
-			fmt.Sprintf("%s: server side: wire=%d != delivered=%d + nic=%d + backlog=%d + sock=%d + path=%d + l4=%d + lost=%d",
+			fmt.Sprintf("%s: server side: wire=%d != delivered=%d + nic=%d + backlog=%d + sock=%d + path=%d + l4=%d + lost=%d + crash=%d",
 				mode, ac.Wire, ac.Delivered, ac.NICDrops, ac.BacklogDrops,
-				ac.SocketDrops, ac.PathDrops, ac.L4Drops, ac.LinkLost)}
+				ac.SocketDrops, ac.PathDrops, ac.L4Drops, ac.LinkLost, ac.CrashDrops)}
 	}
 	return nil
 }
@@ -322,6 +334,48 @@ func checkReconfigConservation(c *Ctx) *Violation {
 		}
 		if v := conservationOn(sc, c.account(sc, mode), label); v != nil {
 			return &Violation{"reconfig-conservation", v.Detail}
+		}
+	}
+	return nil
+}
+
+// checkCrashConservation is the crash fault domain's global equation:
+// with a host crash (and its detector-driven fail-over, remap, and
+// reboot re-admission) armed, the drain-complete accounting run must
+// leave zero packets unaccounted — every send() lands in delivery or a
+// named drop bucket, with the crash bucket (frames blackholed at the
+// dead NIC/stack plus queue-resident packets purged at crash time)
+// closing the books on the outage — and the audit ledger (SKB leaks,
+// balance breaks, queue corruption) must stay silent, in every
+// applicable mode. Fresh traffic must also have reached a socket after
+// the crash: the fail-over onto the spare's twins (or the rebooted
+// host) cannot silently blackhole the rest of the run.
+func checkCrashConservation(c *Ctx) *Violation {
+	sc := c.SC
+	var crashMs int
+	for _, rc := range sc.Reconfigs {
+		if rc.Kind == "crash" {
+			crashMs = rc.AtMs
+		}
+	}
+	for _, mode := range applicableModes(sc) {
+		label := "vanilla+crash"
+		if mode {
+			label = "falcon+crash"
+		}
+		ac := c.account(sc, mode)
+		if v := conservationOn(sc, ac, label); v != nil {
+			return &Violation{"crash-conservation", v.Detail}
+		}
+		// The crash is at >= 1ms into a window that outlives the outage,
+		// so a run whose delivery stopped for good at the crash has lost
+		// its recovery path (detector wedged, or remap left every sender
+		// in permanent retry). Guard only well-fed runs: a slow flow may
+		// legitimately fit its whole delivery before the crash.
+		if ac.Sent >= MinComparable && ac.Delivered == 0 {
+			return &Violation{"crash-conservation",
+				fmt.Sprintf("%s: sent %d packets, delivered none across the crash at %dms",
+					label, ac.Sent, crashMs)}
 		}
 	}
 	return nil

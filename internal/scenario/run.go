@@ -65,6 +65,10 @@ type AccountResult struct {
 
 	NICDrops, BacklogDrops, SocketDrops, PathDrops, L4Drops uint64
 	LinkLost, LinkDropped, TxResolveDrops, TxBuildDrops     uint64
+	// CrashDrops counts packets destroyed by a host crash on the receive
+	// side: frames blackholed at the dead NIC/stack plus queue-resident
+	// packets purged when the host went down.
+	CrashDrops uint64
 
 	OrderViols uint64 // per-flow sequence regressions on UDP sockets
 
@@ -102,9 +106,9 @@ func build(sc Scenario, falcon, withAudit bool) *bed {
 		// TCP endpoints share connection state, so scenarios with any
 		// TCP flow colocate both hosts on one shard.
 		Shards: sc.Shards, Colocate: !sc.UDPOnly(), FixedHorizon: sc.FixedHorizon,
-		// A drain needs the spare host carrying standby twins of every
-		// server container.
-		Spare: sc.HasDrain(),
+		// A drain or a crash fail-over needs the spare host carrying
+		// standby twins of every server container.
+		Spare: sc.HasDrain() || sc.HasCrash(),
 	})
 	tb.E.SetEventBudget(eventBudget)
 	b := &bed{tb: tb}
@@ -177,7 +181,29 @@ func build(sc Scenario, falcon, withAudit bool) *bed {
 			b.socks = append(b.socks, c.Socket())
 		}
 	}
-	if len(sc.Reconfigs) > 0 {
+	switch {
+	case sc.HasCrash():
+		// A crash is not a planned schedule: the failure detector owns
+		// the generation swaps. The host dies through the fault layer
+		// and the detector notices the missing heartbeats, fails its
+		// containers over to the spare's standby twins, and re-admits
+		// it after the reboot.
+		b.mgr = reconfig.New(tb.Net, &reconfig.Schedule{})
+		if err := b.mgr.StartDetector(reconfig.DetectorConfig{TransitUs: 200},
+			map[string]string{"server": "spare"}, sc.Warmup(), until); err != nil {
+			panic(fmt.Sprintf("scenario: starting failure detector: %v", err))
+		}
+		in := faults.NewInjector(tb.E)
+		for _, rc := range sc.Reconfigs {
+			if rc.Kind != "crash" {
+				continue
+			}
+			in.Install(faults.Single(
+				sc.Warmup()+sim.Time(rc.AtMs)*sim.Millisecond,
+				sim.Time(rc.ForMs)*sim.Millisecond,
+				&faults.HostCrash{Host: tb.Server}))
+		}
+	case len(sc.Reconfigs) > 0:
 		b.mgr = reconfig.New(tb.Net, reconfigSchedule(sc))
 		if err := b.mgr.Arm(sc.Warmup()); err != nil {
 			panic(fmt.Sprintf("scenario: arming reconfig schedule: %v", err))
@@ -320,6 +346,7 @@ func Account(sc Scenario, falcon bool) AccountResult {
 		out.BacklogDrops += h.St.Drops.Value()
 		out.PathDrops += h.Rx.PathDrops.Value()
 		out.L4Drops += h.L4Drops.Value()
+		out.CrashDrops += h.CrashDrops.Value()
 	}
 	out.TxResolveDrops = cli.TxResolveDrops.Value()
 	out.TxBuildDrops = cli.TxBuildDrops.Value()

@@ -78,10 +78,14 @@ type ReconfigSpec struct {
 	// Kind names the swap: "drain" (graceful drain of the server onto
 	// the spare's standby twins, re-added ForMs later), "kernel-upgrade"
 	// (cost-profile swap to 5.4; ForMs ignored), "rps-flip" (RPS
-	// disabled at AtMs, re-enabled ForMs later).
+	// disabled at AtMs, re-enabled ForMs later), "crash" (the server
+	// host fails abruptly at AtMs and reboots ForMs later; the failure
+	// detector fails its containers over to the spare's standby twins
+	// and re-admits the host after the reboot).
 	Kind string `json:"kind"`
 	// AtMs is the swap's effective time in ms after warmup; ForMs the
-	// window until the reverse swap for drain/rps-flip.
+	// window until the reverse swap for drain/rps-flip, or the outage
+	// length (crash → reboot) for crash.
 	AtMs  int `json:"at_ms"`
 	ForMs int `json:"for_ms,omitempty"`
 }
@@ -184,9 +188,22 @@ func (sc Scenario) HasDrain() bool {
 	return false
 }
 
-// validReconfigKinds is the closed set reconfigSchedule translates.
+// HasCrash reports whether the scenario crashes the server (the runner
+// then provisions the spare host plus twin sockets and arms the failure
+// detector instead of a planned generation schedule).
+func (sc Scenario) HasCrash() bool {
+	for _, rc := range sc.Reconfigs {
+		if rc.Kind == "crash" {
+			return true
+		}
+	}
+	return false
+}
+
+// validReconfigKinds is the closed set the runner translates ("crash"
+// takes the detector path; the rest go through reconfigSchedule).
 var validReconfigKinds = map[string]bool{
-	"drain": true, "kernel-upgrade": true, "rps-flip": true,
+	"drain": true, "kernel-upgrade": true, "rps-flip": true, "crash": true,
 }
 
 // validFaultKinds is the closed set buildFault resolves.
@@ -279,7 +296,7 @@ func (sc Scenario) Validate() error {
 	if len(sc.Reconfigs) > MaxReconfigs {
 		return fmt.Errorf("scenario: %d reconfigs (max %d)", len(sc.Reconfigs), MaxReconfigs)
 	}
-	drains := 0
+	drains, crashes := 0, 0
 	for i, rc := range sc.Reconfigs {
 		if !validReconfigKinds[rc.Kind] {
 			return fmt.Errorf("scenario: reconfig %d: unknown kind %q", i, rc.Kind)
@@ -295,7 +312,8 @@ func (sc Scenario) Validate() error {
 			return fmt.Errorf("scenario: reconfig %d: window [%d,%d)ms outside the %dms measurement window",
 				i, rc.AtMs, rc.AtMs+rc.ForMs, sc.WindowMs)
 		}
-		if rc.Kind == "drain" {
+		switch rc.Kind {
+		case "drain":
 			drains++
 			// A drain remaps every server container onto the spare's
 			// standby twins: it needs overlay UDP flows only (TCP state
@@ -304,10 +322,23 @@ func (sc Scenario) Validate() error {
 			if !sc.UDPOnly() || !sc.OverlayOnly() || sc.Containers < 1 {
 				return fmt.Errorf("scenario: reconfig %d: drain requires overlay-only UDP flows and containers >= 1", i)
 			}
+		case "crash":
+			crashes++
+			// A crash fails the server over onto the spare's standby
+			// twins: the same migration preconditions as drain apply.
+			if !sc.UDPOnly() || !sc.OverlayOnly() || sc.Containers < 1 {
+				return fmt.Errorf("scenario: reconfig %d: crash requires overlay-only UDP flows and containers >= 1", i)
+			}
 		}
 	}
 	if drains > 1 {
 		return fmt.Errorf("scenario: %d drains (max 1)", drains)
+	}
+	// A crash owns the reconfig machinery for the whole run: the failure
+	// detector drives the generation swaps, so a planned maintenance
+	// schedule on the same host does not compose with it.
+	if crashes > 0 && len(sc.Reconfigs) != 1 {
+		return fmt.Errorf("scenario: a crash must be the only reconfig (got %d)", len(sc.Reconfigs))
 	}
 	return nil
 }

@@ -58,6 +58,32 @@ func TestValidateRejects(t *testing.T) {
 		{"fault-core-off-machine", func(s *Scenario) {
 			s.Faults = []FaultSpec{{Kind: "core-stall", AtMs: 0, ForMs: 1, Cores: []int{12}}}
 		}},
+		{"crash-reboot-outside-window", func(s *Scenario) {
+			s.Reconfigs = []ReconfigSpec{{Kind: "crash", AtMs: 2, ForMs: 5}}
+		}},
+		{"crash-without-reboot-window", func(s *Scenario) {
+			s.Reconfigs = []ReconfigSpec{{Kind: "crash", AtMs: 1}}
+		}},
+		{"crash-with-tcp-flow", func(s *Scenario) {
+			s.Flows[0].Proto = "tcp"
+			s.Reconfigs = []ReconfigSpec{{Kind: "crash", AtMs: 1, ForMs: 1}}
+		}},
+		{"crash-with-host-networking", func(s *Scenario) {
+			s.Flows[0].Ctr = 0
+			s.Reconfigs = []ReconfigSpec{{Kind: "crash", AtMs: 1, ForMs: 1}}
+		}},
+		{"crash-not-sole-reconfig", func(s *Scenario) {
+			s.Reconfigs = []ReconfigSpec{
+				{Kind: "crash", AtMs: 1, ForMs: 1},
+				{Kind: "kernel-upgrade", AtMs: 2},
+			}
+		}},
+		{"double-crash", func(s *Scenario) {
+			s.Reconfigs = []ReconfigSpec{
+				{Kind: "crash", AtMs: 1, ForMs: 1},
+				{Kind: "crash", AtMs: 2, ForMs: 1},
+			}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -155,8 +181,8 @@ func TestLoadFileReproducer(t *testing.T) {
 
 func TestByNameSelection(t *testing.T) {
 	all, err := ByName(nil)
-	if err != nil || len(all) != 6 {
-		t.Fatalf("full battery = %d oracles, err %v; want 6", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("full battery = %d oracles, err %v; want 7", len(all), err)
 	}
 	sel, err := ByName([]string{"conservation", "fault-sanity"})
 	if err != nil || len(sel) != 2 || sel[0].Name != "conservation" || sel[1].Name != "fault-sanity" {

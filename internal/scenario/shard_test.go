@@ -102,6 +102,7 @@ func accountFingerprint(a AccountResult) string {
 	out += " path=" + itoa(a.PathDrops) + " l4=" + itoa(a.L4Drops)
 	out += " lost=" + itoa(a.LinkLost) + " txq=" + itoa(a.LinkDropped)
 	out += " resolve=" + itoa(a.TxResolveDrops) + " build=" + itoa(a.TxBuildDrops)
+	out += " crash=" + itoa(a.CrashDrops)
 	out += " order=" + itoa(a.OrderViols)
 	out += " flows=["
 	for i := range a.PerFlowSent {

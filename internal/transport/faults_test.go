@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"falcon/internal/devices"
+	"falcon/internal/faults"
 	"falcon/internal/sim"
 )
 
@@ -78,6 +79,40 @@ func TestTCPLossSweepProperty(t *testing.T) {
 			}
 			c.Close()
 		}
+	}
+}
+
+func TestTCPRetransmitsThroughHostCrash(t *testing.T) {
+	// The receiving host dies mid-transfer with segments in its rings and
+	// reboots 5ms later. Everything the corpse destroyed is counted in
+	// its crash bucket, and the sender's RTO (10ms — the first timeout
+	// fires after the reboot) must carry the stream across the blackout:
+	// the full transfer completes, contiguous, with no reordering.
+	b := newBed(t, 100*devices.Gbps, 0)
+	c := dialOverlay(t, b, 4096)
+	const msgs = 800
+	c.Send(msgs)
+	faults.NewInjector(b.e).Install(faults.Single(
+		sim.Millisecond, 5*sim.Millisecond, &faults.HostCrash{Host: b.server}))
+	b.e.RunUntil(300 * sim.Millisecond)
+
+	if b.server.CrashDrops.Value() == 0 {
+		t.Fatal("crash destroyed no packets — the blackout window missed the transfer")
+	}
+	if c.Timeouts.Value() == 0 && c.Retransmits.Value() == 0 {
+		t.Fatal("blackout triggered no retransmission")
+	}
+	if got := c.Socket().Delivered.Value(); got != msgs {
+		t.Fatalf("delivered %d of %d messages across the crash", got, msgs)
+	}
+	if c.rcvNxt != msgs*4096 {
+		t.Fatalf("rcvNxt = %d, want %d", c.rcvNxt, msgs*4096)
+	}
+	if c.rcvNxt != c.BytesAssembled.Value() {
+		t.Fatalf("stream gap after crash: rcvNxt=%d assembled=%d", c.rcvNxt, c.BytesAssembled.Value())
+	}
+	if c.Socket().OrderViols != 0 {
+		t.Fatal("app saw out-of-order data across the crash")
 	}
 }
 

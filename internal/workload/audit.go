@@ -47,10 +47,14 @@ func (tb *Testbed) EnableAudit(cfg audit.Config) *audit.Auditor {
 		[]audit.Term{audit.T("stack.Drops", sum(func(h *overlay.Host) uint64 { return h.St.Drops.Value() }))},
 		[]audit.Term{audit.T("ledger", a.Disposed("drop:backlog"))})
 	a.Balance("link-loss",
-		[]audit.Term{audit.T("link.Lost", sum(func(h *overlay.Host) uint64 { return linkSum(h, func(l *devices.Link) uint64 { return l.Lost.Value() }) }))},
+		[]audit.Term{audit.T("link.Lost", sum(func(h *overlay.Host) uint64 {
+			return linkSum(h, func(l *devices.Link) uint64 { return l.Lost.Value() })
+		}))},
 		[]audit.Term{audit.T("ledger", a.Disposed("drop:link-loss"))})
 	a.Balance("link-txq",
-		[]audit.Term{audit.T("link.Dropped", sum(func(h *overlay.Host) uint64 { return linkSum(h, func(l *devices.Link) uint64 { return l.Dropped.Value() }) }))},
+		[]audit.Term{audit.T("link.Dropped", sum(func(h *overlay.Host) uint64 {
+			return linkSum(h, func(l *devices.Link) uint64 { return l.Dropped.Value() })
+		}))},
 		[]audit.Term{audit.T("ledger", a.Disposed("drop:link-txq"))})
 	a.Balance("gro-absorbed",
 		[]audit.Term{
