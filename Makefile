@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race audit reconfig fuzz scale bench-smoke bench-report bench-baseline experiments profile clean
+.PHONY: all build vet test race audit reconfig tail fuzz scale bench-smoke bench-report bench-baseline experiments profile clean
 
 all: vet build test
 
@@ -34,6 +34,17 @@ reconfig:
 		-max-events 2000000000
 	$(GO) run ./cmd/falconsim -exp abl-reconfig -audit -shards 4 \
 		-deadline 20m -max-events 2000000000
+
+# Tail latency under open-loop overload: heavy-tailed (Pareto/MMPP)
+# flow populations swept from 0.5x to 1.2x of the vanilla overlay's
+# capacity, vanilla vs Falcon, with p50/p99/p99.9 curves and SLO
+# verdicts (p99 budget when underloaded, goodput knee past 0.9x).
+# Serial and sharded runs print byte-identical tables.
+tail:
+	$(GO) run ./cmd/falconsim -exp abl-tail -deadline 20m \
+		-max-events 2000000000
+	$(GO) run ./cmd/falconsim -exp abl-tail -shards 4 -deadline 20m \
+		-max-events 2000000000
 
 # Scenario fuzzing: 50 random-but-valid scenarios through the
 # metamorphic oracle battery (determinism, conservation, equivalence,

@@ -15,11 +15,14 @@
 package falcon
 
 import (
+	"io"
+
 	falconcore "falcon/internal/core"
 	"falcon/internal/devices"
 	"falcon/internal/experiments"
 	"falcon/internal/faults"
 	"falcon/internal/overlay"
+	"falcon/internal/pcap"
 	"falcon/internal/sim"
 	"falcon/internal/socket"
 	"falcon/internal/stats"
@@ -51,6 +54,9 @@ const (
 
 // Gbps expresses link rates in NewTestbed configs.
 const Gbps = devices.Gbps
+
+// Link is one simulated wire (Host.LinkTo; fault and pcap target).
+type Link = devices.Link
 
 // Topology and workload types.
 type (
@@ -202,3 +208,81 @@ func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) 
 
 // Table is a labelled results grid produced by experiments.
 type Table = stats.Table
+
+// Latency instrumentation: Result.LatencyHist and
+// ExperimentOptions.TailLatency are *Histogram.
+type (
+	// Histogram is a log-linear latency histogram (deterministic,
+	// mergeable across sockets and shards).
+	Histogram = stats.Histogram
+	// LatencySummary is a Histogram's percentile summary
+	// (p50/p90/p99/p99.9, min/max/mean).
+	LatencySummary = stats.Summary
+	// Rand is the deterministic splitmix64 RNG every simulation object
+	// draws from; custom Samplers and Arrivals receive one.
+	Rand = sim.Rand
+)
+
+// NewHistogram returns an empty latency histogram, e.g. for
+// ExperimentOptions.TailLatency.
+func NewHistogram() *Histogram { return stats.NewHistogram() }
+
+// Open-loop load generation and trace replay (DESIGN.md §3.1). Both
+// attach to a Testbed: tb.StartOpenLoop(cfg, until) /
+// tb.StartReplay(cfg). Their send schedules are drawn independently of
+// the datapath, so offered load is honest under overload and identical
+// across modes and shard counts.
+type (
+	// Sampler draws flow sizes; Pareto and Lognormal are shipped.
+	Sampler = workload.Sampler
+	// Pareto is the heavy-tailed size distribution P(X>x) = (Xm/x)^Alpha.
+	Pareto = workload.Pareto
+	// Lognormal: ln X ~ N(Mu, Sigma²).
+	Lognormal = workload.Lognormal
+	// Arrivals produces interarrival gaps for the flow arrival process.
+	Arrivals = workload.Arrivals
+	// PoissonArrivals is the memoryless arrival baseline.
+	PoissonArrivals = workload.PoissonArrivals
+	// MMPP2 is a bursty two-state Markov-modulated Poisson process.
+	MMPP2 = workload.MMPP2
+	// OpenLoopConfig sizes an open-loop flow population.
+	OpenLoopConfig = workload.OpenLoopConfig
+	// OpenLoop is a running population (Testbed.StartOpenLoop).
+	OpenLoop = workload.OpenLoop
+	// ReplayConfig schedules pcap records onto testbed flows.
+	ReplayConfig = workload.ReplayConfig
+	// Replay is a running trace replay (Testbed.StartReplay).
+	Replay = workload.Replay
+)
+
+// LognormalWithMean builds a Lognormal with the given expectation and
+// shape sigma.
+func LognormalWithMean(mean, sigma float64) Lognormal {
+	return workload.LognormalWithMean(mean, sigma)
+}
+
+// Pcap traces: capture the virtual wire to tcpdump-readable files and
+// read captures back for ReplayConfig.Records.
+type (
+	// PcapWriter writes a pcap stream (NewPcapWriter; attach with TapLink).
+	PcapWriter = pcap.Writer
+	// PcapReader iterates records from a pcap stream.
+	PcapReader = pcap.Reader
+	// PcapRecord is one captured frame with its timestamp.
+	PcapRecord = pcap.Record
+)
+
+// NewPcapWriter starts a pcap stream; snapLen 0 captures full frames.
+func NewPcapWriter(w io.Writer, snapLen int) (*PcapWriter, error) {
+	return pcap.NewWriter(w, snapLen)
+}
+
+// NewPcapReader opens a pcap stream written by PcapWriter (strict
+// little-endian µs/ns subset).
+func NewPcapReader(r io.Reader) (*PcapReader, error) { return pcap.NewReader(r) }
+
+// ReadPcap slurps a whole capture, e.g. for ReplayConfig.Records.
+func ReadPcap(r io.Reader) ([]PcapRecord, error) { return pcap.ReadAll(r) }
+
+// TapLink mirrors every frame crossing a link into a pcap stream.
+func TapLink(l *Link, pw *PcapWriter) { pcap.Tap(l, pw) }

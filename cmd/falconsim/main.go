@@ -32,6 +32,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -42,6 +43,7 @@ import (
 	"falcon/internal/scenario"
 	"falcon/internal/sim"
 	"falcon/internal/skb"
+	"falcon/internal/stats"
 )
 
 func main() {
@@ -409,10 +411,59 @@ type autoBench struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// latencySummary is one experiment's merged end-to-end latency
+// percentiles (nanoseconds of simulated time, so the numbers are
+// deterministic for a given seed — unlike the wall-clock fields, the
+// guard can hold these to a tight band).
+type latencySummary struct {
+	Count  uint64 `json:"count"`
+	P50Ns  int64  `json:"p50_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+	P999Ns int64  `json:"p999_ns"`
+}
+
+// latencyBench is the report's tail-latency section: each tracked
+// experiment run with an attached histogram (quick windows keep the
+// bench job fast), keyed by experiment id.
+type latencyBench struct {
+	Quick       bool                      `json:"quick"`
+	Experiments map[string]latencySummary `json:"experiments"`
+}
+
 type benchReportFile struct {
 	HotPath experiments.HotPathBench `json:"hot_path"`
 	Sharded shardedBench             `json:"sharded"`
 	Auto    autoBench                `json:"sharded_auto"`
+	Latency latencyBench             `json:"latency"`
+}
+
+// latencyBenchExps are the experiments whose merged latency histograms
+// the report tracks: the headline UDP stress, the multi-host ring, and
+// the open-loop overload sweep.
+var latencyBenchExps = []string{"fig10", "mesh8", "abl-tail"}
+
+// benchLatency runs each tracked experiment with a tail-latency
+// histogram attached and summarizes the merged samples.
+func benchLatency(opt experiments.Options) latencyBench {
+	lat := latencyBench{Quick: true, Experiments: map[string]latencySummary{}}
+	for _, id := range latencyBenchExps {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "falconsim: bench: latency experiment %q missing\n", id)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "falconsim: bench: %s latency (quick windows)...\n", id)
+		hist := stats.NewHistogram()
+		lopt := opt
+		lopt.Quick = true
+		lopt.TailLatency = hist
+		e.Run(lopt)
+		s := hist.Summarize()
+		lat.Experiments[id] = latencySummary{
+			Count: s.Count, P50Ns: s.P50, P99Ns: s.P99, P999Ns: s.P999,
+		}
+	}
+	return lat
 }
 
 // shardBenchExp is the experiment the sharded-vs-serial benchmark times:
@@ -480,6 +531,8 @@ func benchReport(path, baselinePath string, shards int, opt experiments.Options)
 		shardBenchExp, autoShards, autoWorkers)
 	meshAuto := timeExp(mesh, aopt)
 
+	lat := benchLatency(opt)
+
 	rep := benchReportFile{
 		HotPath: hot,
 		Sharded: shardedBench{
@@ -492,6 +545,7 @@ func benchReport(path, baselinePath string, shards int, opt experiments.Options)
 			Shards: autoShards, Workers: autoWorkers,
 			Seconds: meshAuto, Speedup: meshSerial / meshAuto,
 		},
+		Latency: lat,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -512,7 +566,7 @@ func benchReport(path, baselinePath string, shards int, opt experiments.Options)
 		rep.Sharded.Windows.WorkerIdleFrac*100)
 
 	if baselinePath != "" {
-		return guardBaseline(baselinePath, hot, rep.Sharded)
+		return guardBaseline(baselinePath, hot, rep.Sharded, rep.Latency)
 	}
 	return 0
 }
@@ -574,10 +628,12 @@ func timeExp(e experiments.Experiment, opt experiments.Options) float64 {
 
 // guardBaseline fails (exit 1) on performance regression against the
 // committed baseline report: allocs/packet beyond +10%, ns/packet beyond
-// +35% (wall-clock, so the bound is loose against machine noise), or —
-// on hardware with enough cores for the shards to actually run in
-// parallel — sharded speedup below 1.15x.
-func guardBaseline(path string, hot experiments.HotPathBench, sharded shardedBench) int {
+// +35% (wall-clock, so the bound is loose against machine noise), p99
+// latency beyond +25% on any tracked experiment (simulated time, so the
+// bound is pure datapath behaviour, no machine noise), or — on hardware
+// with enough cores for the shards to actually run in parallel —
+// sharded speedup below 1.15x.
+func guardBaseline(path string, hot experiments.HotPathBench, sharded shardedBench, lat latencyBench) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "falconsim: baseline: %v\n", err)
@@ -609,6 +665,35 @@ func guardBaseline(path string, hot experiments.HotPathBench, sharded shardedBen
 		} else {
 			fmt.Fprintf(os.Stderr, "falconsim: ns/pkt %.0f within baseline %.0f +35%%\n",
 				hot.NsPerPacket, base.HotPath.NsPerPacket)
+		}
+	}
+	ids := make([]string, 0, len(base.Latency.Experiments))
+	for id := range base.Latency.Experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		b := base.Latency.Experiments[id]
+		if b.Count == 0 {
+			continue // baseline predates latency tracking for this id
+		}
+		cur, ok := lat.Experiments[id]
+		if !ok || cur.Count == 0 {
+			fmt.Fprintf(os.Stderr,
+				"falconsim: LATENCY REGRESSION: %s produced no latency samples (baseline had %d)\n",
+				id, b.Count)
+			code = 1
+			continue
+		}
+		p99Limit := int64(float64(b.P99Ns) * 1.25)
+		if cur.P99Ns > p99Limit {
+			fmt.Fprintf(os.Stderr,
+				"falconsim: LATENCY REGRESSION: %s p99 %dns > %dns (baseline %dns +25%%)\n",
+				id, cur.P99Ns, p99Limit, b.P99Ns)
+			code = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "falconsim: %s p99 %dns within baseline %dns +25%%\n",
+				id, cur.P99Ns, b.P99Ns)
 		}
 	}
 	// The speedup floor only means something when the shards can really

@@ -55,6 +55,11 @@ type Options struct {
 	// synchronization counters after the run (zeroed for serial runs).
 	// Supported by the fabric-based experiments (mesh8).
 	WindowStats *sim.ClusterStats
+	// TailLatency, when non-nil, accumulates the run's end-to-end
+	// latency samples across its measured windows. Supported by fig10,
+	// mesh8, and abl-tail — the experiments the bench report's latency
+	// section tracks.
+	TailLatency *stats.Histogram
 }
 
 // ShardsAuto is the Options.Shards sentinel for "pick shard and worker

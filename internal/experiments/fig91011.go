@@ -59,6 +59,10 @@ func fig10(opt Options) []*stats.Table {
 				Title:   fmt.Sprintf("Fig 10: UDP stress packet rate (Kpps), %s, %s", kernel, linkName(link)),
 				Columns: []string{"size", "Host", "Con", "Falcon", "Con/Host", "Falcon/Host"},
 			}
+			lt := &stats.Table{
+				Title:   fmt.Sprintf("Fig 10 latency, p50/p99/p99.9 (us), %s, %s", kernel, linkName(link)),
+				Columns: []string{"size", "Host", "Con", "Falcon"},
+			}
 			kopt := opt
 			kopt.Kernel = kernel
 			for _, size := range sizes {
@@ -67,11 +71,22 @@ func fig10(opt Options) []*stats.Table {
 				fal := udpStress(workload.ModeFalcon, kopt, link, size)
 				t.AddRow(sizeLabel(size), fKpps(host.PPS), fKpps(con.PPS), fKpps(fal.PPS),
 					fRatio(con.PPS/host.PPS), fRatio(fal.PPS/host.PPS))
+				lt.AddRow(sizeLabel(size), fP3(host.Latency), fP3(con.Latency), fP3(fal.Latency))
+				if opt.TailLatency != nil {
+					opt.TailLatency.Merge(host.LatencyHist)
+					opt.TailLatency.Merge(con.LatencyHist)
+					opt.TailLatency.Merge(fal.LatencyHist)
+				}
 			}
-			tables = append(tables, t)
+			tables = append(tables, t, lt)
 		}
 	}
 	return tables
+}
+
+// fP3 renders a latency summary as "p50/p99/p99.9" in µs.
+func fP3(s stats.Summary) string {
+	return fUs(s.P50) + "/" + fUs(s.P99) + "/" + fUs(s.P999)
 }
 
 // fig11: per-core CPU breakdown for the 16B single-flow stress. Paper:

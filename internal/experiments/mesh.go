@@ -116,7 +116,7 @@ func mesh8(opt Options) []*stats.Table {
 
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Mesh: %d-host UDP ring, %dB at %dKpps/host over VXLAN (10G, 20us links)", meshHosts, meshPayload, meshRatePPS/1000),
-		Columns: []string{"host", "delivered(Kpps)", "p50(us)", "p99(us)", "sock-drops"},
+		Columns: []string{"host", "delivered(Kpps)", "p50(us)", "p99(us)", "p99.9(us)", "sock-drops"},
 	}
 	var total uint64
 	agg := stats.NewHistogram()
@@ -126,11 +126,14 @@ func mesh8(opt Options) []*stats.Table {
 		total += d
 		agg.Merge(n.sock.Latency)
 		t.AddRow(fmt.Sprintf("m%d", i),
-			fKpps(stats.Rate(d, int64(window))), fUs(s.P50), fUs(s.P99),
+			fKpps(stats.Rate(d, int64(window))), fUs(s.P50), fUs(s.P99), fUs(s.P999),
 			fmt.Sprintf("%d", n.sock.SocketDrops.Value()))
 	}
 	a := agg.Summarize()
-	t.AddRow("aggregate", fKpps(stats.Rate(total, int64(window))), fUs(a.P50), fUs(a.P99), "-")
+	t.AddRow("aggregate", fKpps(stats.Rate(total, int64(window))), fUs(a.P50), fUs(a.P99), fUs(a.P999), "-")
+	if opt.TailLatency != nil {
+		opt.TailLatency.Merge(agg)
+	}
 
 	captureWindowStats(opt, e)
 	return []*stats.Table{t}

@@ -24,9 +24,11 @@ func renderShards(t testing.TB, id string, shards int, audit bool) string {
 // shards, one busy direction), abl-chaos covers fault injection with
 // coordinator-side Apply/Revert events and RNG-heavy degraded paths,
 // and mesh8 covers the 8-host topology where every shard carries
-// cross-shard traffic in both directions.
+// cross-shard traffic in both directions. abl-tail covers the
+// heavy-tailed open-loop generators: thousands of churning flows whose
+// send schedule must be identical however the datapath is sharded.
 func TestShardInvariance(t *testing.T) {
-	for _, id := range []string{"fig10", "abl-chaos", "mesh8"} {
+	for _, id := range []string{"fig10", "abl-chaos", "mesh8", "abl-tail"} {
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
 			ref := renderShards(t, id, 0, false)
@@ -82,7 +84,7 @@ func TestAdaptiveHorizonInvariance(t *testing.T) {
 // topology directly on overlay.Network and has no audit harness, so the
 // audited check covers the testbed-based goldens.)
 func TestShardInvarianceWithAudit(t *testing.T) {
-	for _, id := range []string{"fig10", "abl-chaos"} {
+	for _, id := range []string{"fig10", "abl-chaos", "abl-tail"} {
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
 			ref := renderShards(t, id, 0, true)

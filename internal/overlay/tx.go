@@ -97,6 +97,7 @@ type txOp struct {
 	tcp     *proto.TCPHdr
 	s       *skb.SKB
 	e       *txFlowEntry
+	start   sim.Time // when the app handed us the payload (skb SendTime)
 
 	afterStack func() // cached op.stackDone
 	afterVXLAN func() // cached op.vxlanDone
@@ -156,6 +157,7 @@ func (h *Host) sendL4(p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
 	}
 	op := h.getTxOp()
 	op.h, op.core, op.ctx, op.p, op.ipProto, op.tcp = h, core, ctx, p, ipProto, tcp
+	op.start = h.E.Now()
 	// Fixed-size step buffer: appending to a 1-element literal reallocates
 	// on every overlay send, and RunChain copies the steps anyway.
 	var steps [3]netdev.Step
@@ -182,10 +184,10 @@ func (op *txOp) stackDone() {
 		return
 	}
 	if h.Net.KV.Fault() != nil {
-		core, ctx, p, ipProto, tcp := op.core, op.ctx, op.p, op.ipProto, op.tcp
+		core, ctx, p, ipProto, tcp, start := op.core, op.ctx, op.p, op.ipProto, op.tcp, op.start
 		op.p.Done = nil // sendSlow owns completion now
 		op.finish(false)
-		h.sendSlow(core, ctx, p, ipProto, tcp)
+		h.sendSlow(core, ctx, p, ipProto, tcp, start)
 		return
 	}
 	if h.Net.KV.Partitioned(h.IP) {
@@ -236,6 +238,7 @@ func (h *Host) transmitEntry(op *txOp, e *txFlowEntry) {
 	proto.PatchIPv4ID(s.Data, h.nextIPID())
 	s.FlowID = p.FlowID
 	s.Seq = p.Seq
+	s.SendTime = op.start
 	s.Hash = e.hash
 	s.HashValid = true
 	op.s, op.e = s, e
@@ -346,7 +349,7 @@ func (h *Host) txFlow(p SendParams, ipProto uint8, tcp *proto.TCPHdr) (e *txFlow
 // cache in both directions — reads would skip the fault's RNG draws and
 // writes would survive past the fault window — so chaos schedules stay
 // byte-identical to the pre-cache simulator.
-func (h *Host) sendSlow(core *cpu.Core, ctx stats.CPUContext, p SendParams, ipProto uint8, tcp *proto.TCPHdr) {
+func (h *Host) sendSlow(core *cpu.Core, ctx stats.CPUContext, p SendParams, ipProto uint8, tcp *proto.TCPHdr, start sim.Time) {
 	finish := func(ok bool) {
 		if p.Done != nil {
 			p.Done(ok)
@@ -373,6 +376,7 @@ func (h *Host) sendSlow(core *cpu.Core, ctx stats.CPUContext, p SendParams, ipPr
 		h.txPending--
 		s.FlowID = p.FlowID
 		s.Seq = p.Seq
+		s.SendTime = start
 		if err := s.SetFlowHash(); err != nil {
 			s.Stage("drop:tx-frame")
 			s.Free()
@@ -460,7 +464,7 @@ func (h *Host) sendPartitioned(op *txOp) {
 		}
 		delete(h.flowCache, key)
 	}
-	core, ctx, ipProto, tcp := op.core, op.ctx, op.ipProto, op.tcp
+	core, ctx, ipProto, tcp, start := op.core, op.ctx, op.ipProto, op.tcp, op.start
 	op.p.Done = nil // the retry loop owns completion now
 	op.finish(false)
 	finish := func(ok bool) {
@@ -489,7 +493,7 @@ func (h *Host) sendPartitioned(op *txOp) {
 		if !h.Net.KV.Partitioned(h.IP) {
 			// Healed mid-retry: resolve for real through the uncached
 			// degraded path (the caches were reconciled on heal).
-			h.sendSlow(core, ctx, p, ipProto, tcp)
+			h.sendSlow(core, ctx, p, ipProto, tcp, start)
 			return
 		}
 		if attempt >= kvMaxRetries {
@@ -658,6 +662,7 @@ func (h *Host) sendWire(core *cpu.Core, ctx stats.CPUContext, s *skb.SKB, dstHos
 			}
 			fs.FlowID = s.FlowID
 			fs.Seq = s.Seq
+			fs.SendTime = s.SendTime
 			_ = fs.SetFlowHash()
 		}
 		if !l.Send(fs) {

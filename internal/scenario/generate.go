@@ -98,7 +98,32 @@ func Generate(seed uint64) Scenario {
 			sc.Reconfigs = append(sc.Reconfigs, genCrash(r, sc))
 		}
 	}
+	// Open-loop draws come last (the newest extension of the frozen
+	// prefix): a quarter of scenarios add a churning heavy-tailed flow
+	// population, the regime the tail-sanity oracle measures.
+	if r.Float64() < 0.25 {
+		sc.OpenLoop = genOpenLoop(r)
+	}
 	return sc
+}
+
+// genOpenLoop samples one open-loop population. Offered load tops out
+// at ~160 Kpps (10k flows/s × 16 pkts), well inside both the validator
+// bound and a 100G receiver — overload is the tail experiment's job,
+// the fuzzer just needs live churn on every datapath shape.
+func genOpenLoop(r *sim.Rand) *OpenLoopSpec {
+	dists := []string{"pareto", "lognormal"}
+	arrivals := []string{"poisson", "mmpp"}
+	sizes := []int{16, 64, 256, 512}
+	return &OpenLoopSpec{
+		Dist:        dists[r.Intn(len(dists))],
+		Arrivals:    arrivals[r.Intn(len(arrivals))],
+		FlowsPerSec: float64(1000 + r.Intn(9000)),
+		MeanPkts:    float64(4 + r.Intn(13)),
+		Size:        sizes[r.Intn(len(sizes))],
+		FlowRatePPS: float64(10_000 + r.Intn(90_000)),
+		Ports:       1 + r.Intn(3),
+	}
 }
 
 // genCrash samples one abrupt server outage: the crash lands in the

@@ -45,6 +45,22 @@ const (
 	// MinComparable: comparative checks are skipped below this many
 	// delivered packets (nothing statistical survives such counts).
 	MinComparable = 50
+
+	// TailImproveFactor bounds the tail-sanity oracle's monotonicity
+	// half: a delay-class fault may never *improve* p99 below this
+	// fraction of the fault-free run's p99. Wide on purpose — fewer
+	// delivered packets under a fault legitimately move a percentile —
+	// while still catching inverted accounting (a latency origin stamped
+	// after the stall it was meant to include shows up as a fault
+	// "improving" the tail).
+	TailImproveFactor = 0.70
+	// TailSlackNs is the absolute floor under TailImproveFactor, so
+	// microsecond-scale baselines don't flag on fixed-cost jitter.
+	TailSlackNs = 10_000
+	// MinTailSamples: percentile comparisons need more mass than plain
+	// delivery ratios — p99 of fewer than 200 samples is the max of a
+	// handful of packets.
+	MinTailSamples = 200
 )
 
 // Violation is one oracle failure on one scenario.
@@ -225,6 +241,21 @@ func Oracles() []Oracle {
 				return len(sc.Reconfigs) > 0 && !sc.HasCrash()
 			},
 			Check: checkReconfigConservation,
+		},
+		{
+			Name: "tail-sanity",
+			Desc: "latency percentiles finite and ordered; delay faults never improve p99",
+			// Reconfig swaps migrate delivery mid-run (twin sockets, crash
+			// fail-over), which splits the latency population across
+			// sockets; the ordering half would still hold but the
+			// monotonicity half would compare different populations, so
+			// reconfig scenarios stay with their conservation oracles. TCP
+			// latency is message-assembly latency, a different quantity —
+			// UDP-only keeps one definition.
+			Applies: func(sc Scenario) bool {
+				return sc.UDPOnly() && len(sc.Reconfigs) == 0
+			},
+			Check: checkTailSanity,
 		},
 		{
 			Name: "crash-conservation",
@@ -491,6 +522,89 @@ func checkFaultSanity(c *Ctx) *Violation {
 				faultNames(sc), ff.Delivered, env, fv.Delivered)}
 	}
 	return nil
+}
+
+// checkTailSanity is the latency-percentile contract. Finiteness half:
+// on every applicable mode's measured window, the percentile ladder
+// must be ordered (0 <= p50 <= p99 <= p99.9 <= max), bounded by the
+// run's own span (no latency can exceed warmup+window: every sample's
+// send and delivery both happen inside the run), and non-degenerate
+// (packets cannot traverse the stack in zero time). Monotonicity half:
+// a delay-class fault schedule may slow the tail but never improve it —
+// p99 under the faults must stay above TailImproveFactor of the same
+// scenario's fault-free p99. A violation here means latency accounting
+// is broken (origin stamped after the delay it should include, samples
+// leaking across windows), not that the datapath is slow.
+func checkTailSanity(c *Ctx) *Violation {
+	sc := c.SC
+	span := int64(sc.Warmup() + sc.Window())
+	for _, mode := range applicableModes(sc) {
+		label := "vanilla"
+		if mode {
+			label = "falcon"
+		}
+		r := c.measure(sc, mode)
+		if r.Delivered < MinComparable {
+			continue
+		}
+		if r.P50 < 0 || r.P50 > r.P99 || r.P99 > r.P999 || r.P999 > r.MaxLat {
+			return &Violation{"tail-sanity",
+				fmt.Sprintf("%s: percentile ladder out of order: p50=%d p99=%d p99.9=%d max=%d",
+					label, r.P50, r.P99, r.P999, r.MaxLat)}
+		}
+		if r.MaxLat > span {
+			return &Violation{"tail-sanity",
+				fmt.Sprintf("%s: max latency %dns exceeds the run span %dns (a sample leaked across windows)",
+					label, r.MaxLat, span)}
+		}
+		if r.P99 <= 0 {
+			return &Violation{"tail-sanity",
+				fmt.Sprintf("%s: p99=%d with %d delivered (zero-cost traversal)",
+					label, r.P99, r.Delivered)}
+		}
+	}
+
+	// Monotonicity half: only for open-loop (fixed-rate) sends, where
+	// both runs offer the identical schedule, and only for pure
+	// delay-class faults. Loss faults thin queues (survivors are
+	// faster), and faults on a FALCON_CPU can legitimately push the
+	// steering onto a shorter path — both excluded.
+	if len(sc.Faults) == 0 || !sc.FixedRateOnly() || !delayOnlyFaults(sc) || hitsFalconCPU(sc) {
+		return nil
+	}
+	clean := sc
+	clean.Faults = nil
+	mode := hasFalcon(sc)
+	b := c.measure(clean, mode)
+	f := c.measure(sc, mode)
+	if b.NICDrops+b.BacklogDrops+b.SocketDrops > 0 {
+		return nil // a saturated baseline's p99 is already queue-bound
+	}
+	if b.Delivered < MinTailSamples || f.Delivered < MinTailSamples {
+		return nil
+	}
+	if float64(f.P99)+TailSlackNs < TailImproveFactor*float64(b.P99) {
+		return &Violation{"tail-sanity",
+			fmt.Sprintf("under %s: p99 improved %d -> %d ns (below %.2f of fault-free; delay faults cannot speed packets up)",
+				faultNames(sc), b.P99, f.P99, TailImproveFactor)}
+	}
+	return nil
+}
+
+// delayOnlyFaults reports whether every fault merely delays work:
+// link-jitter, kv-flaky, core-stall and noisy-neighbor hold packets or
+// steal cycles; link-loss and ring-shrink destroy packets, and
+// core-offline reroutes them (both change which packets make up the
+// percentile population).
+func delayOnlyFaults(sc Scenario) bool {
+	for _, ft := range sc.Faults {
+		switch ft.Kind {
+		case "link-jitter", "kv-flaky", "core-stall", "noisy-neighbor":
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // hitsFalconCPU reports whether some CPU fault impairs at least one

@@ -32,7 +32,7 @@ type RunResult struct {
 	TCPBytes  uint64 // TCP payload bytes assembled in the window
 	PPS       float64
 
-	P50, P99, MaxLat int64
+	P50, P99, P999, MaxLat int64
 
 	NICDrops, BacklogDrops, SocketDrops uint64
 	HardIRQs, NetRX, RES                uint64
@@ -45,8 +45,8 @@ type RunResult struct {
 // Fingerprint renders everything measurable; byte-equal fingerprints
 // mean the runs were indistinguishable.
 func (r RunResult) Fingerprint() string {
-	return fmt.Sprintf("falcon=%t delivered=%d tcpbytes=%d pps=%.6f p50=%d p99=%d max=%d nic=%d backlog=%d sock=%d hirq=%d netrx=%d res=%d f1=%d f2=%d gated=%d fired=%d",
-		r.Falcon, r.Delivered, r.TCPBytes, r.PPS, r.P50, r.P99, r.MaxLat,
+	return fmt.Sprintf("falcon=%t delivered=%d tcpbytes=%d pps=%.6f p50=%d p99=%d p999=%d max=%d nic=%d backlog=%d sock=%d hirq=%d netrx=%d res=%d f1=%d f2=%d gated=%d fired=%d",
+		r.Falcon, r.Delivered, r.TCPBytes, r.PPS, r.P50, r.P99, r.P999, r.MaxLat,
 		r.NICDrops, r.BacklogDrops, r.SocketDrops, r.HardIRQs, r.NetRX, r.RES,
 		r.FalconFirst, r.FalconSecond, r.FalconGated, r.Fired)
 }
@@ -87,7 +87,9 @@ type bed struct {
 	// twins holds the spare-host twin socket per UDP flow (nil entries
 	// when the scenario has no drain): same overlay IP and port as the
 	// primary, live the moment the drain remaps the container.
-	twins    []*socket.Socket
+	twins []*socket.Socket
+	// ol is the open-loop flow population, when the scenario has one.
+	ol       *workload.OpenLoop
 	mgr      *reconfig.Manager
 	audViols []string
 }
@@ -181,6 +183,11 @@ func build(sc Scenario, falcon, withAudit bool) *bed {
 			b.socks = append(b.socks, c.Socket())
 		}
 	}
+	if sc.OpenLoop != nil {
+		b.ol = tb.StartOpenLoop(openLoopConfig(sc), until)
+		b.socks = append(b.socks, b.ol.Socks...)
+		b.udpSocks = append(b.udpSocks, b.ol.Socks...)
+	}
 	switch {
 	case sc.HasCrash():
 		// A crash is not a planned schedule: the failure detector owns
@@ -210,6 +217,40 @@ func build(sc Scenario, falcon, withAudit bool) *bed {
 		}
 	}
 	return b
+}
+
+// openLoopConfig translates an OpenLoopSpec into the concrete workload
+// population: the spec picks distribution family and rates, the shapes
+// (Pareto alpha, lognormal sigma, MMPP burst geometry) are fixed so a
+// scenario file stays a small, comparable description. The population
+// always rides the first container pair — the tail claims are about the
+// overlay datapath — on the same send cores the generator hands
+// explicit flows.
+func openLoopConfig(sc Scenario) workload.OpenLoopConfig {
+	ol := sc.OpenLoop
+	var size workload.Sampler
+	switch ol.Dist {
+	case "pareto":
+		const alpha = 1.5
+		size = workload.Pareto{Xm: ol.MeanPkts * (alpha - 1) / alpha, Alpha: alpha}
+	default: // "lognormal" (Validate closed the set)
+		size = workload.LognormalWithMean(ol.MeanPkts, 0.75)
+	}
+	var arr workload.Arrivals
+	switch ol.Arrivals {
+	case "mmpp":
+		arr = &workload.MMPP2{
+			CalmRate: 0.5 * ol.FlowsPerSec, BurstRate: 1.5 * ol.FlowsPerSec,
+			MeanCalm: 500 * sim.Microsecond, MeanBurst: 500 * sim.Microsecond,
+		}
+	default: // "poisson"
+		arr = workload.PoissonArrivals{Rate: ol.FlowsPerSec}
+	}
+	return workload.OpenLoopConfig{
+		Arrivals: arr, FlowSize: size,
+		PacketSize: ol.Size, FlowRate: ol.FlowRatePPS, Ports: ol.Ports,
+		SendCores: []int{2, 3}, AppCore: sc.AppCore, Ctr: 1,
+	}
 }
 
 // reconfigSchedule translates the scenario's reconfig specs into the
@@ -276,7 +317,7 @@ func Measure(sc Scenario, falcon bool) RunResult {
 		Falcon:    falcon,
 		Delivered: res.Delivered,
 		PPS:       res.PPS,
-		P50:       res.Latency.P50, P99: res.Latency.P99, MaxLat: res.Latency.Max,
+		P50:       res.Latency.P50, P99: res.Latency.P99, P999: res.Latency.P999, MaxLat: res.Latency.Max,
 		NICDrops: res.NICDrops, BacklogDrops: res.BacklogDrops, SocketDrops: res.SocketDrops,
 		HardIRQs: res.HardIRQs, NetRX: res.NetRX, RES: res.RES,
 		Fired: b.tb.E.Fired(),
@@ -324,6 +365,11 @@ func Account(sc Scenario, falcon bool) AccountResult {
 		out.PerFlowSent = append(out.PerFlowSent, f.Sent())
 		out.PerFlowDelivered = append(out.PerFlowDelivered, delivered)
 		out.Sent += f.Sent()
+	}
+	if b.ol != nil {
+		// The population's sends enter the same conservation books; its
+		// deliveries are already in via b.socks.
+		out.Sent += b.ol.Sent()
 	}
 	for _, sk := range b.socks {
 		out.Delivered += sk.Delivered.Value()

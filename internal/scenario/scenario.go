@@ -52,6 +52,30 @@ type FlowSpec struct {
 	SendCore int `json:"send_core"`
 }
 
+// OpenLoopSpec is an optional heavy-tailed open-loop flow population
+// riding alongside the explicit flows (see workload.OpenLoopConfig):
+// flows arrive by an external process and send on their own clocks, so
+// the offered load — and thus the tail-latency behaviour under it — is
+// independent of how the datapath under test is coping.
+type OpenLoopSpec struct {
+	// Dist is the flow-size distribution: "pareto" (alpha 1.5) or
+	// "lognormal" (sigma 0.75).
+	Dist string `json:"dist"`
+	// Arrivals is the arrival process: "poisson" or "mmpp" (two-state,
+	// 0.5x/1.5x the mean rate with 500us sojourns).
+	Arrivals string `json:"arrivals"`
+	// FlowsPerSec is the mean flow arrival rate.
+	FlowsPerSec float64 `json:"flows_per_sec"`
+	// MeanPkts is the mean flow size in packets.
+	MeanPkts float64 `json:"mean_pkts"`
+	// Size is the UDP payload per packet (bytes).
+	Size int `json:"size"`
+	// FlowRatePPS is each live flow's send rate.
+	FlowRatePPS float64 `json:"flow_rate_pps"`
+	// Ports spreads the population over that many server sockets.
+	Ports int `json:"ports"`
+}
+
 // FaultSpec is one impairment window, resolved against the concrete
 // testbed at run time (see buildFault).
 type FaultSpec struct {
@@ -120,8 +144,13 @@ type Scenario struct {
 	WarmupMs int `json:"warmup_ms"`
 	WindowMs int `json:"window_ms"`
 
-	Flows  []FlowSpec  `json:"flows"`
-	Faults []FaultSpec `json:"faults,omitempty"`
+	Flows []FlowSpec `json:"flows"`
+	// OpenLoop, when set, adds a churning open-loop flow population on
+	// the first container pair (always overlay: the tail claims are
+	// about the overlay datapath). Its sends count toward conservation
+	// and its sockets toward delivery and latency percentiles.
+	OpenLoop *OpenLoopSpec `json:"open_loop,omitempty"`
+	Faults   []FaultSpec   `json:"faults,omitempty"`
 	// Reconfigs schedules hot generation swaps during the window. A
 	// drain additionally provisions the spare host with standby twins.
 	Reconfigs []ReconfigSpec `json:"reconfigs,omitempty"`
@@ -271,6 +300,37 @@ func (sc Scenario) Validate() error {
 		}
 		if f.SendCore < 0 || f.SendCore >= sc.Cores {
 			return fmt.Errorf("scenario: flow %d: send core %d outside machine", i, f.SendCore)
+		}
+	}
+	if ol := sc.OpenLoop; ol != nil {
+		if ol.Dist != "pareto" && ol.Dist != "lognormal" {
+			return fmt.Errorf("scenario: open_loop: unknown dist %q", ol.Dist)
+		}
+		if ol.Arrivals != "poisson" && ol.Arrivals != "mmpp" {
+			return fmt.Errorf("scenario: open_loop: unknown arrivals %q", ol.Arrivals)
+		}
+		if ol.FlowsPerSec < 500 || ol.FlowsPerSec > 50_000 {
+			return fmt.Errorf("scenario: open_loop: flows_per_sec %v outside [500,50000]", ol.FlowsPerSec)
+		}
+		if ol.MeanPkts < 2 || ol.MeanPkts > 64 {
+			return fmt.Errorf("scenario: open_loop: mean_pkts %v outside [2,64]", ol.MeanPkts)
+		}
+		if ol.Size < 16 || ol.Size > 1472 {
+			return fmt.Errorf("scenario: open_loop: size %d outside [16,1472]", ol.Size)
+		}
+		if ol.FlowRatePPS < 1000 || ol.FlowRatePPS > 200_000 {
+			return fmt.Errorf("scenario: open_loop: flow_rate_pps %v outside [1k,200k]", ol.FlowRatePPS)
+		}
+		if ol.Ports < 1 || ol.Ports > 4 {
+			return fmt.Errorf("scenario: open_loop: ports %d outside [1,4]", ol.Ports)
+		}
+		if sc.Containers < 1 {
+			return fmt.Errorf("scenario: open_loop requires containers >= 1")
+		}
+		// Bound the population's long-run offered packet rate so a fuzz
+		// run cannot blow the event budget.
+		if offered := ol.FlowsPerSec * ol.MeanPkts; offered > 1.5e6 {
+			return fmt.Errorf("scenario: open_loop: offered %v pps above 1.5M", offered)
 		}
 	}
 	if len(sc.Faults) > MaxFaults {

@@ -46,6 +46,22 @@ func TestValidateRejects(t *testing.T) {
 		{"negative-rate", func(s *Scenario) { s.Flows[0].RatePPS = -1 }},
 		{"ctr-beyond-containers", func(s *Scenario) { s.Flows[0].Ctr = 2 }},
 		{"send-core-off-machine", func(s *Scenario) { s.Flows[0].SendCore = 20 }},
+		{"open-loop-bad-dist", func(s *Scenario) {
+			s.OpenLoop = &OpenLoopSpec{Dist: "cauchy", Arrivals: "poisson",
+				FlowsPerSec: 2000, MeanPkts: 8, Size: 256, FlowRatePPS: 40000, Ports: 1}
+		}},
+		{"open-loop-bad-arrivals", func(s *Scenario) {
+			s.OpenLoop = &OpenLoopSpec{Dist: "pareto", Arrivals: "sawtooth",
+				FlowsPerSec: 2000, MeanPkts: 8, Size: 256, FlowRatePPS: 40000, Ports: 1}
+		}},
+		{"open-loop-offered-overload", func(s *Scenario) {
+			s.OpenLoop = &OpenLoopSpec{Dist: "pareto", Arrivals: "poisson",
+				FlowsPerSec: 50000, MeanPkts: 64, Size: 256, FlowRatePPS: 40000, Ports: 1}
+		}},
+		{"open-loop-oversize-packet", func(s *Scenario) {
+			s.OpenLoop = &OpenLoopSpec{Dist: "pareto", Arrivals: "poisson",
+				FlowsPerSec: 2000, MeanPkts: 8, Size: 4096, FlowRatePPS: 40000, Ports: 1}
+		}},
 		{"unknown-fault-kind", func(s *Scenario) {
 			s.Faults = []FaultSpec{{Kind: "meteor", AtMs: 0, ForMs: 1}}
 		}},
@@ -181,8 +197,8 @@ func TestLoadFileReproducer(t *testing.T) {
 
 func TestByNameSelection(t *testing.T) {
 	all, err := ByName(nil)
-	if err != nil || len(all) != 7 {
-		t.Fatalf("full battery = %d oracles, err %v; want 7", len(all), err)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("full battery = %d oracles, err %v; want 8", len(all), err)
 	}
 	sel, err := ByName([]string{"conservation", "fault-sanity"})
 	if err != nil || len(sel) != 2 || sel[0].Name != "conservation" || sel[1].Name != "fault-sanity" {

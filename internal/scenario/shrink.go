@@ -68,6 +68,11 @@ func mutations(sc Scenario) []Scenario {
 			add(m)
 		}
 	}
+	if sc.OpenLoop != nil {
+		m := sc
+		m.OpenLoop = nil
+		add(m)
+	}
 	for i := range sc.Faults {
 		m := sc
 		m.Faults = append(append([]FaultSpec(nil), sc.Faults[:i]...), sc.Faults[i+1:]...)

@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// cacheMeasure pre-populates a Ctx's run cache with a fabricated result,
+// so oracle-logic tests can exercise comparison branches without
+// simulating (a cache hit short-circuits Measure).
+func cacheMeasure(c *Ctx, sc Scenario, falcon bool, r RunResult) {
+	c.measures[fmt.Sprintf("m:%t:%s", falcon, sc.JSON())] = r
+}
+
+// tailOracle fetches the tail-sanity oracle from the battery.
+func tailOracle(t *testing.T) Oracle {
+	t.Helper()
+	os, err := ByName([]string{"tail-sanity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return os[0]
+}
+
+// sane is a well-formed measurement the fabricated tests perturb.
+func sane(falcon bool) RunResult {
+	return RunResult{Falcon: falcon, Delivered: 1000,
+		P50: 12_000, P99: 60_000, P999: 90_000, MaxLat: 120_000}
+}
+
+// TestTailSanityCorpusBranchArmed guards the corpus scenario that
+// exercises the fault-monotonicity branch: openloop-pareto-tail must
+// keep satisfying every gate (fixed-rate sends, delay-only faults off
+// the FALCON_CPUs, a drop-free baseline with enough tail mass), or the
+// branch would silently stop running on real traffic.
+func TestTailSanityCorpusBranchArmed(t *testing.T) {
+	sc, _, err := LoadFile(filepath.Join("testdata", "openloop-pareto-tail.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := tailOracle(t)
+	if !o.Applies(sc) {
+		t.Fatal("tail-sanity does not apply to openloop-pareto-tail")
+	}
+	if !sc.FixedRateOnly() || !delayOnlyFaults(sc) || hitsFalconCPU(sc) {
+		t.Fatalf("monotonicity gates closed: fixedRate=%t delayOnly=%t hitsFalcon=%t",
+			sc.FixedRateOnly(), delayOnlyFaults(sc), hitsFalconCPU(sc))
+	}
+	clean := sc
+	clean.Faults = nil
+	b := Measure(clean, hasFalcon(sc))
+	if drops := b.NICDrops + b.BacklogDrops + b.SocketDrops; drops > 0 {
+		t.Fatalf("baseline drops %d packets; the drop-free gate skips the branch", drops)
+	}
+	if b.Delivered < MinTailSamples {
+		t.Fatalf("baseline delivered %d < MinTailSamples %d", b.Delivered, MinTailSamples)
+	}
+	f := Measure(sc, hasFalcon(sc))
+	if f.Delivered < MinTailSamples {
+		t.Fatalf("faulted run delivered %d < MinTailSamples %d", f.Delivered, MinTailSamples)
+	}
+	// And the armed branch must hold on the real datapath: jitter may
+	// only push the tail up.
+	if v := CheckOracle(o, NewCtx(sc)); v != nil {
+		t.Fatalf("tail-sanity violated on corpus scenario: %s", v)
+	}
+}
+
+// TestTailSanityCatchesLadderInversion: a run whose percentiles are out
+// of order (p99 above p99.9 — the shape a histogram-merge bug produces)
+// must be flagged.
+func TestTailSanityCatchesLadderInversion(t *testing.T) {
+	sc := valid()
+	sc.Flows[0].RatePPS = 50_000
+	c := NewCtx(sc)
+	bad := sane(false)
+	bad.P99, bad.P999 = 90_000, 60_000 // inverted
+	cacheMeasure(c, sc, false, bad)
+	cacheMeasure(c, sc, true, sane(true))
+	v := CheckOracle(tailOracle(t), c)
+	if v == nil {
+		t.Fatal("inverted percentile ladder not flagged")
+	}
+}
+
+// TestTailSanityCatchesWindowLeak: a max latency exceeding the run's
+// own span means a sample survived a measurement reset.
+func TestTailSanityCatchesWindowLeak(t *testing.T) {
+	sc := valid()
+	sc.Flows[0].RatePPS = 50_000
+	c := NewCtx(sc)
+	bad := sane(true)
+	bad.MaxLat = int64(sc.Warmup()+sc.Window()) + 1
+	bad.P999 = bad.MaxLat // keep the ladder ordered
+	cacheMeasure(c, sc, false, sane(false))
+	cacheMeasure(c, sc, true, bad)
+	if CheckOracle(tailOracle(t), c) == nil {
+		t.Fatal("cross-window latency leak not flagged")
+	}
+}
+
+// TestTailSanityCatchesImprovedTail: a delay fault that *improves* p99
+// beyond the envelope means the latency origin misses the delay it was
+// meant to include — the regression the SendTime stamp exists to
+// prevent.
+func TestTailSanityCatchesImprovedTail(t *testing.T) {
+	sc := valid()
+	sc.Flows[0].RatePPS = 50_000
+	sc.Faults = []FaultSpec{{Kind: "link-jitter", AtMs: 1, ForMs: 1, Amount: 50}}
+	clean := sc
+	clean.Faults = nil
+
+	c := NewCtx(sc)
+	faulted := sane(true)
+	faulted.P50, faulted.P99, faulted.P999, faulted.MaxLat = 4_000, 8_000, 9_000, 10_000
+	cacheMeasure(c, sc, false, sane(false))
+	cacheMeasure(c, sc, true, faulted)
+	cacheMeasure(c, clean, true, sane(true)) // clean p99 60µs vs faulted 8µs
+	v := CheckOracle(tailOracle(t), c)
+	if v == nil {
+		t.Fatal("fault-improved tail not flagged")
+	}
+
+	// Within the envelope (slightly faster, above TailImproveFactor with
+	// slack) stays legal: percentiles of a finite window wobble.
+	c2 := NewCtx(sc)
+	wobble := sane(true)
+	wobble.P99 = 55_000
+	cacheMeasure(c2, sc, false, sane(false))
+	cacheMeasure(c2, sc, true, wobble)
+	cacheMeasure(c2, clean, true, sane(true))
+	if v := CheckOracle(tailOracle(t), c2); v != nil {
+		t.Fatalf("in-envelope wobble flagged: %s", v)
+	}
+}

@@ -51,6 +51,20 @@ func (r *Rand) ExpFloat64() float64 {
 	}
 }
 
+// NormFloat64 returns a standard normal (mean 0, stddev 1) value via the
+// Box-Muller transform. Unlike math/rand it draws two uniforms and
+// discards the second variate: a cached spare would make the stream
+// depend on call parity, which breaks Fork-based stream isolation.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		v := r.Float64()
+		if u > 0 {
+			return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+		}
+	}
+}
+
 // Perm returns a random permutation of [0, n).
 func (r *Rand) Perm(n int) []int {
 	p := make([]int, n)

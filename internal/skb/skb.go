@@ -103,8 +103,11 @@ type SKB struct {
 	FlowID uint64
 	Seq    uint64
 
-	// WireTime is when the frame left the sender's NIC; Delivered is
-	// when the receiving application consumed it.
+	// SendTime is when the sending application handed the payload to the
+	// stack (the open-loop latency origin: sender-side CPU queueing and
+	// tx-path stalls count). WireTime is when the frame left the sender's
+	// NIC; Delivered is when the receiving application consumed it.
+	SendTime  sim.Time
 	WireTime  sim.Time
 	Delivered sim.Time
 

@@ -145,7 +145,14 @@ func (sk *Socket) consumeNext() {
 func (sk *Socket) account(s *skb.SKB) {
 	now := sk.m.E.Now()
 	s.Delivered = now
-	lat := int64(now - s.WireTime)
+	// End-to-end latency origin: the sender's SendUDP/SendTCP entry when
+	// stamped (counts sender-side CPU queueing and tx-path stalls), else
+	// the NIC wire-out time for frames injected below the overlay API.
+	origin := s.WireTime
+	if s.SendTime != 0 {
+		origin = s.SendTime
+	}
+	lat := int64(now - origin)
 	segs := s.Segs
 	if segs < 1 {
 		segs = 1

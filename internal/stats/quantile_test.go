@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// lcg is a tiny deterministic uniform source for distribution tests.
+func lcg(seed uint64) func() float64 {
+	state := seed
+	return func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+}
+
+// checkQuantiles records the same samples into the histogram and the
+// exact Distribution and asserts p50/p99/p99.9 relative error stays
+// within the bucket resolution (1/32 ≈ 3.1%, plus slack for the
+// half-bucket midpoint convention).
+func checkQuantiles(t *testing.T, name string, gen func() int64) {
+	t.Helper()
+	h := NewHistogram()
+	var d Distribution
+	for i := 0; i < 200_000; i++ {
+		v := gen()
+		h.Record(v)
+		d.Record(v)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		exact := float64(d.Quantile(q))
+		approx := float64(h.Quantile(q))
+		if exact < float64(subBuckets) {
+			// Below subBuckets the buckets are exact integers.
+			if approx != exact {
+				t.Errorf("%s q%g: approx %v != exact %v in the exact range", name, q, approx, exact)
+			}
+			continue
+		}
+		if rel := math.Abs(approx-exact) / exact; rel > 1.0/subBuckets+0.004 {
+			t.Errorf("%s q%g: approx %v vs exact %v (rel err %.4f)", name, q, approx, exact, rel)
+		}
+	}
+}
+
+func TestHistogramQuantileKnownDistributions(t *testing.T) {
+	u := lcg(7)
+	checkQuantiles(t, "uniform", func() int64 {
+		return int64(u() * 2_000_000)
+	})
+	e := lcg(8)
+	checkQuantiles(t, "exponential", func() int64 {
+		v := e()
+		if v <= 0 {
+			v = 1e-12
+		}
+		return int64(-math.Log(v) * 50_000) // mean 50µs in ns
+	})
+	// Bimodal: a fast mode near 5µs and a slow mode near 800µs — the
+	// shape GRO/non-GRO latency mixes actually produce, where a single
+	// mode's accuracy can mask tail error in the other.
+	b := lcg(9)
+	checkQuantiles(t, "bimodal", func() int64 {
+		if b() < 0.9 {
+			return int64(4_000 + b()*2_000)
+		}
+		return int64(750_000 + b()*100_000)
+	})
+}
+
+// TestHistogramMergeAssociative: merging per-shard histograms must be
+// associative and order-independent — aggregate tail columns cannot
+// depend on which shard's histogram was folded in first.
+func TestHistogramMergeAssociative(t *testing.T) {
+	mk := func(seed uint64, scale float64, n int) *Histogram {
+		h := NewHistogram()
+		g := lcg(seed)
+		for i := 0; i < n; i++ {
+			h.Record(int64(g() * scale))
+		}
+		return h
+	}
+	parts := func() []*Histogram {
+		return []*Histogram{
+			mk(1, 10_000, 5_000),
+			mk(2, 2_000_000, 3_000),
+			mk(3, 300, 8_000),
+		}
+	}
+
+	// (a ⊕ b) ⊕ c
+	ab := parts()
+	left := NewHistogram()
+	left.Merge(ab[0])
+	left.Merge(ab[1])
+	left.Merge(ab[2])
+	// a ⊕ (b ⊕ c), folded in reverse order
+	bc := parts()
+	inner := NewHistogram()
+	inner.Merge(bc[2])
+	inner.Merge(bc[1])
+	inner.Merge(bc[0])
+
+	if left.Count() != inner.Count() || left.Sum() != inner.Sum() {
+		t.Fatalf("count/sum differ: %d/%d vs %d/%d",
+			left.Count(), left.Sum(), inner.Count(), inner.Sum())
+	}
+	if left.Min() != inner.Min() || left.Max() != inner.Max() {
+		t.Fatalf("min/max differ: %d/%d vs %d/%d",
+			left.Min(), left.Max(), inner.Min(), inner.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if left.Quantile(q) != inner.Quantile(q) {
+			t.Fatalf("q%g differs: %d vs %d", q, left.Quantile(q), inner.Quantile(q))
+		}
+	}
+}

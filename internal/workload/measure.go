@@ -12,6 +12,10 @@ type Result struct {
 	Delivered uint64
 	PPS       float64
 	Latency   stats.Summary
+	// LatencyHist is the merged per-socket latency histogram behind
+	// Latency, kept so callers can merge windows into aggregate tail
+	// curves (p99.9 needs the buckets, not the summary).
+	LatencyHist *stats.Histogram
 
 	// Drop accounting on the server side.
 	NICDrops, BacklogDrops, SocketDrops uint64
@@ -53,6 +57,7 @@ func MeasureWindow(tb *Testbed, socks []*socket.Socket, warmup, window sim.Time)
 	}
 	res.PPS = stats.Rate(res.Delivered, int64(window))
 	res.Latency = lat.Summarize()
+	res.LatencyHist = lat
 
 	srv := tb.Server
 	res.NICDrops = srv.NIC.Drops.Value()
