@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race audit reconfig tail fuzz scale bench-smoke bench-report bench-baseline experiments profile clean
+.PHONY: all build vet test race audit reconfig tail cache fuzz scale bench-smoke bench-report bench-baseline experiments profile clean
 
 all: vet build test
 
@@ -44,6 +44,16 @@ tail:
 	$(GO) run ./cmd/falconsim -exp abl-tail -deadline 20m \
 		-max-events 2000000000
 	$(GO) run ./cmd/falconsim -exp abl-tail -shards 4 -deadline 20m \
+		-max-events 2000000000
+
+# Full-path flow caching ablation: the ONCache-style RX decap fast path
+# vs Falcon vs both, on the fig10-style 16B UDP stress and the 8-host
+# mesh ring, with hit/miss/stale counters. Serial and sharded runs
+# print byte-identical tables.
+cache:
+	$(GO) run ./cmd/falconsim -exp abl-cache -deadline 20m \
+		-max-events 2000000000
+	$(GO) run ./cmd/falconsim -exp abl-cache -shards 4 -deadline 20m \
 		-max-events 2000000000
 
 # Scenario fuzzing: 50 random-but-valid scenarios through the

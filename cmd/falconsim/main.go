@@ -64,6 +64,7 @@ func run() int {
 		report    = flag.String("bench-report", "", "write a hot-path benchmark report to this JSON file and exit")
 		baseline  = flag.String("bench-baseline", "", "with -bench-report: fail on regression against this baseline JSON (allocs/pkt, ns/pkt, sharded speedup)")
 		auditOn   = flag.Bool("audit", false, "enable runtime verification (SKB ledger, conservation invariants, watchdog); breaches abort with a replayable dump")
+		cacheOn   = flag.Bool("cache", false, "enable the ONCache-style RX decap fast path (per-core flow caches) on every experiment host")
 		deadline  = flag.Duration("deadline", 0, "abort the whole run after this wall-clock duration (0 = no limit)")
 		maxEvents = flag.Uint64("max-events", 0, "abort any single experiment after firing this many engine events (0 = no limit)")
 		replay    = flag.String("replay", "", "re-run the exact experiment/seed/config named in an audit dump's header and exit")
@@ -183,6 +184,7 @@ func run() int {
 	opt := experiments.Options{
 		Quick: *quick, Kernel: *kernel, Seed: *seed,
 		Audit: *auditOn, MaxEvents: *maxEvents, Shards: shards,
+		RxCache: *cacheOn,
 	}
 	if err := loadScheduleFlags(&opt, *reconfigF, *crashF); err != nil {
 		fmt.Fprintf(os.Stderr, "falconsim: %v\n", err)
@@ -431,10 +433,11 @@ type latencyBench struct {
 }
 
 type benchReportFile struct {
-	HotPath experiments.HotPathBench `json:"hot_path"`
-	Sharded shardedBench             `json:"sharded"`
-	Auto    autoBench                `json:"sharded_auto"`
-	Latency latencyBench             `json:"latency"`
+	HotPath experiments.HotPathBench    `json:"hot_path"`
+	Sharded shardedBench                `json:"sharded"`
+	Auto    autoBench                   `json:"sharded_auto"`
+	Latency latencyBench                `json:"latency"`
+	Cache   experiments.CacheComparison `json:"cache"`
 }
 
 // latencyBenchExps are the experiments whose merged latency histograms
@@ -533,6 +536,13 @@ func benchReport(path, baselinePath string, shards int, opt experiments.Options)
 
 	lat := benchLatency(opt)
 
+	// Cache-vs-Falcon comparison on quick windows: the ratios and hit
+	// rate are simulated-time quantities, deterministic for the seed.
+	copt := opt
+	copt.Quick = true
+	fmt.Fprintf(os.Stderr, "falconsim: bench: rx-cache comparison (quick windows)...\n")
+	cache := experiments.MeasureCache(copt)
+
 	rep := benchReportFile{
 		HotPath: hot,
 		Sharded: shardedBench{
@@ -546,6 +556,7 @@ func benchReport(path, baselinePath string, shards int, opt experiments.Options)
 			Seconds: meshAuto, Speedup: meshSerial / meshAuto,
 		},
 		Latency: lat,
+		Cache:   cache,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -565,8 +576,13 @@ func benchReport(path, baselinePath string, shards int, opt experiments.Options)
 		ws.Windows, rep.Sharded.Windows.AvgWidthSimNs, rep.Sharded.Windows.MsgsPerWindow,
 		rep.Sharded.Windows.WorkerIdleFrac*100)
 
+	fmt.Fprintf(os.Stderr,
+		"falconsim: bench: rx-cache %.2fx vs vanilla (falcon %.2fx, both ns/pkt %.0f), hit-rate %.1f%%, %.1f allocs/pkt\n",
+		cache.CacheImprovement, cache.FalconImprovement, cache.CombinedNsPerPkt,
+		cache.CacheHitRate*100, cache.CacheAllocsPerPacket)
+
 	if baselinePath != "" {
-		return guardBaseline(baselinePath, hot, rep.Sharded, rep.Latency)
+		return guardBaseline(baselinePath, hot, rep.Sharded, rep.Latency, cache)
 	}
 	return 0
 }
@@ -632,8 +648,11 @@ func timeExp(e experiments.Experiment, opt experiments.Options) float64 {
 // latency beyond +25% on any tracked experiment (simulated time, so the
 // bound is pure datapath behaviour, no machine noise), or — on hardware
 // with enough cores for the shards to actually run in parallel —
-// sharded speedup below 1.15x.
-func guardBaseline(path string, hot experiments.HotPathBench, sharded shardedBench, lat latencyBench) int {
+// sharded speedup below 1.15x. When the baseline carries a cache
+// section, the RX flow cache's floors are also enforced: ≥1.30x
+// softirq-ns/pkt improvement over vanilla at a ≥90% warm hit rate, and
+// cache-run allocs/pkt within +10% of baseline.
+func guardBaseline(path string, hot experiments.HotPathBench, sharded shardedBench, lat latencyBench, cache experiments.CacheComparison) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "falconsim: baseline: %v\n", err)
@@ -694,6 +713,37 @@ func guardBaseline(path string, hot experiments.HotPathBench, sharded shardedBen
 		} else {
 			fmt.Fprintf(os.Stderr, "falconsim: %s p99 %dns within baseline %dns +25%%\n",
 				id, cur.P99Ns, b.P99Ns)
+		}
+	}
+	if base.Cache.VanillaNsPerPkt > 0 { // baseline predates the cache section otherwise
+		const improveFloor, hitFloor = 1.30, 0.90
+		if cache.CacheImprovement < improveFloor {
+			fmt.Fprintf(os.Stderr,
+				"falconsim: CACHE REGRESSION: %.2fx improvement over vanilla < %.2fx floor\n",
+				cache.CacheImprovement, improveFloor)
+			code = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "falconsim: rx-cache improvement %.2fx >= %.2fx floor\n",
+				cache.CacheImprovement, improveFloor)
+		}
+		if cache.CacheHitRate < hitFloor {
+			fmt.Fprintf(os.Stderr,
+				"falconsim: CACHE REGRESSION: hit rate %.1f%% < %.0f%% floor\n",
+				cache.CacheHitRate*100, hitFloor*100)
+			code = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "falconsim: rx-cache hit rate %.1f%% >= %.0f%% floor\n",
+				cache.CacheHitRate*100, hitFloor*100)
+		}
+		allocLimit := base.Cache.CacheAllocsPerPacket * 1.10
+		if cache.CacheAllocsPerPacket > allocLimit {
+			fmt.Fprintf(os.Stderr,
+				"falconsim: CACHE ALLOC REGRESSION: %.2f allocs/pkt > %.2f (baseline %.2f +10%%)\n",
+				cache.CacheAllocsPerPacket, allocLimit, base.Cache.CacheAllocsPerPacket)
+			code = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "falconsim: rx-cache allocs/pkt %.2f within baseline %.2f +10%%\n",
+				cache.CacheAllocsPerPacket, base.Cache.CacheAllocsPerPacket)
 		}
 	}
 	// The speedup floor only means something when the shards can really

@@ -38,6 +38,8 @@ const (
 	FnEnqueueRemote             // enqueue_to_backlog on another CPU
 	FnIPIRaise                  // smp_call IPI to signal a remote core
 	FnSoftIRQEntry              // do_softirq entry/exit amortized
+	FnRxCacheLookup             // RX flow-cache probe on the steering core
+	FnRxCacheDeliver            // cached decap + direct socket handoff
 	NumFuncs
 )
 
@@ -65,6 +67,8 @@ var funcNames = [NumFuncs]string{
 	"enqueue_to_backlog",
 	"ipi_raise",
 	"do_softirq",
+	"rx_cache_lookup",
+	"rx_cache_deliver",
 }
 
 // String returns the kernel-style symbol name.

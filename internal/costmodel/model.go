@@ -91,6 +91,14 @@ func Kernel419() *Model {
 		FnEnqueueRemote: {Base: 80},
 		FnIPIRaise:      {Base: 150},
 		FnSoftIRQEntry:  {Base: 120},
+		// ONCache-style RX fast path: a warm flow-cache hit replaces the
+		// whole inner decap walk (vxlan_rcv, gro_cell_poll, bridge, veth,
+		// backlog, second L3 traversal) with one lookup plus a cached
+		// decap-and-deliver step. The per-byte term is a single header
+		// rewrite pass — the inner frame's payload is never re-touched,
+		// which is where the walk's ~0.125 ns/B disappears to.
+		FnRxCacheLookup:  {Base: 40},
+		FnRxCacheDeliver: {Base: 150, PerByte: 0.020},
 	}
 	return m
 }

@@ -15,6 +15,23 @@ import (
 	"falcon/internal/steering"
 )
 
+// RxFlowCache abstracts the ONCache-style decap fast path so the
+// datapath does not depend on the overlay package (which owns the KV
+// version and generation state entries revalidate against). The cache
+// is consulted at the l3 branch for non-fragment VXLAN frames: a Probe
+// hit returns the precomputed per-stage cost sum to charge, and the
+// frame decapsulates in place and delivers straight to L4 — skipping
+// the inner stage walk (outer udp_rcv + vxlan_rcv, gro_cell_poll,
+// bridge, veth_xmit, backlog, second L3 traversal) and its softirq
+// raises. A miss falls through to the walk after Learn records the
+// flow, so the next packet fast-paths. Tables are per simulated core —
+// core is the ID of the core the probe runs on — and implementations
+// must only record flows the walk would deliver.
+type RxFlowCache interface {
+	Probe(core int, s *skb.SKB) (sim.Time, bool)
+	Learn(core int, s *skb.SKB)
+}
+
 // CPUSelector abstracts Falcon's placement decisions so the datapath
 // does not depend on the core package. A nil selector is the vanilla
 // kernel (stages stay on the current core).
@@ -43,6 +60,10 @@ type RxPath struct {
 
 	// Falcon, when non-nil, pipelines stages across FALCON_CPUS.
 	Falcon CPUSelector
+
+	// Cache, when non-nil, is the RX decap fast path probed at the l3
+	// branch (installed by the overlay builder; nil = full walk always).
+	Cache RxFlowCache
 
 	// Overlay wiring (nil Bridge means host-network mode for all
 	// traffic).
@@ -170,6 +191,7 @@ type rxWalk struct {
 	afterVethXmit  func()
 	afterVethPoll  func()
 	afterVethChain func()
+	afterFast      func() // cache hit: straight to DeliverL4
 
 	next *rxWalk // RxPath free list
 }
@@ -189,6 +211,7 @@ func newRxWalk(rx *RxPath, c *cpu.Core, s *skb.SKB, done func()) *rxWalk {
 		w.afterVethXmit = w.vethHop
 		w.afterVethPoll = w.vethStage
 		w.afterVethChain = w.vethDeliver
+		w.afterFast = w.deliver
 	} else {
 		rx.walks = w.next
 		w.next = nil
@@ -340,11 +363,39 @@ func (w *rxWalk) l3Branch() {
 		return
 	}
 	if rx.Bridge != nil && s.IsVXLAN() {
+		if rx.Cache != nil {
+			if cost, hit := rx.Cache.Probe(w.c.ID(), s); hit {
+				w.fastPath(cost)
+				return
+			}
+			rx.Cache.Learn(w.c.ID(), s)
+		}
 		w.vxlanRcv()
 		return
 	}
 	rx.HostPath.Inc()
 	w.deliver()
+}
+
+// fastPath is the cache-hit continuation of the l3 branch: the frame
+// decapsulates in place on the current core and goes straight to L4
+// delivery, charged with the entry's cached per-stage cost sum instead
+// of walking the inner stage pipeline. No stage transitions means no
+// extra softirq raises and no backlog occupancy — which is the modeled
+// win (and why hit-path delivery can exceed the walk's under overload:
+// the skipped queues are where the walk drops).
+func (w *rxWalk) fastPath(cost sim.Time) {
+	rx, c, s := w.rx, w.c, w.s
+	if !s.DecapVXLAN() {
+		// Unreachable for a probed hit (the probe parsed the inner frame),
+		// kept for parity with the walk's decap stage.
+		w.drop("drop:decap")
+		return
+	}
+	s.IfIndex = rx.VXLANIf
+	s.Stage("rx-cache-hit")
+	rx.Decapped.Inc()
+	c.Submit(stats.CtxSoftIRQ, costmodel.FnRxCacheDeliver, cost, w.afterFast)
 }
 
 // reassemble feeds an IP fragment to the host's reassembly queue

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"falcon/internal/devices"
+	"falcon/internal/sim"
+	"falcon/internal/socket"
+	"falcon/internal/stats"
+	"falcon/internal/workload"
+)
+
+// abl-cache: the flow-caching ablation. Falcon attacks the overlay tax
+// with parallelism (spread the serialized softirq stages over FALCON_CPUS);
+// an ONCache-style RX decap fast path attacks it with caching (skip the
+// stages entirely for warm flows). This experiment runs both, alone and
+// combined, on the paper's Fig. 10 small-packet UDP stress and on the
+// 8-host mesh, so the two approaches — and their composition — can be
+// compared on equal footing.
+
+func init() {
+	register("abl-cache", "Ablation: RX flow caching vs Falcon vs both", ablCache)
+}
+
+// cacheRun is one measured abl-cache configuration.
+type cacheRun struct {
+	res                 workload.Result
+	hits, misses, stale uint64
+}
+
+// hitRate is the warm-window fast-path hit fraction on the server.
+func (r cacheRun) hitRate() float64 {
+	total := r.hits + r.misses + r.stale
+	if total == 0 {
+		return 0
+	}
+	return float64(r.hits) / float64(total)
+}
+
+// softirqNsPerPkt charges every server softirq-context nanosecond of the
+// window to the delivered packets — the per-packet cost the decap fast
+// path is supposed to shrink.
+func (r cacheRun) softirqNsPerPkt() float64 {
+	if r.res.Delivered == 0 {
+		return 0
+	}
+	var softirq float64
+	for _, u := range r.res.CoreSoftirq {
+		softirq += u
+	}
+	return softirq * float64(r.res.Window) / float64(r.res.Delivered)
+}
+
+// cacheStress runs the Fig. 10 3-client UDP stress with the requested
+// datapath configuration and keeps the server's cache counters.
+func cacheStress(mode workload.Mode, opt Options, size int, cache bool) cacheRun {
+	o := opt
+	o.RxCache = cache
+	tb := newSingleFlowBed(mode, o, 100*devices.Gbps, false)
+	until := o.warmup() + o.window() + 5*sim.Millisecond
+	sock, _ := tb.StressFlood(true, 3, size, singleFlowAppCore, until)
+	res := workload.MeasureWindow(tb, []*socket.Socket{sock}, o.warmup(), o.window())
+	finishAudit(tb, until)
+	return cacheRun{
+		res:    res,
+		hits:   tb.Server.RxCacheHits.Value(),
+		misses: tb.Server.RxCacheMisses.Value(),
+		stale:  tb.Server.RxCacheStale.Value(),
+	}
+}
+
+// runMeshCache drives the mesh8 ring with the cache on or off and
+// aggregates delivery, tail latency and cache counters over all hosts.
+func runMeshCache(opt Options, cache bool) (float64, stats.Summary, uint64, uint64) {
+	o := opt
+	o.RxCache = cache
+	e, nodes := buildMesh(o)
+	warmup, window := o.warmup(), o.window()
+	until := warmup + window + 5*sim.Millisecond
+	for _, n := range nodes {
+		n.start(until)
+	}
+	e.RunUntil(warmup)
+	for _, n := range nodes {
+		n.host.ResetMeasurement()
+		n.sock.ResetMeasurement()
+	}
+	e.RunUntil(warmup + window)
+
+	var delivered, hits, misses uint64
+	agg := stats.NewHistogram()
+	for _, n := range nodes {
+		delivered += n.sock.Delivered.Value()
+		agg.Merge(n.sock.Latency)
+		hits += n.host.RxCacheHits.Value()
+		misses += n.host.RxCacheMisses.Value() + n.host.RxCacheStale.Value()
+	}
+	return stats.Rate(delivered, int64(window)), agg.Summarize(), hits, misses
+}
+
+// ablCache emits the two comparison tables.
+func ablCache(opt Options) []*stats.Table {
+	t := &stats.Table{
+		Title:   "Ablation: RX flow cache vs Falcon, 16B UDP stress (100G)",
+		Columns: []string{"configuration", "delivered(Kpps)", "softirq ns/pkt", "vs vanilla", "hit-rate", "stale"},
+	}
+	configs := []struct {
+		label string
+		mode  workload.Mode
+		cache bool
+	}{
+		{"Con (vanilla)", workload.ModeCon, false},
+		{"Con + cache", workload.ModeCon, true},
+		{"Falcon", workload.ModeFalcon, false},
+		{"Falcon + cache", workload.ModeFalcon, true},
+	}
+	var vanillaNs float64
+	for i, c := range configs {
+		r := cacheStress(c.mode, opt, 16, c.cache)
+		ns := r.softirqNsPerPkt()
+		if i == 0 {
+			vanillaNs = ns
+		}
+		improve := "1.00x"
+		if i > 0 && ns > 0 {
+			improve = fRatio(vanillaNs / ns)
+		}
+		hit := "-"
+		if c.cache {
+			hit = fPct(r.hitRate())
+		}
+		t.AddRow(c.label, fKpps(r.res.PPS), fmt.Sprintf("%.0f", ns), improve,
+			hit, fmt.Sprintf("%d", r.stale))
+	}
+
+	m := &stats.Table{
+		Title:   "Ablation: RX flow cache on the 8-host mesh (256B ring)",
+		Columns: []string{"configuration", "delivered(Kpps)", "p50(us)", "p99(us)", "hit-rate"},
+	}
+	offPPS, offSum, _, _ := runMeshCache(opt, false)
+	m.AddRow("mesh8", fKpps(offPPS), fUs(offSum.P50), fUs(offSum.P99), "-")
+	onPPS, onSum, hits, misses := runMeshCache(opt, true)
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	m.AddRow("mesh8 + cache", fKpps(onPPS), fUs(onSum.P50), fUs(onSum.P99), fPct(hitRate))
+	return []*stats.Table{t, m}
+}
+
+// CacheComparison is the machine-readable core of abl-cache for the
+// bench report: the Fig. 10-shaped stress under the four datapath
+// configurations.
+type CacheComparison struct {
+	VanillaNsPerPkt   float64 `json:"vanilla_ns_per_pkt"`
+	CacheNsPerPkt     float64 `json:"cache_ns_per_pkt"`
+	FalconNsPerPkt    float64 `json:"falcon_ns_per_pkt"`
+	CombinedNsPerPkt  float64 `json:"combined_ns_per_pkt"`
+	CacheImprovement  float64 `json:"cache_improvement"`  // vanilla / cache-only
+	FalconImprovement float64 `json:"falcon_improvement"` // vanilla / falcon-only
+	CacheHitRate      float64 `json:"cache_hit_rate"`     // warm-window, cache-only run
+	CacheKpps         float64 `json:"cache_kpps"`
+	VanillaKpps       float64 `json:"vanilla_kpps"`
+	// CacheAllocsPerPacket is the host-side allocation cost of one
+	// delivered packet on the cache-only run — the fast path's hit leg is
+	// pooled end to end, so this must not drift above the uncached
+	// datapath's figure (the BENCH allocs gate).
+	CacheAllocsPerPacket float64 `json:"cache_allocs_per_packet"`
+}
+
+// MeasureCache runs the four-way comparison and returns the summary the
+// bench report embeds (and the CI gate checks). The improvement and
+// hit-rate fields are simulated-time ratios, deterministic for a given
+// seed; only the allocation figure sees host noise.
+func MeasureCache(opt Options) CacheComparison {
+	vanilla := cacheStress(workload.ModeCon, opt, 16, false)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	cached := cacheStress(workload.ModeCon, opt, 16, true)
+	runtime.ReadMemStats(&m1)
+	falcon := cacheStress(workload.ModeFalcon, opt, 16, false)
+	both := cacheStress(workload.ModeFalcon, opt, 16, true)
+	c := CacheComparison{
+		VanillaNsPerPkt:  vanilla.softirqNsPerPkt(),
+		CacheNsPerPkt:    cached.softirqNsPerPkt(),
+		FalconNsPerPkt:   falcon.softirqNsPerPkt(),
+		CombinedNsPerPkt: both.softirqNsPerPkt(),
+		CacheHitRate:     cached.hitRate(),
+		CacheKpps:        cached.res.PPS / 1e3,
+		VanillaKpps:      vanilla.res.PPS / 1e3,
+	}
+	if cached.res.Delivered > 0 {
+		c.CacheAllocsPerPacket = float64(m1.Mallocs-m0.Mallocs) / float64(cached.res.Delivered)
+	}
+	if c.CacheNsPerPkt > 0 {
+		c.CacheImprovement = c.VanillaNsPerPkt / c.CacheNsPerPkt
+	}
+	if c.FalconNsPerPkt > 0 {
+		c.FalconImprovement = c.VanillaNsPerPkt / c.FalconNsPerPkt
+	}
+	return c
+}

@@ -33,6 +33,7 @@ func newSingleFlowBed(mode workload.Mode, opt Options, link float64, colocate bo
 		RSSCores: []int{0}, RPSCores: []int{1},
 		GRO: true, InnerGRO: true, Seed: opt.seed(),
 		Shards: opt.Shards, Colocate: colocate, FixedHorizon: opt.FixedHorizon,
+		RxCache: opt.RxCache,
 	})
 	if opt.MaxEvents > 0 {
 		tb.E.SetEventBudget(opt.MaxEvents)

@@ -46,6 +46,12 @@ type Options struct {
 	// match the reconfig bed: client/server — the spare is the standby
 	// twin target and cannot itself crash).
 	Crash *reconfig.CrashSchedule
+	// RxCache enables the ONCache-style RX decap fast path (per-core
+	// flow caches, internal/overlay/rxcache.go) on every host of the
+	// experiments built from the standard beds. Off by default: the
+	// cache is the abl-cache ablation's subject, and the goldens pin
+	// the uncached behavior.
+	RxCache bool
 	// FixedHorizon disables adaptive safe-horizon windows on sharded
 	// runs (every window is clipped to the static global lookahead) —
 	// the A/B switch the shard-invariance tests sweep. Results are

@@ -74,6 +74,9 @@ func buildFabric(opt Options, cfg fabricConfig) *fabric {
 			GRO: cfg.GRO, InnerGRO: cfg.InnerGRO, Kernel: opt.Kernel,
 			Shard: i,
 		})
+		if opt.RxCache {
+			h.EnableRxCache()
+		}
 		ctr := h.AddContainer(cfg.HostName(i)+"-c1", cfg.CtrIP(i))
 		fb.Hosts = append(fb.Hosts, h)
 		fb.Ctrs = append(fb.Ctrs, ctr)

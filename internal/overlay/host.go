@@ -86,7 +86,29 @@ type Host struct {
 	handlers   map[SockKey]L4Handler
 	links      map[proto.IPv4Addr]*devices.Link // by peer host IP
 	negCache   map[proto.IPv4Addr]negEntry      // KV miss suppression
-	flowCache  map[txFlowKey]*txFlowEntry       // tx fast-path flow table
+	// flowCaches is the TX fast-path flow table, one map per simulated
+	// core (index = sending core ID): each core owns its table outright,
+	// State-Compute-Replication style, so the modeled caches are
+	// lock-free and share nothing.
+	flowCaches []map[txFlowKey]*txFlowEntry
+	// rxCache, when enabled, is the per-core RX decap fast path
+	// (rxcache.go); nil means every arriving frame pays the full walk.
+	rxCache *rxCache
+
+	// Generation-lazy cache eviction state. Invalidation events bump
+	// counters in O(1); entries record the counter values they were built
+	// under and are evicted on their next lookup instead of by scanning
+	// every per-core table at event time (a reconfig bump used to pause
+	// proportional to cache size).
+	//
+	// cacheEpoch versions whole-cache invalidations (ReconcileKV: crash,
+	// reboot, partition heal). purgeClock orders PurgeDeadHost calls;
+	// deadAt records, per purged host IP, the clock at declare time — an
+	// entry routing through (TX) or sourced from (RX) that host is dead
+	// iff it was built before the purge (born < deadAt).
+	cacheEpoch uint64
+	purgeClock uint64
+	deadAt     map[proto.IPv4Addr]uint64
 
 	// L4Drops counts packets with no bound endpoint.
 	L4Drops stats.Counter
@@ -117,6 +139,14 @@ type Host struct {
 	// served from a stale (version-expired but within the staleness
 	// bound) TX flow-cache entry.
 	StaleServes stats.Counter
+	// RxCacheHits counts arriving VXLAN frames delivered over the RX
+	// decap fast path from a fresh entry; RxCacheMisses counts frames
+	// that probed the cache and fell through to the full walk;
+	// RxCacheStale counts fast-path deliveries a partitioned host served
+	// from a version-expired entry within the staleness bound.
+	RxCacheHits   stats.Counter
+	RxCacheMisses stats.Counter
+	RxCacheStale  stats.Counter
 
 	// Audit, when non-nil, attaches every SKB the transmit path creates
 	// to the run's lifecycle ledger (see internal/audit).
@@ -182,18 +212,19 @@ func newHost(n *Network, cfg HostConfig, hostID uint64) *Host {
 	m := cpu.NewMachine(e, model, cfg.Cores, cfg.TickPeriod)
 	st := netdev.NewStack(m)
 	h := &Host{
-		Net:       n,
-		E:         e,
-		Name:      cfg.Name,
-		IP:        cfg.IP,
-		MAC:       proto.MACFromUint64(0xA0000 + hostID),
-		M:         m,
-		St:        st,
-		Arena:     skb.NewArena(),
-		handlers:  make(map[SockKey]L4Handler),
-		links:     make(map[proto.IPv4Addr]*devices.Link),
-		negCache:  make(map[proto.IPv4Addr]negEntry),
-		flowCache: make(map[txFlowKey]*txFlowEntry),
+		Net:        n,
+		E:          e,
+		Name:       cfg.Name,
+		IP:         cfg.IP,
+		MAC:        proto.MACFromUint64(0xA0000 + hostID),
+		M:          m,
+		St:         st,
+		Arena:      skb.NewArena(),
+		handlers:   make(map[SockKey]L4Handler),
+		links:      make(map[proto.IPv4Addr]*devices.Link),
+		negCache:   make(map[proto.IPv4Addr]negEntry),
+		flowCaches: make([]map[txFlowKey]*txFlowEntry, cfg.Cores),
+		deadAt:     make(map[proto.IPv4Addr]uint64),
 	}
 	h.NIC = devices.NewPNIC(st, cfg.Name+"-eth0", steering.RSS{QueueCores: cfg.RSSCores}, cfg.GRO)
 	vxlanIf := st.RegisterDevice(cfg.Name + "-vxlan0")
@@ -340,31 +371,37 @@ func (h *Host) Reboot() {
 }
 
 // ReconcileKV drops every cached KV resolution — the whole TX flow
-// cache and negative cache. Called on crash (the dead kernel's state is
-// gone), on reboot (cold caches), and when a control-plane partition
-// heals (stale mappings must not outlive reconciliation).
+// cache, RX fast-path cache and negative cache. Called on crash (the
+// dead kernel's state is gone), on reboot (cold caches), and when a
+// control-plane partition heals (stale mappings must not outlive
+// reconciliation).
+//
+// The drop is generation-lazy: bumping cacheEpoch invalidates every
+// entry in O(1), and lookups evict mismatched entries as they touch
+// them. Eviction never charged simulated time, so the lazy form is
+// observably identical to the eager scans it replaced — without the
+// event-time pause proportional to cache size.
 func (h *Host) ReconcileKV() {
-	for k := range h.flowCache {
-		delete(h.flowCache, k)
-	}
-	for ip := range h.negCache {
-		delete(h.negCache, ip)
-	}
+	h.cacheEpoch++
 }
 
-// PurgeDeadHost evicts every cached TX resolution that routes through a
-// host just declared dead — flow-cache entries resolving to its
-// endpoint (or host-network entries addressed to it) plus
-// negative-cache records for the container IPs it carried. The failure
-// detector calls this on every surviving host the moment it declares a
-// death, so senders stop steering packets at a corpse for however long
-// the current KV version would otherwise have validated the entries.
+// PurgeDeadHost evicts every cached resolution that routes through a
+// host just declared dead — TX flow-cache entries resolving to its
+// endpoint (or host-network entries addressed to it), RX fast-path
+// entries for flows arriving from it, plus negative-cache records for
+// the container IPs it carried. The failure detector calls this on
+// every surviving host the moment it declares a death, so senders stop
+// steering packets at a corpse for however long the current KV version
+// would otherwise have validated the entries.
+//
+// Like ReconcileKV, eviction is generation-lazy: the purge clock
+// advances and the dead host's declare time is recorded; entries built
+// before it (born < deadAt) die on their next lookup. The negative
+// cache is still purged eagerly — that loop is O(containers carried by
+// the dead host), not O(cache).
 func (h *Host) PurgeDeadHost(hostIP proto.IPv4Addr, containerIPs []proto.IPv4Addr) {
-	for k, e := range h.flowCache {
-		if e.info.HostIP == hostIP || (e.hostNet && k.dstIP == hostIP) {
-			delete(h.flowCache, k)
-		}
-	}
+	h.purgeClock++
+	h.deadAt[hostIP] = h.purgeClock
 	for _, ip := range containerIPs {
 		delete(h.negCache, ip)
 	}
@@ -535,6 +572,9 @@ func (h *Host) ResetMeasurement() {
 	h.NegCacheHits.Reset()
 	h.CrashDrops.Reset()
 	h.StaleServes.Reset()
+	h.RxCacheHits.Reset()
+	h.RxCacheMisses.Reset()
+	h.RxCacheStale.Reset()
 	if h.OnReset != nil {
 		h.OnReset()
 	}

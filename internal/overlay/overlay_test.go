@@ -26,7 +26,7 @@ type bed struct {
 	cliCtr, srvCtr *Container
 }
 
-func newBed(t *testing.T, kernel string, rate float64) *bed {
+func newBed(t testing.TB, kernel string, rate float64) *bed {
 	t.Helper()
 	e := sim.New(7)
 	n := NewNetwork(e)

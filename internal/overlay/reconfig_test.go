@@ -43,11 +43,12 @@ func TestFlowCacheGenerationInvalidation(t *testing.T) {
 
 	b.e.At(0, func() { sendOne(b, 1, nil) })
 	b.e.RunUntil(sim.Millisecond)
-	if len(b.client.flowCache) != 1 {
-		t.Fatalf("flow cache has %d entries, want 1", len(b.client.flowCache))
+	if got := b.client.txEntries(); got != 1 {
+		t.Fatalf("flow cache has %d entries, want 1", got)
 	}
+	// sendOne transmits from core 2, so the entry lives in core 2's table.
 	var before *txFlowEntry
-	for _, e := range b.client.flowCache {
+	for _, e := range b.client.flowCaches[2] {
 		before = e
 	}
 	if before.gen != b.n.Generation() {
@@ -57,7 +58,7 @@ func TestFlowCacheGenerationInvalidation(t *testing.T) {
 	// Same flow again without a bump: the entry must be reused.
 	b.e.At(sim.Millisecond, func() { sendOne(b, 2, nil) })
 	b.e.RunUntil(2 * sim.Millisecond)
-	for _, e := range b.client.flowCache {
+	for _, e := range b.client.flowCaches[2] {
 		if e != before {
 			t.Fatal("cache entry rebuilt without any configuration change")
 		}
@@ -67,7 +68,7 @@ func TestFlowCacheGenerationInvalidation(t *testing.T) {
 	b.n.BumpGeneration()
 	b.e.At(2*sim.Millisecond, func() { sendOne(b, 3, nil) })
 	b.e.RunUntil(3 * sim.Millisecond)
-	for _, e := range b.client.flowCache {
+	for _, e := range b.client.flowCaches[2] {
 		if e == before {
 			t.Fatal("stale flow-cache entry survived a generation bump")
 		}
@@ -141,24 +142,34 @@ func TestCrashPurgeDeadHostEvictsCaches(t *testing.T) {
 			Payload: 64, Core: 2, FlowID: 3, Seq: 1})
 	})
 	b.e.RunUntil(sim.Millisecond)
-	if got := len(b.client.flowCache); got != 3 {
+	if got := b.client.txEntries(); got != 3 {
 		t.Fatalf("warm flow cache has %d entries, want 3", got)
 	}
 	// And a negative-cache entry for the dead host's container.
-	b.client.negCache[srvCtrIP] = negEntry{until: sim.Second, kvVersion: b.n.KV.Version()}
+	b.client.negCache[srvCtrIP] = negEntry{until: sim.Second,
+		kvVersion: b.n.KV.Version(), epoch: b.client.cacheEpoch}
 
 	b.client.PurgeDeadHost(serverIP, []proto.IPv4Addr{srvCtrIP})
 
-	if got := len(b.client.flowCache); got != 1 {
-		t.Fatalf("flow cache has %d entries after purge, want 1 (spare only)", got)
+	if got := b.client.txEntries(); got != 1 {
+		t.Fatalf("flow cache has %d live entries after purge, want 1 (spare only)", got)
 	}
-	for k := range b.client.flowCache {
+	for k, e := range b.client.flowCaches[2] {
+		if b.client.deadAt[e.info.HostIP] > e.born {
+			continue // lazily dead, evicted on next lookup
+		}
 		if k.dstIP != spare.IP {
 			t.Fatalf("surviving flow-cache entry points at %v, want %v", k.dstIP, spare.IP)
 		}
 	}
 	if _, ok := b.client.negCache[srvCtrIP]; ok {
 		t.Fatal("negative-cache entry for the dead host's container survived the purge")
+	}
+	// The purge is generation-lazy: dead entries are physically evicted by
+	// the next lookup that touches them, not by a scan at declare time.
+	if _, ok := b.client.txLookup(2, txFlowKey{from: b.cliCtr, dstIP: srvCtrIP,
+		srcPort: 7000, dstPort: 5001, ipProto: proto.ProtoUDP, payload: 64}); ok {
+		t.Fatal("txLookup returned an entry routing through the dead host")
 	}
 }
 

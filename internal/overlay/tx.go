@@ -72,6 +72,8 @@ type txFlowKey struct {
 type txFlowEntry struct {
 	kvVersion uint64
 	gen       uint64
+	epoch     uint64   // host cacheEpoch at build (lazy ReconcileKV)
+	born      uint64   // host purgeClock at build (lazy PurgeDeadHost)
 	builtAt   sim.Time // when the entry was resolved (staleness bound)
 	info      EndpointInfo
 	sameHost  bool
@@ -281,6 +283,59 @@ func (op *txOp) nicDone() {
 	op.finish(h.sendWire(op.core, op.ctx, op.s, op.e.info.HostIP))
 }
 
+// txCache returns core's TX flow table, creating it on first use. One
+// map per simulated core: the sending core owns its table outright, so
+// cores never contend on shared cache state.
+func (h *Host) txCache(core int) map[txFlowKey]*txFlowEntry {
+	t := h.flowCaches[core]
+	if t == nil {
+		t = make(map[txFlowKey]*txFlowEntry)
+		h.flowCaches[core] = t
+	}
+	return t
+}
+
+// txLookup returns the entry under key in core's table if it survives
+// lazy eviction: entries invalidated by ReconcileKV (stale epoch) or by
+// a PurgeDeadHost declared after they were built are deleted here, on
+// touch, instead of by scanning the tables at invalidation time.
+// (kvVersion, gen) freshness is deliberately NOT checked — the
+// partitioned path serves version-expired entries within its staleness
+// bound.
+func (h *Host) txLookup(core int, key txFlowKey) (*txFlowEntry, bool) {
+	t := h.flowCaches[core]
+	if t == nil {
+		return nil, false
+	}
+	e, ok := t[key]
+	if !ok {
+		return nil, false
+	}
+	// For host-network entries info.HostIP is the addressed host itself,
+	// so one condition covers both shapes the eager purge matched.
+	if e.epoch != h.cacheEpoch || h.deadAt[e.info.HostIP] > e.born {
+		delete(t, key)
+		return nil, false
+	}
+	return e, true
+}
+
+// txEntries counts TX flow-cache entries across every core's table that
+// survive lazy eviction (epoch and dead-host purge; version freshness
+// is a revalidation concern, not eviction). Test and stats helper —
+// physical map sizes include lazily dead entries.
+func (h *Host) txEntries() int {
+	n := 0
+	for _, t := range h.flowCaches {
+		for _, e := range t {
+			if e.epoch == h.cacheEpoch && h.deadAt[e.info.HostIP] <= e.born {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // txFlow returns the flow-cache entry for p, building and caching it on
 // first use or after a KV mutation. resolved is false when the
 // destination cannot be resolved (the caller counts the drop); a nil
@@ -293,10 +348,11 @@ func (h *Host) txFlow(p SendParams, ipProto uint8, tcp *proto.TCPHdr) (e *txFlow
 		key.srcPort, key.dstPort = p.SrcPort, p.DstPort
 	}
 	ver, gen := h.Net.KV.Version(), h.Net.Generation()
-	if e, ok := h.flowCache[key]; ok && e.kvVersion == ver && e.gen == gen {
+	if e, ok := h.txLookup(p.Core, key); ok && e.kvVersion == ver && e.gen == gen {
 		return e, true
 	}
-	e = &txFlowEntry{kvVersion: ver, gen: gen, builtAt: h.E.Now()}
+	e = &txFlowEntry{kvVersion: ver, gen: gen, builtAt: h.E.Now(),
+		epoch: h.cacheEpoch, born: h.purgeClock}
 	if p.From == nil {
 		peer := h.Net.hostByIP(p.DstIP)
 		if peer == nil {
@@ -339,7 +395,7 @@ func (h *Host) txFlow(p SendParams, ipProto uint8, tcp *proto.TCPHdr) (e *txFlow
 		proto.PutEncapHeaders(e.outer, h.MAC, e.info.HostMAC, h.IP, e.info.HostIP,
 			entropy, h.Net.VNI, 0, len(e.inner))
 	}
-	h.flowCache[key] = e
+	h.txCache(p.Core)[key] = e
 	return e, true
 }
 
@@ -453,7 +509,7 @@ func (h *Host) sendPartitioned(op *txOp) {
 		key.srcPort, key.dstPort = p.SrcPort, p.DstPort
 	}
 	ver, gen := h.Net.KV.Version(), h.Net.Generation()
-	if e, ok := h.flowCache[key]; ok {
+	if e, ok := h.txLookup(p.Core, key); ok {
 		fresh := e.kvVersion == ver && e.gen == gen
 		if fresh || h.E.Now()-e.builtAt <= PartitionStaleBound {
 			if !fresh {
@@ -462,7 +518,7 @@ func (h *Host) sendPartitioned(op *txOp) {
 			h.transmitEntry(op, e)
 			return
 		}
-		delete(h.flowCache, key)
+		delete(h.flowCaches[p.Core], key)
 	}
 	core, ctx, ipProto, tcp, start := op.core, op.ctx, op.ipProto, op.tcp, op.start
 	op.p.Done = nil // the retry loop owns completion now
@@ -473,7 +529,7 @@ func (h *Host) sendPartitioned(op *txOp) {
 		}
 	}
 	if ne, ok := h.negCache[p.DstIP]; ok {
-		if h.E.Now() < ne.until && ne.kvVersion == ver {
+		if ne.epoch == h.cacheEpoch && h.E.Now() < ne.until && ne.kvVersion == ver {
 			h.NegCacheHits.Inc()
 			h.txPending--
 			finish(false)
@@ -501,6 +557,7 @@ func (h *Host) sendPartitioned(op *txOp) {
 			h.negCache[p.DstIP] = negEntry{
 				until:     h.E.Now() + NegCacheTTL,
 				kvVersion: h.Net.KV.Version(),
+				epoch:     h.cacheEpoch,
 			}
 			h.txPending--
 			finish(false)
@@ -519,10 +576,13 @@ func (h *Host) sendPartitioned(op *txOp) {
 // The version pin matters during reconfiguration: a miss recorded while
 // a container is in transit between hosts must not outlive the Put that
 // lands it on its new host, or the sender would keep blackholing traffic
-// for up to a full TTL after the mapping recovered.
+// for up to a full TTL after the mapping recovered. The epoch pin makes
+// ReconcileKV's O(1) bump cover this cache too (heals don't always move
+// the KV version).
 type negEntry struct {
 	until     sim.Time
 	kvVersion uint64
+	epoch     uint64
 }
 
 // resolve produces the EndpointInfo for p's destination and calls cont
@@ -549,7 +609,7 @@ func (h *Host) resolve(p SendParams, cont func(EndpointInfo, bool)) {
 		return
 	}
 	if ne, ok := h.negCache[p.DstIP]; ok {
-		if h.E.Now() < ne.until && ne.kvVersion == h.Net.KV.Version() {
+		if ne.epoch == h.cacheEpoch && h.E.Now() < ne.until && ne.kvVersion == h.Net.KV.Version() {
 			h.NegCacheHits.Inc()
 			cont(EndpointInfo{}, false)
 			return
@@ -577,6 +637,7 @@ func (h *Host) resolve(p SendParams, cont func(EndpointInfo, bool)) {
 				h.negCache[p.DstIP] = negEntry{
 					until:     h.E.Now() + NegCacheTTL,
 					kvVersion: h.Net.KV.Version(),
+					epoch:     h.cacheEpoch,
 				}
 				cont(EndpointInfo{}, false)
 				return

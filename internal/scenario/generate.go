@@ -98,12 +98,19 @@ func Generate(seed uint64) Scenario {
 			sc.Reconfigs = append(sc.Reconfigs, genCrash(r, sc))
 		}
 	}
-	// Open-loop draws come last (the newest extension of the frozen
-	// prefix): a quarter of scenarios add a churning heavy-tailed flow
+	// Open-loop draws come after the crash draw (frozen-prefix rule
+	// again): a quarter of scenarios add a churning heavy-tailed flow
 	// population, the regime the tail-sanity oracle measures.
 	if r.Float64() < 0.25 {
 		sc.OpenLoop = genOpenLoop(r)
 	}
+	// RX-cache draw comes last (the newest extension of the frozen
+	// prefix): a third of scenarios run with the decap fast path on, so
+	// the whole oracle battery — conservation, kernel equivalence,
+	// crash/reconfig sanity, shard invariance — also exercises the
+	// cached datapath, and the transparency oracle gets cache-on runs to
+	// compare against their cache-off twins.
+	sc.RxCache = r.Float64() < 0.33
 	return sc
 }
 

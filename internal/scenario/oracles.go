@@ -265,6 +265,14 @@ func Oracles() []Oracle {
 			},
 			Check: checkCrashConservation,
 		},
+		{
+			Name: "cache-transparency",
+			Desc: "RX flow cache is invisible to delivery: cached runs conserve exactly, shard-invariantly, and deliver the uncached packet set",
+			Applies: func(sc Scenario) bool {
+				return sc.RxCache
+			},
+			Check: checkCacheTransparency,
+		},
 	}
 }
 
@@ -587,6 +595,68 @@ func checkTailSanity(c *Ctx) *Violation {
 		return &Violation{"tail-sanity",
 			fmt.Sprintf("under %s: p99 improved %d -> %d ns (below %.2f of fault-free; delay faults cannot speed packets up)",
 				faultNames(sc), b.P99, f.P99, TailImproveFactor)}
+	}
+	return nil
+}
+
+// checkCacheTransparency is the tentpole property of the RX decap fast
+// path: a cache hit may only change *when* work happens, never *what*
+// is delivered. Three sub-checks on the scenario's primary mode:
+// the cached accounting run satisfies the exact conservation equations
+// with a silent audit ledger; the same cached run on a 4-shard PDES
+// cluster produces identical books (the cache's per-core tables live
+// inside one logical process, so sharding must not perturb them); and —
+// when the send schedule is datapath-independent (fixed-rate, no
+// fragmentation) and neither run dropped a packet — the cached run
+// delivers exactly the per-flow packet sets of its cache-off twin.
+func checkCacheTransparency(c *Ctx) *Violation {
+	sc := c.SC
+	mode := hasFalcon(sc)
+	on := c.account(sc, mode)
+	if v := conservationOn(sc, on, "cache-on"); v != nil {
+		return &Violation{"cache-transparency", v.Detail}
+	}
+	// Shard invariance of the cached run. Direct Account call: Shards is
+	// an execution knob outside scenario identity (json:"-"), so the
+	// Ctx's JSON-keyed run cache cannot distinguish this run — it must
+	// not be cached.
+	sh := sc
+	sh.Shards = 4
+	onSh := Account(sh, mode)
+	if v := conservationOn(sc, onSh, "cache-on+shards=4"); v != nil {
+		return &Violation{"cache-transparency", v.Detail}
+	}
+	if onSh.Sent != on.Sent || onSh.Wire != on.Wire || onSh.Delivered != on.Delivered ||
+		totalDrops(onSh)+onSh.CrashDrops != totalDrops(on)+on.CrashDrops {
+		return &Violation{"cache-transparency",
+			fmt.Sprintf("cached run diverges across shard counts: serial sent=%d wire=%d delivered=%d drops=%d, 4-shard sent=%d wire=%d delivered=%d drops=%d",
+				on.Sent, on.Wire, on.Delivered, totalDrops(on)+on.CrashDrops,
+				onSh.Sent, onSh.Wire, onSh.Delivered, totalDrops(onSh)+onSh.CrashDrops)}
+	}
+	// Delivery-set half: closed-loop flood adapts its send schedule to
+	// the datapath under test (the cache changes costs, so the schedules
+	// legitimately diverge); only open-loop fixed-rate UDP offers the
+	// identical schedule to both runs.
+	if !sc.FixedRateOnly() || sc.MTU != 0 {
+		return nil
+	}
+	off := sc
+	off.RxCache = false
+	ao := c.account(off, mode)
+	if totalDrops(on)+on.CrashDrops != 0 || totalDrops(ao)+ao.CrashDrops != 0 {
+		return nil // a dropped packet makes set comparison meaningless
+	}
+	for i := range ao.PerFlowSent {
+		if on.PerFlowSent[i] != ao.PerFlowSent[i] {
+			return &Violation{"cache-transparency",
+				fmt.Sprintf("flow %d: send schedule diverged: cache-off sent %d, cache-on sent %d",
+					i, ao.PerFlowSent[i], on.PerFlowSent[i])}
+		}
+		if on.PerFlowDelivered[i] != ao.PerFlowDelivered[i] {
+			return &Violation{"cache-transparency",
+				fmt.Sprintf("flow %d: packet set differs with zero drops: cache-off delivered %d, cache-on delivered %d (sent %d)",
+					i, ao.PerFlowDelivered[i], on.PerFlowDelivered[i], ao.PerFlowSent[i])}
+		}
 	}
 	return nil
 }

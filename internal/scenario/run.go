@@ -110,7 +110,8 @@ func build(sc Scenario, falcon, withAudit bool) *bed {
 		Shards: sc.Shards, Colocate: !sc.UDPOnly(), FixedHorizon: sc.FixedHorizon,
 		// A drain or a crash fail-over needs the spare host carrying
 		// standby twins of every server container.
-		Spare: sc.HasDrain() || sc.HasCrash(),
+		Spare:   sc.HasDrain() || sc.HasCrash(),
+		RxCache: sc.RxCache,
 	})
 	tb.E.SetEventBudget(eventBudget)
 	b := &bed{tb: tb}

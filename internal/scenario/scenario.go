@@ -144,6 +144,14 @@ type Scenario struct {
 	WarmupMs int `json:"warmup_ms"`
 	WindowMs int `json:"window_ms"`
 
+	// RxCache enables the ONCache-style RX decap fast path (per-core
+	// flow caches) on both hosts. Part of scenario identity — the
+	// transparency oracle compares cache-on against cache-off runs, so
+	// the knob must distinguish their run-cache keys. Old reproducers
+	// without the field parse as false (cache off), their pre-cache
+	// behavior.
+	RxCache bool `json:"rx_cache,omitempty"`
+
 	Flows []FlowSpec `json:"flows"`
 	// OpenLoop, when set, adds a churning open-loop flow population on
 	// the first container pair (always overlay: the tail claims are

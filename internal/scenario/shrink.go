@@ -155,6 +155,7 @@ func mutations(sc Scenario) []Scenario {
 		on  bool
 		set func(*Scenario)
 	}{
+		{sc.RxCache, func(m *Scenario) { m.RxCache = false }},
 		{sc.InnerGRO, func(m *Scenario) { m.InnerGRO = false }},
 		{sc.GRO, func(m *Scenario) { m.GRO = false }},
 		{sc.AlwaysOn, func(m *Scenario) { m.AlwaysOn = false }},

@@ -75,6 +75,12 @@ type TestbedConfig struct {
 	// reconfiguration drain of the server. Twins are dark (not in the
 	// KV) until a drain remaps them.
 	Spare bool
+	// RxCache installs the ONCache-style RX decap fast path on every
+	// host: warm inner-UDP flows skip the decap stage walk and deliver
+	// with a cached cost sum (see internal/overlay/rxcache.go). Off by
+	// default — the fast path is the ablation under study, not the
+	// baseline.
+	RxCache bool
 }
 
 // Defaults fills zero fields with the paper's standard setup.
@@ -139,12 +145,16 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	}
 	n := overlay.NewNetwork(e)
 	mk := func(name string, ip proto.IPv4Addr, shard int) *overlay.Host {
-		return n.AddHost(overlay.HostConfig{
+		h := n.AddHost(overlay.HostConfig{
 			Name: name, IP: ip, Cores: cfg.Cores,
 			RSSCores: cfg.RSSCores, RPSCores: cfg.RPSCores,
 			GRO: cfg.GRO, InnerGRO: cfg.InnerGRO, Kernel: cfg.Kernel,
 			Shard: shard,
 		})
+		if cfg.RxCache {
+			h.EnableRxCache()
+		}
+		return h
 	}
 	serverShard := 1
 	if cfg.Colocate {
